@@ -1,0 +1,105 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (printed as text tables) and runs Bechamel
+   micro-benchmarks of the pipeline stages.
+
+   Usage:
+     bench/main.exe                 -- everything
+     bench/main.exe fig3 table2     -- selected figures only
+     bench/main.exe micro           -- only the Bechamel micro-benchmarks *)
+
+module Figures = Dpm_core.Figures
+
+let available =
+  [
+    ("table1", Figures.table1);
+    ("table2", Figures.table2);
+    ("fig3", Figures.fig3);
+    ("fig4", Figures.fig4);
+    ("table3", Figures.table3);
+    ("fig5", Figures.fig5);
+    ("fig6", Figures.fig6);
+    ("fig7", Figures.fig7);
+    ("fig8", Figures.fig8);
+    ("fig13", Figures.fig13);
+    ("ext", Figures.extensions);
+    ("ext-shared", Figures.shared_subsystem);
+    ("ablation-knobs", Figures.knob_ablation);
+    ("ablation-closed", Figures.closed_loop_ablation);
+  ]
+
+let print_figure (f : Figures.figure) =
+  print_string f.Figures.rendered;
+  print_newline ()
+
+(* --- Bechamel micro-benchmarks: one per pipeline stage --- *)
+
+let micro () =
+  let open Bechamel in
+  let spec = Dpm_workloads.Suite.find "galgel" in
+  let program = Dpm_workloads.Suite.program spec in
+  let plan = Dpm_workloads.Suite.default_plan program in
+  let specs = Dpm_sim.Config.default.Dpm_sim.Config.specs in
+  let trace = Dpm_trace.Generate.run program plan in
+  let source = spec.Dpm_workloads.Suite.source () in
+  let tests =
+    [
+      Test.make ~name:"parse-galgel"
+        (Staged.stage (fun () ->
+             ignore (Dpm_ir.Parser.program ~name:"galgel" source)));
+      Test.make ~name:"access-analysis"
+        (Staged.stage (fun () ->
+             ignore (Dpm_compiler.Access.of_program_cached program plan)));
+      Test.make ~name:"timing-profile"
+        (Staged.stage (fun () ->
+             ignore (Dpm_compiler.Estimate.profile ~specs program plan)));
+      Test.make ~name:"trace-generation"
+        (Staged.stage (fun () -> ignore (Dpm_trace.Generate.run program plan)));
+      Test.make ~name:"replay-base"
+        (Staged.stage (fun () ->
+             ignore (Dpm_sim.Engine.run Dpm_sim.Policy.base trace)));
+      Test.make ~name:"compile-cmdrpm"
+        (Staged.stage (fun () ->
+             ignore
+               (Dpm_compiler.Pipeline.compile
+                  ~scheme:Dpm_compiler.Insertion.Drpm ~specs program plan)));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  print_endline "== Micro-benchmarks (pipeline stages on galgel) ==";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name m ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              Toolkit.Instance.monotonic_clock m
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ t ] -> Printf.printf "  %-22s %12.1f ns/run\n%!" name t
+          | Some _ | None -> Printf.printf "  %-22s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      List.iter (fun (_, f) -> print_figure (f ())) available;
+      micro ()
+  | [ "micro" ] -> micro ()
+  | names ->
+      List.iter
+        (fun name ->
+          if String.equal name "micro" then micro ()
+          else
+            match List.assoc_opt name available with
+            | Some f -> print_figure (f ())
+            | None ->
+                Printf.eprintf "unknown figure %S; available: %s micro\n" name
+                  (String.concat " " (List.map fst available));
+                exit 2)
+        names

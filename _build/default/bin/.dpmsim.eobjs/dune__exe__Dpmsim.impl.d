@@ -1,0 +1,1 @@
+bin/dpmsim.ml: Arg Array Cmd Cmdliner Dpm_compiler Dpm_core Dpm_ir Dpm_layout Dpm_sim Dpm_trace Dpm_workloads Format List Printf String Term

@@ -1,0 +1,1 @@
+bin/tune.ml: Array Dpm_core Dpm_disk Dpm_ir Dpm_sim Dpm_util Dpm_workloads List Printf Unix

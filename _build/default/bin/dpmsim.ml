@@ -1,0 +1,291 @@
+(* dpmsim: command-line driver for the compiler-directed disk power
+   management pipeline.
+
+   Subcommands: list, show, simulate, compile, dap, transform, trace,
+   figure.  Run `dpmsim --help` or `dpmsim CMD --help`. *)
+
+open Cmdliner
+
+let spec_of_name name =
+  try Dpm_workloads.Suite.find name
+  with Not_found ->
+    Printf.eprintf "unknown benchmark %S (try `dpmsim list`)\n" name;
+    exit 2
+
+let workload name =
+  let spec = spec_of_name name in
+  let p, plan = Dpm_core.Experiment.workload spec in
+  (spec, p, plan)
+
+let bench_arg =
+  let doc = "Benchmark name (wupwise, swim, mgrid, applu, mesa, galgel)." in
+  Arg.(required & opt (some string) None & info [ "b"; "benchmark" ] ~doc)
+
+let version_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "orig" -> Ok Dpm_compiler.Pipeline.Orig
+    | "lf" -> Ok Dpm_compiler.Pipeline.LF
+    | "tl" -> Ok Dpm_compiler.Pipeline.TL
+    | "lf+dl" | "lfdl" -> Ok Dpm_compiler.Pipeline.LF_DL
+    | "tl+dl" | "tldl" -> Ok Dpm_compiler.Pipeline.TL_DL
+    | _ -> Error (`Msg "expected one of: orig, LF, TL, LF+DL, TL+DL")
+  in
+  let print ppf v =
+    Format.pp_print_string ppf (Dpm_compiler.Pipeline.version_name v)
+  in
+  Arg.conv (parse, print)
+
+let version_arg =
+  let doc = "Code transformation version (orig, LF, TL, LF+DL, TL+DL)." in
+  Arg.(
+    value
+    & opt version_conv Dpm_compiler.Pipeline.Orig
+    & info [ "t"; "transform" ] ~doc)
+
+let mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "open" -> Ok `Open
+    | "closed" -> Ok `Closed
+    | _ -> Error (`Msg "expected open or closed")
+  in
+  let print ppf v =
+    Format.pp_print_string ppf (match v with `Open -> "open" | `Closed -> "closed")
+  in
+  Arg.conv (parse, print)
+
+let mode_arg =
+  let doc = "Replay model: open (the paper's trace-driven model) or closed." in
+  Arg.(value & opt mode_conv `Open & info [ "mode" ] ~doc)
+
+let setup_of spec version mode =
+  {
+    Dpm_core.Experiment.default_setup with
+    noise = spec.Dpm_workloads.Suite.noise;
+    version;
+    mode;
+  }
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-9s %8s %10s %12s %10s %7s\n" "name" "MB" "requests"
+      "energy(J)" "time(s)" "noise";
+    List.iter
+      (fun (s : Dpm_workloads.Suite.spec) ->
+        Printf.printf "%-9s %8.1f %10d %12.2f %10.2f %7.2f\n" s.name s.data_mb
+          s.requests s.base_energy_j s.exec_time_s s.noise)
+      Dpm_workloads.Suite.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the benchmark suite (paper Table 2 targets).")
+    Term.(const run $ const ())
+
+(* --- show: print a benchmark's DSL source --- *)
+
+let show_cmd =
+  let run name =
+    let spec = spec_of_name name in
+    print_string (spec.Dpm_workloads.Suite.source ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a benchmark's loop-nest DSL source.")
+    Term.(const run $ bench_arg)
+
+(* --- simulate --- *)
+
+let scheme_conv =
+  let parse s =
+    try Ok (Dpm_core.Scheme.of_name s)
+    with Not_found -> Error (`Msg "expected Base|TPM|ITPM|DRPM|IDRPM|CMTPM|CMDRPM")
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Dpm_core.Scheme.name s))
+
+let schemes_arg =
+  let doc = "Scheme(s) to simulate (default: all seven)." in
+  Arg.(value & opt (list scheme_conv) Dpm_core.Scheme.all & info [ "s"; "scheme" ] ~doc)
+
+let simulate_cmd =
+  let run name schemes version mode =
+    let spec, p, plan = workload name in
+    let setup = setup_of spec version mode in
+    let results = Dpm_core.Experiment.run_all ~setup ~schemes p plan in
+    let base = Dpm_core.Experiment.run ~setup Dpm_core.Scheme.Base p plan in
+    Printf.printf "%-8s %12s %10s %8s %8s\n" "scheme" "energy(J)" "time(s)"
+      "E/base" "T/base";
+    List.iter
+      (fun (s, (r : Dpm_sim.Result.t)) ->
+        Printf.printf "%-8s %12.2f %10.2f %8.3f %8.3f\n"
+          (Dpm_core.Scheme.name s) r.energy r.exec_time
+          (Dpm_sim.Result.normalized_energy r ~base)
+          (Dpm_sim.Result.normalized_time r ~base))
+      results;
+    0
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate a benchmark under one or more power-management schemes.")
+    Term.(const run $ bench_arg $ schemes_arg $ version_arg $ mode_arg)
+
+(* --- compile: print the instrumented program --- *)
+
+let compile_cmd =
+  let run name version =
+    let spec, p, plan = workload name in
+    let p, plan = Dpm_compiler.Pipeline.transform version p plan in
+    let compiled =
+      Dpm_compiler.Pipeline.compile ~scheme:Dpm_compiler.Insertion.Drpm
+        ~noise:spec.Dpm_workloads.Suite.noise
+        ~cache_blocks:Dpm_workloads.Suite.cache_blocks
+        ~specs:Dpm_sim.Config.default.Dpm_sim.Config.specs p plan
+    in
+    print_string (Dpm_ir.Printer.program compiled.Dpm_compiler.Pipeline.program);
+    Printf.printf "\n# %d power-management decisions\n"
+      (List.length compiled.Dpm_compiler.Pipeline.decisions);
+    0
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Run the proactive CMDRPM compilation and print the instrumented \
+          code with its inserted set_rpm calls.")
+    Term.(const run $ bench_arg $ version_arg)
+
+(* --- dap --- *)
+
+let disk_arg =
+  let doc = "Disk id to print the DAP for." in
+  Arg.(value & opt int 0 & info [ "d"; "disk" ] ~doc)
+
+let dap_cmd =
+  let run name disk version =
+    let spec, p, plan = workload name in
+    let p, plan = Dpm_compiler.Pipeline.transform version p plan in
+    let activities =
+      Dpm_compiler.Access.of_program_cached
+        ~cache_blocks:Dpm_workloads.Suite.cache_blocks p plan
+    in
+    let est =
+      Dpm_compiler.Estimate.profile
+        ~cache_blocks:Dpm_workloads.Suite.cache_blocks
+        ~specs:Dpm_sim.Config.default.Dpm_sim.Config.specs p plan
+    in
+    ignore spec;
+    let dap = Dpm_compiler.Dap.build activities est in
+    Format.printf "@[<v>%a@]@." (Dpm_compiler.Dap.pp_disk activities)
+      (dap, disk);
+    0
+  in
+  Cmd.v
+    (Cmd.info "dap"
+       ~doc:"Print a disk's access pattern (the paper's Figure 2(c) form).")
+    Term.(const run $ bench_arg $ disk_arg $ version_arg)
+
+(* --- transform --- *)
+
+let transform_cmd =
+  let run name version =
+    let _, p, plan = workload name in
+    let p', plan' = Dpm_compiler.Pipeline.transform version p plan in
+    print_string (Dpm_ir.Printer.program p');
+    Format.printf "@.%a@." Dpm_layout.Plan.pp plan';
+    0
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:"Apply a code/layout transformation and print the result.")
+    Term.(const run $ bench_arg $ version_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let out_arg =
+    let doc = "File to save the trace to (omit to print a summary)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let run name version out =
+    let _, p, plan = workload name in
+    let p, plan = Dpm_compiler.Pipeline.transform version p plan in
+    let trace = Dpm_trace.Generate.run p plan in
+    (match out with
+    | Some path ->
+        Dpm_trace.Trace.save trace path;
+        Printf.printf "saved %d events to %s\n" (Array.length trace.events) path
+    | None ->
+        Printf.printf
+          "program=%s ndisks=%d io=%d pm=%d bytes=%d think=%.2fs\n"
+          trace.program trace.ndisks
+          (Dpm_trace.Trace.io_count trace)
+          (Dpm_trace.Trace.pm_count trace)
+          (Dpm_trace.Trace.total_bytes trace)
+          (Dpm_trace.Trace.total_think trace));
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Generate (and optionally save) an I/O trace.")
+    Term.(const run $ bench_arg $ version_arg $ out_arg)
+
+(* --- figure --- *)
+
+let figure_cmd =
+  let fig_arg =
+    let doc = "Figure/table id (table1 table2 table3 fig3..fig8 fig13 ablation-closed)." in
+    Arg.(non_empty & pos_all string [] & info [] ~doc ~docv:"ID")
+  in
+  let run ids =
+    let available =
+      [
+        ("table1", Dpm_core.Figures.table1);
+        ("table2", Dpm_core.Figures.table2);
+        ("fig3", Dpm_core.Figures.fig3);
+        ("fig4", Dpm_core.Figures.fig4);
+        ("table3", Dpm_core.Figures.table3);
+        ("fig5", Dpm_core.Figures.fig5);
+        ("fig6", Dpm_core.Figures.fig6);
+        ("fig7", Dpm_core.Figures.fig7);
+        ("fig8", Dpm_core.Figures.fig8);
+        ("fig13", Dpm_core.Figures.fig13);
+        ("ext", Dpm_core.Figures.extensions);
+        ("ext-shared", Dpm_core.Figures.shared_subsystem);
+        ("ablation-knobs", Dpm_core.Figures.knob_ablation);
+        ("ablation-closed", Dpm_core.Figures.closed_loop_ablation);
+      ]
+    in
+    List.fold_left
+      (fun rc id ->
+        match List.assoc_opt id available with
+        | Some f ->
+            print_string (f ()).Dpm_core.Figures.rendered;
+            print_newline ();
+            rc
+        | None ->
+            Printf.eprintf "unknown figure %S\n" id;
+            2)
+      0 ids
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one of the paper's tables/figures.")
+    Term.(const run $ fig_arg)
+
+let () =
+  let doc =
+    "Software-directed disk power management (IPDPS'05 reproduction)."
+  in
+  let info = Cmd.info "dpmsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            list_cmd;
+            show_cmd;
+            simulate_cmd;
+            compile_cmd;
+            dap_cmd;
+            transform_cmd;
+            trace_cmd;
+            figure_cmd;
+          ]))

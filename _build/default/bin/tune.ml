@@ -1,0 +1,103 @@
+(* Workload calibration report: compares each benchmark's measured
+   characteristics against the paper's Table 2 targets, summarizes the
+   idle-gap structure, and prints the per-scheme normalized energy and
+   execution time (the Figure 3/4 shape). *)
+
+let () =
+  let specs = Dpm_sim.Config.default.Dpm_sim.Config.specs in
+  Printf.printf "TPM break-even: %.2f s\n"
+    (Dpm_disk.Power.tpm_break_even specs);
+  Printf.printf "%-9s %9s %9s %9s %9s %10s %10s %8s %8s\n" "bench" "req"
+    "req*" "time" "time*" "energy" "energy*" "MB" "MB*";
+  let rows = ref [] in
+  List.iter
+    (fun (spec : Dpm_workloads.Suite.spec) ->
+      let t0 = Unix.gettimeofday () in
+      let p, plan = Dpm_core.Experiment.workload spec in
+      let setup =
+        {
+          Dpm_core.Experiment.default_setup with
+          Dpm_core.Experiment.noise = spec.noise;
+        }
+      in
+      let results = Dpm_core.Experiment.run_all ~setup p plan in
+      let base = List.assoc Dpm_core.Scheme.Base results in
+      let mb =
+        Dpm_util.Units.mb_of_bytes (Dpm_ir.Program.total_data_bytes p)
+      in
+      Printf.printf
+        "%-9s %9d %9d %9.2f %9.2f %10.1f %10.1f %8.2f %8.1f  (%.1fs wall)\n%!"
+        spec.name
+        (Dpm_sim.Result.requests base)
+        spec.requests base.Dpm_sim.Result.exec_time spec.exec_time_s
+        base.Dpm_sim.Result.energy spec.base_energy_j mb spec.data_mb
+        (Unix.gettimeofday () -. t0);
+      let all_gaps = ref [] in
+      for d = 0 to 7 do
+        all_gaps :=
+          List.map
+            (fun (a, b) -> b -. a)
+            (Dpm_sim.Result.idle_gaps base ~disk:d)
+          @ !all_gaps
+      done;
+      let gaps = List.filter (fun g -> g > 0.5) !all_gaps in
+      if gaps <> [] then
+        Printf.printf
+          "          gaps>0.5s: n=%d mean=%.2fs max=%.2fs total=%.1fs (%.0f%% of disk-time)\n%!"
+          (List.length gaps) (Dpm_util.Stats.mean gaps)
+          (Dpm_util.Stats.maximum gaps)
+          (Dpm_util.Stats.total gaps)
+          (100.0
+          *. Dpm_util.Stats.total gaps
+          /. (8.0 *. base.Dpm_sim.Result.exec_time));
+      let mis = Dpm_core.Experiment.misprediction_pct ~setup p plan in
+      rows := (spec.name, results, mis) :: !rows)
+    Dpm_workloads.Suite.all;
+  let rows = List.rev !rows in
+  Printf.printf "\nNormalized energy (Fig 3 shape):\n%-9s" "bench";
+  List.iter
+    (fun s -> Printf.printf " %8s" (Dpm_core.Scheme.name s))
+    Dpm_core.Scheme.all;
+  Printf.printf " %8s\n" "mispred%";
+  let sums = Array.make (List.length Dpm_core.Scheme.all) 0.0 in
+  List.iter
+    (fun (name, results, mis) ->
+      Printf.printf "%-9s" name;
+      let base = List.assoc Dpm_core.Scheme.Base results in
+      List.iteri
+        (fun i s ->
+          let r = List.assoc s results in
+          let v = Dpm_sim.Result.normalized_energy r ~base in
+          sums.(i) <- sums.(i) +. v;
+          Printf.printf " %8.3f" v)
+        Dpm_core.Scheme.all;
+      Printf.printf " %8.2f\n" mis)
+    rows;
+  Printf.printf "%-9s" "AVG";
+  Array.iter
+    (fun s -> Printf.printf " %8.3f" (s /. float_of_int (List.length rows)))
+    sums;
+  Printf.printf "\n\nNormalized execution time (Fig 4 shape):\n%-9s" "bench";
+  List.iter
+    (fun s -> Printf.printf " %8s" (Dpm_core.Scheme.name s))
+    Dpm_core.Scheme.all;
+  print_newline ();
+  let tsums = Array.make (List.length Dpm_core.Scheme.all) 0.0 in
+  List.iter
+    (fun (name, results, _) ->
+      Printf.printf "%-9s" name;
+      let base = List.assoc Dpm_core.Scheme.Base results in
+      List.iteri
+        (fun i s ->
+          let r = List.assoc s results in
+          let v = Dpm_sim.Result.normalized_time r ~base in
+          tsums.(i) <- tsums.(i) +. v;
+          Printf.printf " %8.3f" v)
+        Dpm_core.Scheme.all;
+      print_newline ())
+    rows;
+  Printf.printf "%-9s" "AVG";
+  Array.iter
+    (fun s -> Printf.printf " %8.3f" (s /. float_of_int (List.length rows)))
+    tsums;
+  print_newline ()

@@ -1,0 +1,1 @@
+examples/fission_layout.ml: Array Dpm_compiler Dpm_disk Dpm_ir Dpm_layout Dpm_sim Dpm_trace Format List Printf String

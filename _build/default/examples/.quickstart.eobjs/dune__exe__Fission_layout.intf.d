@@ -1,0 +1,1 @@
+examples/fission_layout.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dpm_compiler Dpm_disk Dpm_ir Dpm_layout Dpm_sim Dpm_trace Dpm_util Format List Printf

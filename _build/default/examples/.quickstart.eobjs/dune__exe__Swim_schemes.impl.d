@@ -1,0 +1,1 @@
+examples/swim_schemes.ml: Array Dpm_core Dpm_ir Dpm_sim Dpm_workloads Format List Printf

@@ -1,0 +1,1 @@
+examples/swim_schemes.mli:

@@ -1,0 +1,1 @@
+examples/tiling_layout.ml: Dpm_compiler Dpm_ir Dpm_layout Dpm_sim Dpm_trace Format Printf

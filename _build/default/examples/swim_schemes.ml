@@ -1,0 +1,53 @@
+(* swim under all seven disk power-management schemes — one row of the
+   paper's Figures 3 and 4.
+
+   The benchmark program is the suite's shallow-water re-creation,
+   calibrated so its Base run reproduces the paper's Table 2 entry
+   (3,159 requests, 32.09 s, 2,686.8 J on eight disks); every scheme is
+   then replayed over the same trace.
+
+   Run with: dune exec examples/swim_schemes.exe *)
+
+let () =
+  let spec = Dpm_workloads.Suite.find "swim" in
+  let program, plan = Dpm_core.Experiment.workload spec in
+  Printf.printf "%s\n\n" (Format.asprintf "%a" Dpm_ir.Program.pp program);
+  let setup =
+    { Dpm_core.Experiment.default_setup with noise = spec.noise }
+  in
+  let results = Dpm_core.Experiment.run_all ~setup program plan in
+  let base = List.assoc Dpm_core.Scheme.Base results in
+  Printf.printf "%-8s %12s %9s %8s %8s  %s\n" "scheme" "energy(J)" "time(s)"
+    "E/base" "T/base" "standby/low-RPM residency";
+  List.iter
+    (fun (scheme, (r : Dpm_sim.Result.t)) ->
+      let low_time =
+        Array.fold_left
+          (fun acc (d : Dpm_sim.Result.disk_stats) ->
+            let nl = Array.length d.level_residency in
+            let low = ref d.standby_time in
+            Array.iteri
+              (fun l t -> if l < nl - 1 then low := !low +. t)
+              d.level_residency;
+            acc +. !low)
+          0.0 r.disks
+      in
+      Printf.printf "%-8s %12.2f %9.2f %8.3f %8.3f  %6.1f disk-seconds\n"
+        (Dpm_core.Scheme.name scheme)
+        r.energy r.exec_time
+        (Dpm_sim.Result.normalized_energy r ~base)
+        (Dpm_sim.Result.normalized_time r ~base)
+        low_time)
+    results;
+  (* The headline comparison the paper draws. *)
+  let e s = (List.assoc s results).Dpm_sim.Result.energy in
+  Printf.printf
+    "\nCMDRPM saves %.1f%% vs Base, %.1f points more than reactive DRPM, and \
+     comes within %.1f points of the IDRPM oracle.\n"
+    (100.0 *. (1.0 -. (e Dpm_core.Scheme.Cmdrpm /. e Dpm_core.Scheme.Base)))
+    (100.0
+    *. (e Dpm_core.Scheme.Drpm -. e Dpm_core.Scheme.Cmdrpm)
+    /. e Dpm_core.Scheme.Base)
+    (100.0
+    *. (e Dpm_core.Scheme.Cmdrpm -. e Dpm_core.Scheme.Idrpm)
+    /. e Dpm_core.Scheme.Base)

@@ -1,0 +1,56 @@
+(* Layout-aware loop tiling — the paper's Figure 10.
+
+   A two-deep nest reads U1 along rows and U2 along columns.  U2's access
+   pattern does not conform to its row-major layout, so every element
+   access fetches a stripe unit it barely uses.  The layout-aware tiling
+   pass (Figure 12) tiles the nest so one tile covers one stripe unit,
+   transposes U2 to column-major so its access conforms, and sets each
+   array's stripe size to its per-tile data size — after which the
+   execution touches far fewer stripe units and the disks holding
+   untouched tiles can rest.
+
+   Run with: dune exec examples/tiling_layout.exe *)
+
+let source =
+  {|
+array U1[96][96] : 8192
+array U2[96][96] : 8192
+
+for i = 0 to 95 { for j = 0 to 95 {
+    U1[i][j] = U1[i][j] + U2[j][i] work 2000000
+} }
+|}
+
+let () =
+  let program = Dpm_ir.Parser.program ~name:"figure10" source in
+  let ndisks = 8 in
+  let plan = Dpm_layout.Plan.uniform ~ndisks program in
+  print_endline "--- Original code (Figure 10(a)) ---";
+  print_string (Dpm_ir.Printer.program program);
+
+  (match Dpm_compiler.Tiling.candidate program plan with
+  | Some item -> Printf.printf "\ntiling candidate: nest %d\n" item
+  | None -> print_endline "\nno tileable nest!");
+
+  let tiled, plan' = Dpm_compiler.Tiling.apply ~dl:true program plan in
+  print_endline "\n--- Tiled code (Figure 10(b)) ---";
+  print_string (Dpm_ir.Printer.program tiled);
+  print_endline "\n--- Transformed layout (Figure 10(c)) ---";
+  Format.printf "%a@." Dpm_layout.Plan.pp plan';
+
+  (* Requests and energy before and after TL+DL, under a buffer cache too
+     small to hide the non-conforming access (64 blocks = 4 MB). *)
+  let config = { Dpm_trace.Generate.default_config with cache_blocks = 64 } in
+  let measure label program plan =
+    let trace = Dpm_trace.Generate.run ~config program plan in
+    let base = Dpm_sim.Engine.run Dpm_sim.Policy.base trace in
+    Printf.printf "%-12s %6d requests  %9.1f J  %7.2f s\n" label
+      (Dpm_trace.Trace.io_count trace)
+      base.Dpm_sim.Result.energy base.Dpm_sim.Result.exec_time;
+    base.Dpm_sim.Result.energy
+  in
+  print_endline "--- Effect on the Base run ---";
+  let before = measure "original" program plan in
+  let after = measure "TL+DL" tiled plan' in
+  Printf.printf "layout-aware tiling cuts base disk energy by %.1f%%\n"
+    (100.0 *. (1.0 -. (after /. before)))

@@ -1,0 +1,82 @@
+type 'k node = {
+  key : 'k;
+  mutable prev : 'k node option;
+  mutable next : 'k node option;
+}
+
+type 'k t = {
+  cap : int;
+  table : ('k, 'k node) Hashtbl.t;
+  mutable head : 'k node option; (* most recently used *)
+  mutable tail : 'k node option; (* least recently used *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    cap = capacity;
+    table = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+let mem t k = Hashtbl.mem t.table k
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let access t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+      t.hit_count <- t.hit_count + 1;
+      unlink t node;
+      push_front t node;
+      `Hit
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      if t.cap = 0 then `Miss None
+      else begin
+        let evicted =
+          if Hashtbl.length t.table >= t.cap then
+            match t.tail with
+            | Some lru ->
+                unlink t lru;
+                Hashtbl.remove t.table lru.key;
+                Some lru.key
+            | None -> None
+          else None
+        in
+        let node = { key = k; prev = None; next = None } in
+        Hashtbl.replace t.table k node;
+        push_front t node;
+        `Miss evicted
+      end
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.hit_count <- 0;
+  t.miss_count <- 0
+
+let hits t = t.hit_count
+let misses t = t.miss_count

@@ -1,0 +1,34 @@
+(** Block-granularity LRU buffer cache.
+
+    The paper assumes "each array reference causes a disk access unless
+    the data is captured in the buffer cache".  The trace generator
+    filters reference events through this cache, so only misses become
+    disk requests.  Keys identify a stripe unit of an array file
+    ([(array, unit)] pairs encoded by the caller); a capacity of zero
+    disables caching.
+
+    Implementation: hash table plus intrusive doubly-linked recency list;
+    all operations O(1). *)
+
+type 'k t
+
+val create : capacity:int -> 'k t
+(** [capacity] is the number of blocks held; raises [Invalid_argument] if
+    negative. *)
+
+val capacity : 'k t -> int
+val length : 'k t -> int
+
+val access : 'k t -> 'k -> [ `Hit | `Miss of 'k option ]
+(** [access t k] touches block [k]: [`Hit] if resident (promoted to most
+    recently used); [`Miss evicted] otherwise, after inserting [k] and
+    evicting the least recently used block if the cache was full. *)
+
+val mem : 'k t -> 'k -> bool
+(** Residency test without promoting. *)
+
+val clear : 'k t -> unit
+
+val hits : 'k t -> int
+val misses : 'k t -> int
+(** Cumulative counters since creation / {!clear}. *)

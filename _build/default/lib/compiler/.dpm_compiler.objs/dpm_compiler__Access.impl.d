@@ -1,0 +1,1 @@
+lib/compiler/access.ml: Array Dpm_cache Dpm_ir Dpm_layout Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/compiler/access.mli: Dpm_ir Dpm_layout

@@ -1,0 +1,1 @@
+lib/compiler/dap.ml: Access Array Estimate Format List

@@ -1,0 +1,1 @@
+lib/compiler/dap.mli: Access Estimate Format

@@ -1,0 +1,1 @@
+lib/compiler/disk_alloc.ml: Array Dpm_ir Dpm_layout Dpm_util Grouping List

@@ -1,0 +1,1 @@
+lib/compiler/disk_alloc.mli: Dpm_ir Dpm_layout Grouping

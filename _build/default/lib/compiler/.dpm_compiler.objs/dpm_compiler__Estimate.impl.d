@@ -1,0 +1,1 @@
+lib/compiler/estimate.ml: Array Dpm_cache Dpm_disk Dpm_ir Dpm_layout Dpm_util List Option

@@ -1,0 +1,1 @@
+lib/compiler/estimate.mli: Dpm_disk Dpm_ir Dpm_layout

@@ -1,0 +1,1 @@
+lib/compiler/fission.ml: Dpm_ir Grouping Hashtbl List Option

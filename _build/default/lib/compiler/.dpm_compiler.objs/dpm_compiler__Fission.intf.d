@@ -1,0 +1,1 @@
+lib/compiler/fission.mli: Dpm_ir Grouping

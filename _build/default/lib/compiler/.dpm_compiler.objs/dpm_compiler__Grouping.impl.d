@@ -1,0 +1,1 @@
+lib/compiler/grouping.ml: Array Dpm_ir Hashtbl List String

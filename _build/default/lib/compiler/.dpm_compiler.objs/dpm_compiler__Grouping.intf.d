@@ -1,0 +1,1 @@
+lib/compiler/grouping.mli: Dpm_ir

@@ -1,0 +1,1 @@
+lib/compiler/insertion.ml: Array Dap Dpm_disk Dpm_ir Dpm_util Estimate Hashtbl List Option

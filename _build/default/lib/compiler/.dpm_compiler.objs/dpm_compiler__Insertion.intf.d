@@ -1,0 +1,1 @@
+lib/compiler/insertion.mli: Dap Dpm_disk Dpm_ir Estimate

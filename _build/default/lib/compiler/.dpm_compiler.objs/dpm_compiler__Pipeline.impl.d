@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Access Dap Disk_alloc Dpm_ir Dpm_layout Estimate Fission Grouping Insertion Tiling

@@ -1,0 +1,1 @@
+lib/compiler/pipeline.mli: Dap Dpm_disk Dpm_ir Dpm_layout Estimate Insertion

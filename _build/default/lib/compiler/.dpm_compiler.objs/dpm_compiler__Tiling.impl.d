@@ -1,0 +1,1 @@
+lib/compiler/tiling.ml: Dpm_ir Dpm_layout Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/compiler/tiling.mli: Dpm_ir Dpm_layout

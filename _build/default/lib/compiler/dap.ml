@@ -1,0 +1,114 @@
+type state = Idle | Active
+
+type window = {
+  state : state;
+  start_item : int;
+  start_ord : int;
+  end_item : int;
+  end_ord : int;
+  t_start : float;
+  t_end : float;
+  requests : int;
+  min_spacing : float;
+}
+
+type t = { ndisks : int; windows : window list array }
+
+let build (activities : Access.t list) (est : Estimate.t) =
+  let ndisks =
+    match activities with
+    | [] -> invalid_arg "Dap.build: empty program"
+    | a :: _ -> Array.length a.Access.per_disk
+  in
+  let windows = Array.make ndisks [] in
+  for disk = 0 to ndisks - 1 do
+    (* Emit per-iteration states in global order, merging runs. *)
+    let acc = ref [] in
+    let flush (state, si, so, ei, eo, requests, spacing) =
+      let t_start = Estimate.iteration_start est ~item:si ~ordinal:so in
+      let t_end =
+        (* End = start of iteration (ei, eo), or total time at the end. *)
+        if
+          ei >= Array.length est.Estimate.starts
+          || eo >= Array.length est.Estimate.starts.(ei)
+        then est.Estimate.total
+        else Estimate.iteration_start est ~item:ei ~ordinal:eo
+      in
+      acc :=
+        {
+          state;
+          start_item = si;
+          start_ord = so;
+          end_item = ei;
+          end_ord = eo;
+          t_start;
+          t_end;
+          requests;
+          min_spacing = spacing;
+        }
+        :: !acc
+    in
+    let current = ref None in
+    let note item ord state count =
+      let spacing =
+        if count <= 0 then infinity
+        else est.Estimate.durations.(item).(ord) /. float_of_int count
+      in
+      match !current with
+      | None -> current := Some (state, item, ord, item, ord, count, spacing)
+      (* Active windows do not merge across top-level items: distinct
+         nests are distinct phases with their own request densities, and
+         the serving-speed selection must not average them.  Idle windows
+         do merge — a disk idle across several nests is one long gap. *)
+      | Some (s, si, so, _, _, n, sp)
+        when s = state && (s = Idle || si = item) ->
+          current := Some (s, si, so, item, ord, n + count, min sp spacing)
+      | Some (s, si, so, ei, eo, n, sp) ->
+          (* Close the previous window at the start of this iteration. *)
+          ignore (ei, eo);
+          flush (s, si, so, item, ord, n, sp);
+          current := Some (state, item, ord, item, ord, count, spacing)
+    in
+    List.iter
+      (fun (a : Access.t) ->
+        let active_flags = Array.make a.Access.iterations false in
+        List.iter
+          (fun (lo, hi) ->
+            for o = lo to hi do
+              active_flags.(o) <- true
+            done)
+          a.Access.per_disk.(disk);
+        Array.iteri
+          (fun ord active ->
+            note a.Access.item ord
+              (if active then Active else Idle)
+              a.Access.miss_counts.(disk).(ord))
+          active_flags)
+      activities;
+    (match !current with
+    | None -> ()
+    | Some (s, si, so, _, _, n, sp) ->
+        let nitems = Array.length est.Estimate.starts in
+        flush (s, si, so, nitems, 0, n, sp));
+    windows.(disk) <- List.rev !acc
+  done;
+  { ndisks; windows }
+
+let idle_windows t ~disk =
+  List.filter (fun w -> w.state = Idle) t.windows.(disk)
+
+let entries t ~disk =
+  List.map (fun w -> (w.start_item, w.start_ord, w.state)) t.windows.(disk)
+
+let pp_disk activities ppf (t, disk) =
+  let value item ord =
+    match List.nth_opt activities item with
+    | Some a -> Access.value_of_ordinal a ord
+    | None -> ord
+  in
+  List.iter
+    (fun (item, ord, state) ->
+      Format.fprintf ppf "< Nest %d, iteration %d, %s >@," item
+        (value item ord)
+        (match state with Idle -> "idle" | Active -> "active"))
+    (entries t ~disk)

@@ -1,0 +1,83 @@
+module Layout = Dpm_layout
+
+let ranges ~ndisks bytes =
+  let n = Array.length bytes in
+  if n = 0 then [||]
+  else if n > ndisks then
+    invalid_arg "Disk_alloc.ranges: more array groups than disks"
+  else begin
+    let total = Array.fold_left ( + ) 0 bytes in
+    let total = if total = 0 then n else total in
+    (* Ideal shares, floored, with one disk guaranteed per group. *)
+    let shares =
+      Array.map
+        (fun b ->
+          let exact =
+            float_of_int b /. float_of_int total *. float_of_int ndisks
+          in
+          max 1 (int_of_float exact))
+        bytes
+    in
+    (* Largest-remainder correction to make the counts sum to ndisks. *)
+    let rec fix () =
+      let sum = Array.fold_left ( + ) 0 shares in
+      if sum < ndisks then begin
+        (* Give a disk to the group with the largest deficit. *)
+        let deficit i =
+          (float_of_int bytes.(i) /. float_of_int total *. float_of_int ndisks)
+          -. float_of_int shares.(i)
+        in
+        let best = ref 0 in
+        for i = 1 to n - 1 do
+          if deficit i > deficit !best then best := i
+        done;
+        shares.(!best) <- shares.(!best) + 1;
+        fix ()
+      end
+      else if sum > ndisks then begin
+        (* Take a disk from the group with the largest surplus, never
+           dropping below one. *)
+        let surplus i =
+          if shares.(i) <= 1 then neg_infinity
+          else
+            float_of_int shares.(i)
+            -. (float_of_int bytes.(i) /. float_of_int total
+               *. float_of_int ndisks)
+        in
+        let best = ref 0 in
+        for i = 1 to n - 1 do
+          if surplus i > surplus !best then best := i
+        done;
+        shares.(!best) <- shares.(!best) - 1;
+        fix ()
+      end
+    in
+    fix ();
+    let result = Array.make n (0, 0) in
+    let cursor = ref 0 in
+    Array.iteri
+      (fun i c ->
+        result.(i) <- (!cursor, c);
+        cursor := !cursor + c)
+      shares;
+    result
+  end
+
+let plan ?(stripe_size = Dpm_util.Units.kib 64) ~ndisks (p : Dpm_ir.Program.t)
+    grouping =
+  let bytes = Grouping.group_bytes p grouping in
+  let group_ranges = ranges ~ndisks bytes in
+  let entries =
+    List.map
+      (fun (decl : Dpm_ir.Array_decl.t) ->
+        let g = Grouping.group_of grouping decl.name in
+        let start_disk, count = group_ranges.(g) in
+        {
+          Layout.Plan.decl;
+          striping =
+            Layout.Striping.make ~start_disk ~stripe_factor:count ~stripe_size;
+          order = Layout.Plan.Row_major;
+        })
+      p.arrays
+  in
+  Layout.Plan.make ~ndisks entries

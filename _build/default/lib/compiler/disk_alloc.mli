@@ -1,0 +1,24 @@
+(** Proportional disk allocation (paper Figure 11, last phase).
+
+    "We distribute the available disks across the array groups based on
+    the total amount of data in each group; i.e., more data an array
+    group has, more disks it is assigned in a proportional manner."
+    Groups receive disjoint, consecutive disk ranges (largest-remainder
+    apportionment, at least one disk per group when there are enough
+    disks); every array of a group is then striped over exactly its
+    group's disks. *)
+
+val ranges : ndisks:int -> int array -> (int * int) array
+(** [ranges ~ndisks bytes] apportions [ndisks] disks to groups with the
+    given data sizes; returns per-group [(start_disk, count)].  Raises
+    [Invalid_argument] when there are more groups than disks. *)
+
+val plan :
+  ?stripe_size:int ->
+  ndisks:int ->
+  Dpm_ir.Program.t ->
+  Grouping.t ->
+  Dpm_layout.Plan.t
+(** Build the transformed layout: each array striped over its group's
+    disk range with the given stripe size (default: the paper's 64 KB).
+    Storage order is row-major for every array. *)

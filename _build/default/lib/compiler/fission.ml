@@ -1,0 +1,64 @@
+module Ir = Dpm_ir
+
+let stmt_groups grouping l =
+  List.sort_uniq compare
+    (List.map (Grouping.stmt_group grouping) (Ir.Loop.stmts l))
+
+let fissionable grouping l = List.length (stmt_groups grouping l) > 1
+
+(* Copy of the nest keeping only statements of group [g]; inner loops that
+   end up empty disappear.  Power-management calls are preserved in every
+   slice containing statements (there are none before insertion, which is
+   when fission runs). *)
+let rec filter_loop grouping g (l : Ir.Loop.t) : Ir.Loop.t option =
+  let body =
+    List.filter_map
+      (fun node ->
+        match node with
+        | Ir.Loop.Stmt s ->
+            if Grouping.stmt_group grouping s = g then Some node else None
+        | Ir.Loop.Call _ -> Some node
+        | Ir.Loop.For inner ->
+            Option.map (fun x -> Ir.Loop.For x) (filter_loop grouping g inner))
+      l.body
+  in
+  let has_stmt =
+    List.exists
+      (fun n ->
+        match n with
+        | Ir.Loop.Stmt _ -> true
+        | Ir.Loop.For inner -> Ir.Loop.stmts inner <> []
+        | Ir.Loop.Call _ -> false)
+      body
+  in
+  if has_stmt then Some { l with body } else None
+
+let fission_nest grouping l =
+  let groups_present =
+    (* In order of first statement occurrence. *)
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun s ->
+        let g = Grouping.stmt_group grouping s in
+        if Hashtbl.mem seen g then None
+        else begin
+          Hashtbl.add seen g ();
+          Some g
+        end)
+      (Ir.Loop.stmts l)
+  in
+  match groups_present with
+  | [] | [ _ ] -> [ l ]
+  | gs -> List.filter_map (fun g -> filter_loop grouping g l) gs
+
+let apply (p : Ir.Program.t) grouping =
+  let body =
+    List.concat_map
+      (fun node ->
+        match node with
+        | Ir.Loop.For l ->
+            List.map (fun l' -> Ir.Loop.For l') (fission_nest grouping l)
+        | Ir.Loop.Stmt _ | Ir.Loop.Call _ -> [ node ])
+      p.Ir.Program.body
+  in
+  Ir.Program.with_body p body

@@ -1,0 +1,22 @@
+(** Layout-aware loop distribution (paper Figure 11).
+
+    Each fissionable nest is distributed into one loop per array group, so
+    that during the execution of one resulting loop only the disks holding
+    that group's arrays are touched.  Legality is structural: statements
+    sharing (directly or transitively) any array are in the same group and
+    therefore stay in the same loop, so no dependence ever crosses the
+    distribution.
+
+    A nest is {e fissionable} when its statements span more than one
+    group — the paper notes wupwise and galgel "do not contain any
+    fissionable loop nests". *)
+
+val fissionable : Grouping.t -> Dpm_ir.Loop.t -> bool
+
+val fission_nest : Grouping.t -> Dpm_ir.Loop.t -> Dpm_ir.Loop.t list
+(** Distribute one nest by group, in order of each group's first
+    statement; empty loops are dropped.  Returns the singleton list when
+    the nest is not fissionable. *)
+
+val apply : Dpm_ir.Program.t -> Grouping.t -> Dpm_ir.Program.t
+(** Distribute every fissionable top-level nest. *)

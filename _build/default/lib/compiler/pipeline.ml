@@ -1,0 +1,49 @@
+type version = Orig | LF | TL | LF_DL | TL_DL | TL_ALL_DL
+
+let all_versions = [ Orig; LF; TL; LF_DL; TL_DL ]
+
+let version_name = function
+  | Orig -> "Orig"
+  | LF -> "LF"
+  | TL -> "TL"
+  | LF_DL -> "LF+DL"
+  | TL_DL -> "TL+DL"
+  | TL_ALL_DL -> "TLall+DL"
+
+let transform version (p : Dpm_ir.Program.t) plan =
+  match version with
+  | Orig -> (p, plan)
+  | LF ->
+      let grouping = Grouping.of_program p in
+      (Fission.apply p grouping, plan)
+  | LF_DL ->
+      let grouping = Grouping.of_program p in
+      let p' = Fission.apply p grouping in
+      let plan' =
+        Disk_alloc.plan ~ndisks:(Dpm_layout.Plan.ndisks plan) p grouping
+      in
+      (p', plan')
+  | TL -> Tiling.apply ~dl:false p plan
+  | TL_DL -> Tiling.apply ~dl:true p plan
+  | TL_ALL_DL -> Tiling.apply_all ~dl:true p plan
+
+type compiled = {
+  program : Dpm_ir.Program.t;
+  decisions : Insertion.decision list;
+  dap : Dap.t;
+  estimate : Estimate.t;
+  profile : Estimate.t;
+}
+
+let compile ~scheme ?(noise = 0.0) ?(seed = 42) ?cost ?cache_blocks
+    ?pm_overhead ?serve_slow ~specs (p : Dpm_ir.Program.t) plan =
+  let activities = Access.of_program_cached ?cache_blocks p plan in
+  let exact = Estimate.profile ?cost ?cache_blocks ~specs p plan in
+  let estimate =
+    if noise = 0.0 then exact else Estimate.perturb ~noise ~seed exact
+  in
+  let dap = Dap.build activities estimate in
+  let program, decisions =
+    Insertion.insert ~specs ?pm_overhead ?serve_slow scheme p dap estimate
+  in
+  { program; decisions; dap; estimate; profile = exact }

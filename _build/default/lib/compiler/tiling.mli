@@ -1,0 +1,58 @@
+(** Layout-aware loop tiling (paper Figure 12).
+
+    The most disk-costly perfect two-deep nest is tiled: tile iterators
+    walk iteration tiles sized so that one tile's data per array matches
+    one stripe unit, element iterators walk within the tile.  The
+    layout-aware variant additionally (a) transposes the storage order of
+    arrays whose access pattern does not conform to their data layout
+    ("array U2 needs to be layout-transformed from row-major to
+    column-major") and (b) sets each array's stripe size to its per-tile
+    data size, so that a tile is a stripe unit and the tile-to-disk
+    mapping is the striping's round-robin.
+
+    Following the paper, only a single nest per application is tiled
+    ("we applied it only to the most costly nest"). *)
+
+val candidate : Dpm_ir.Program.t -> Dpm_layout.Plan.t -> int option
+(** Item index of the most costly tileable nest: perfect 2-deep with
+    constant bounds, safely tileable per {!Dpm_ir.Depend.tiling_legal},
+    ranked by bytes of array data its references span. *)
+
+val tile_sizes :
+  Dpm_ir.Program.t -> stripe_size:int -> Dpm_ir.Loop.t -> int * int
+(** Square-ish tile extents so a tile of the nest's largest-element array
+    covers about one stripe unit. *)
+
+val tile_nest : t1:int -> t2:int -> Dpm_ir.Loop.t -> Dpm_ir.Loop.t
+(** The rectangular tiling transform: ["ii"]/["jj"] tile iterators
+    stepping by the tile extents, element iterators clamped with [min]
+    (paper Figure 10(b)).  Raises [Invalid_argument] if the nest is not
+    perfect 2-deep with constant bounds. *)
+
+val conforming_order :
+  Dpm_ir.Loop.t -> string -> Dpm_layout.Plan.order option
+(** Storage order making the array's fastest-varying subscript match its
+    innermost-iterated dimension, or [None] when the nest's references to
+    it are mixed or not 2-D. *)
+
+val apply :
+  dl:bool ->
+  Dpm_ir.Program.t ->
+  Dpm_layout.Plan.t ->
+  Dpm_ir.Program.t * Dpm_layout.Plan.t
+(** Tile the candidate nest (identity when none exists).  With [~dl:true]
+    also applies the layout transformation and per-array stripe-size
+    assignment. *)
+
+val apply_all :
+  dl:bool ->
+  Dpm_ir.Program.t ->
+  Dpm_layout.Plan.t ->
+  Dpm_ir.Program.t * Dpm_layout.Plan.t
+(** The paper's stated future work: tile {e every} legal perfect nest,
+    not just the most costly one.  Layout transformations are applied
+    per array at most once, in decreasing order of nest cost, so the
+    layout chosen for the most costly nest wins conflicts (the paper
+    notes "the layout determined based on this most costly nest may not
+    be preferable for the remaining nests" — apply_all resolves exactly
+    that tension). *)

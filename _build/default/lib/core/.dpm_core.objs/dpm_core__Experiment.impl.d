@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Dpm_compiler Dpm_disk Dpm_ir Dpm_layout Dpm_sim Dpm_trace Dpm_workloads Hashtbl Lazy List Scheme

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Dpm_compiler Dpm_ir Dpm_layout Dpm_sim Dpm_workloads Scheme

@@ -1,0 +1,1 @@
+lib/core/figures.ml: Dpm_compiler Dpm_disk Dpm_ir Dpm_layout Dpm_sim Dpm_trace Dpm_util Dpm_workloads Experiment Format List Printf Scheme

@@ -1,0 +1,1 @@
+lib/core/scheme.ml: List String

@@ -1,0 +1,203 @@
+module Sim = Dpm_sim
+module Compiler = Dpm_compiler
+module Trace = Dpm_trace
+module Workloads = Dpm_workloads
+
+type setup = {
+  sim : Sim.Config.t;
+  mode : Sim.Engine.mode;
+  cache_blocks : int;
+  noise : float;
+  seed : int;
+  version : Compiler.Pipeline.version;
+}
+
+let default_setup =
+  {
+    sim = Sim.Config.default;
+    mode = `Open;
+    cache_blocks = Workloads.Suite.cache_blocks;
+    noise = 0.0;
+    seed = 42;
+    version = Compiler.Pipeline.Orig;
+  }
+
+let gen_config (setup : setup) =
+  {
+    Trace.Generate.cost = Dpm_ir.Cost.default;
+    cache_blocks = setup.cache_blocks;
+  }
+
+let transformed setup p plan = Compiler.Pipeline.transform setup.version p plan
+
+let compile_cm setup scheme p plan =
+  let ischeme =
+    match scheme with
+    | Scheme.Cmtpm -> Compiler.Insertion.Tpm
+    | Scheme.Cmdrpm -> Compiler.Insertion.Drpm
+    | Scheme.Base | Scheme.Tpm | Scheme.Itpm | Scheme.Drpm | Scheme.Idrpm ->
+        invalid_arg "Experiment.compile_cm: not a compiler-managed scheme"
+  in
+  Compiler.Pipeline.compile ~scheme:ischeme ~noise:setup.noise ~seed:setup.seed
+    ~cache_blocks:setup.cache_blocks
+    ~pm_overhead:setup.sim.Sim.Config.pm_call_overhead
+    ~serve_slow:(match setup.mode with `Open -> true | `Closed -> false)
+    ~specs:setup.sim.Sim.Config.specs p plan
+
+let run_cm setup scheme p plan =
+  let compiled = compile_cm setup scheme p plan in
+  let trace =
+    Trace.Generate.run ~config:(gen_config setup)
+      compiled.Compiler.Pipeline.program plan
+  in
+  let policy =
+    match scheme with
+    | Scheme.Cmtpm -> Sim.Policy.cm_tpm
+    | Scheme.Cmdrpm | Scheme.Base | Scheme.Tpm | Scheme.Itpm | Scheme.Drpm
+    | Scheme.Idrpm ->
+        Sim.Policy.cm_drpm
+  in
+  Sim.Engine.run ~config:setup.sim ~mode:setup.mode policy trace
+
+let run_all ?(setup = default_setup) ?(schemes = Scheme.all) p plan =
+  let p, plan = transformed setup p plan in
+  let trace = lazy (Trace.Generate.run ~config:(gen_config setup) p plan) in
+  let base =
+    lazy (Sim.Engine.run ~config:setup.sim ~mode:setup.mode Sim.Policy.base (Lazy.force trace))
+  in
+  List.map
+    (fun scheme ->
+      let result =
+        match scheme with
+        | Scheme.Base -> Lazy.force base
+        | Scheme.Tpm ->
+            Sim.Engine.run ~config:setup.sim ~mode:setup.mode
+              (Sim.Policy.tpm setup.sim)
+              (Lazy.force trace)
+        | Scheme.Drpm ->
+            let t = Lazy.force trace in
+            Sim.Engine.run ~config:setup.sim ~mode:setup.mode
+              (Sim.Policy.drpm setup.sim ~ndisks:t.Trace.Trace.ndisks)
+              t
+        | Scheme.Itpm -> Sim.Oracle.itpm ~config:setup.sim (Lazy.force base)
+        | Scheme.Idrpm -> Sim.Oracle.idrpm ~config:setup.sim (Lazy.force base)
+        | Scheme.Cmtpm | Scheme.Cmdrpm -> run_cm setup scheme p plan
+      in
+      (scheme, result))
+    schemes
+
+let run ?setup scheme p plan =
+  match run_all ?setup ~schemes:[ scheme ] p plan with
+  | [ (_, r) ] -> r
+  | _ -> assert false
+
+let overlap (a0, a1) (b0, b1) = min a1 b1 -. max a0 b0
+
+let misprediction_pct ?(setup = default_setup) p plan =
+  let p, plan = transformed setup p plan in
+  let trace = Trace.Generate.run ~config:(gen_config setup) p plan in
+  let base = Sim.Engine.run ~config:setup.sim ~mode:setup.mode Sim.Policy.base trace in
+  let compiled = compile_cm setup Scheme.Cmdrpm p plan in
+  let top = Dpm_disk.Rpm.max_level setup.sim.Sim.Config.specs in
+  (* Decisions are anchored at code positions; place them on the actual
+     timeline through the exact profile so that only the *speed* choice
+     (made from the noisy estimate) is judged, as in the paper. *)
+  let exact = compiled.Compiler.Pipeline.profile in
+  let actual_window (w : Compiler.Dap.window) =
+    let t0 =
+      Compiler.Estimate.iteration_start exact ~item:w.Compiler.Dap.start_item
+        ~ordinal:w.Compiler.Dap.start_ord
+    in
+    let nitems = Array.length exact.Compiler.Estimate.starts in
+    let t1 =
+      if
+        w.Compiler.Dap.end_item >= nitems
+        || w.Compiler.Dap.end_ord
+           >= Array.length exact.Compiler.Estimate.starts.(w.Compiler.Dap.end_item)
+      then exact.Compiler.Estimate.total
+      else
+        Compiler.Estimate.iteration_start exact ~item:w.Compiler.Dap.end_item
+          ~ordinal:w.Compiler.Dap.end_ord
+    in
+    (t0, t1)
+  in
+  (* Only DAP-scale idle periods are judged: the oracle also exploits
+     sub-iteration fragments no compiler placement can express, and
+     counting those would measure granularity, not prediction quality.
+     For every decision the compiler took, its speed is compared with the
+     speed an oracle knowing the *actual* gap length (from the Base
+     replay) would pick for the same context; idle periods the oracle
+     would exploit but the compiler did not act on count as mispredicted
+     as well. *)
+  let min_gap = 1.0 in
+  let specs = setup.sim.Sim.Config.specs in
+  let total = ref 0 and wrong = ref 0 in
+  for disk = 0 to trace.Trace.Trace.ndisks - 1 do
+    let oracle_gaps = Sim.Oracle.gap_plans ~config:setup.sim base ~disk in
+    let cm =
+      List.filter
+        (fun (d : Compiler.Insertion.decision) ->
+          d.disk = disk
+          &&
+          let t0, t1 = actual_window d.window in
+          t1 -. t0 >= min_gap)
+        compiled.Compiler.Pipeline.decisions
+    in
+    let matched = Hashtbl.create 8 in
+    List.iter
+      (fun (d : Compiler.Insertion.decision) ->
+        incr total;
+        let win = actual_window d.window in
+        (* The actual idle period this decision lands in. *)
+        let best = ref None in
+        List.iteri
+          (fun i ((lo, hi), _) ->
+            let ov = overlap win (lo, hi) in
+            if ov > 0.0 then
+              match !best with
+              | Some (_, bov) when bov >= ov -> ()
+              | _ -> best := Some (i, ov))
+          oracle_gaps;
+        match !best with
+        | None -> incr wrong (* acted on idleness that never materialized *)
+        | Some (i, _) ->
+            Hashtbl.replace matched i ();
+            let (lo, hi), _ = List.nth oracle_gaps i in
+            let reference =
+              Dpm_disk.Power.best_gap_plan specs ~from_level:d.from_level
+                ~to_level:d.to_level (hi -. lo)
+            in
+            if
+              d.plan.Dpm_disk.Power.level
+              <> reference.Dpm_disk.Power.level
+            then incr wrong)
+      cm;
+    (* Exploitable idle periods the compiler missed entirely. *)
+    List.iteri
+      (fun i ((lo, hi), (oplan : Dpm_disk.Power.gap_plan)) ->
+        if
+          (not (Hashtbl.mem matched i))
+          && hi -. lo >= min_gap
+          && oplan.Dpm_disk.Power.level < top
+        then begin
+          incr total;
+          incr wrong
+        end)
+      oracle_gaps
+  done;
+  if !total = 0 then 0.0
+  else 100.0 *. float_of_int !wrong /. float_of_int !total
+
+let workload ?(setup = default_setup) spec =
+  let p = Workloads.Suite.program spec in
+  let ndisks =
+    (* The subsystem is as large as the default stripe factor. *)
+    Dpm_layout.Striping.default.Dpm_layout.Striping.stripe_factor
+  in
+  ignore setup;
+  let plan = Workloads.Suite.default_plan ~ndisks p in
+  let calibrated =
+    Workloads.Suite.calibrate ~specs:Sim.Config.default.Sim.Config.specs
+      ~target_exec:spec.Workloads.Suite.exec_time_s p plan
+  in
+  (calibrated, plan)

@@ -1,0 +1,45 @@
+(** One benchmark × scheme × configuration run — the public entry point
+    that ties the whole pipeline together (paper Figure 1): compile (for
+    CM schemes), generate the trace, replay it under the scheme's policy,
+    and report energy and execution time. *)
+
+type setup = {
+  sim : Dpm_sim.Config.t;
+  mode : Dpm_sim.Engine.mode;  (** Replay model; [`Open] is the paper's. *)
+  cache_blocks : int;  (** Buffer-cache capacity in stripe units. *)
+  noise : float;  (** Compiler estimation error (CM schemes). *)
+  seed : int;  (** Determinism seed for the estimation error. *)
+  version : Dpm_compiler.Pipeline.version;  (** Code transformation. *)
+}
+
+val default_setup : setup
+(** Default simulator config, open-loop replay, the suite's 192-unit
+    cache, no estimation error, untransformed code. *)
+
+val run :
+  ?setup:setup ->
+  Scheme.t ->
+  Dpm_ir.Program.t ->
+  Dpm_layout.Plan.t ->
+  Dpm_sim.Result.t
+(** Run one scheme.  Ideal schemes are derived from an internal Base
+    replay; compiler-managed schemes run the full compilation first. *)
+
+val run_all :
+  ?setup:setup ->
+  ?schemes:Scheme.t list ->
+  Dpm_ir.Program.t ->
+  Dpm_layout.Plan.t ->
+  (Scheme.t * Dpm_sim.Result.t) list
+(** Run several schemes, sharing the trace generation and Base replay. *)
+
+val misprediction_pct :
+  ?setup:setup -> Dpm_ir.Program.t -> Dpm_layout.Plan.t -> float
+(** Table 3 metric: percentage of exploitable idle periods for which
+    CMDRPM's chosen RPM level differs from IDRPM's oracle choice (gaps the
+    oracle exploits but the compiler misses, and compiler actions on gaps
+    the oracle would leave alone, both count as mispredictions). *)
+
+val workload :
+  ?setup:setup -> Dpm_workloads.Suite.spec -> Dpm_ir.Program.t * Dpm_layout.Plan.t
+(** Calibrated program and default plan for a suite benchmark. *)

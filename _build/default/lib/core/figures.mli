@@ -1,0 +1,73 @@
+(** Regeneration of every table and figure in the paper's evaluation.
+
+    Each function runs the relevant experiments and returns the data in
+    row form plus a rendered text table; the benchmark harness prints
+    them.  Energy and time are normalized the way the paper normalizes
+    (against the Base scheme of the same configuration; Table 2 reports
+    the absolute Base numbers). *)
+
+type row = { label : string; cells : (string * float) list }
+
+type figure = {
+  id : string;  (** e.g. ["fig3"]. *)
+  title : string;
+  rows : row list;
+  rendered : string;  (** Ready-to-print text table. *)
+}
+
+val table1 : unit -> figure
+(** Simulation parameters (constants from {!Dpm_disk.Specs}). *)
+
+val table2 : unit -> figure
+(** Benchmark characteristics: measured data size, request count, base
+    energy, execution time — next to the paper's targets. *)
+
+val fig3 : unit -> figure
+(** Normalized energy, 7 schemes × 6 benchmarks. *)
+
+val fig4 : unit -> figure
+(** Normalized execution time, same grid. *)
+
+val table3 : unit -> figure
+(** Percentage of mispredicted disk speeds, CMDRPM vs IDRPM. *)
+
+val fig5 : unit -> figure
+(** swim: normalized energy vs stripe size (16..256 KB). *)
+
+val fig6 : unit -> figure
+(** swim: normalized execution time vs stripe size. *)
+
+val fig7 : unit -> figure
+(** swim: normalized energy vs stripe factor (2..16 disks). *)
+
+val fig8 : unit -> figure
+(** swim: normalized execution time vs stripe factor. *)
+
+val fig13 : unit -> figure
+(** Normalized energy of the code-transformation versions (LF, TL,
+    LF+DL, TL+DL) under CMTPM and CMDRPM, relative to the untransformed
+    Base. *)
+
+val extensions : unit -> figure
+(** Extensions beyond the paper: adaptive-threshold TPM (ATPM) and
+    multi-nest layout-aware tiling (TLall+DL, the paper's stated future
+    work), energy normalized against the untransformed Base. *)
+
+val shared_subsystem : unit -> figure
+(** Extension: swim and galgel co-scheduled on one 8-disk subsystem
+    (the paper evaluates "one benchmark program at a time").  Each CM
+    application is compiled in isolation, so their directives can fight
+    over shared disks. *)
+
+val knob_ablation : unit -> figure
+(** Sensitivity of the headline result to the modeling knobs DESIGN.md
+    introduces (on swim): per-disk queue bound, RPM modulation speed and
+    buffer-cache capacity. *)
+
+val closed_loop_ablation : unit -> figure
+(** Extension (not in the paper): the same Figure 3/4 grid under the
+    stricter closed-loop replay model, where every service delay
+    propagates into execution time. *)
+
+val all : unit -> figure list
+(** Everything above, in paper order (the ablations last). *)

@@ -1,0 +1,24 @@
+type t = Base | Tpm | Itpm | Drpm | Idrpm | Cmtpm | Cmdrpm
+
+let all = [ Base; Tpm; Itpm; Drpm; Idrpm; Cmtpm; Cmdrpm ]
+
+let name = function
+  | Base -> "Base"
+  | Tpm -> "TPM"
+  | Itpm -> "ITPM"
+  | Drpm -> "DRPM"
+  | Idrpm -> "IDRPM"
+  | Cmtpm -> "CMTPM"
+  | Cmdrpm -> "CMDRPM"
+
+let of_name s =
+  let s = String.lowercase_ascii s in
+  List.find (fun t -> String.equal (String.lowercase_ascii (name t)) s) all
+
+let is_compiler_managed = function
+  | Cmtpm | Cmdrpm -> true
+  | Base | Tpm | Itpm | Drpm | Idrpm -> false
+
+let is_ideal = function
+  | Itpm | Idrpm -> true
+  | Base | Tpm | Drpm | Cmtpm | Cmdrpm -> false

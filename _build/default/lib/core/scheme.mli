@@ -1,0 +1,20 @@
+(** The seven disk power-management schemes of the paper's §4.2. *)
+
+type t =
+  | Base  (** No power management. *)
+  | Tpm  (** Reactive threshold spin-down. *)
+  | Itpm  (** Oracle TPM (not implementable; upper bound). *)
+  | Drpm  (** Reactive dynamic RPM (Gurumurthi et al.). *)
+  | Idrpm  (** Oracle DRPM. *)
+  | Cmtpm  (** Compiler-managed TPM — this paper. *)
+  | Cmdrpm  (** Compiler-managed DRPM — this paper. *)
+
+val all : t list
+(** In the paper's presentation order. *)
+
+val name : t -> string
+val of_name : string -> t
+(** Case-insensitive; raises [Not_found]. *)
+
+val is_compiler_managed : t -> bool
+val is_ideal : t -> bool

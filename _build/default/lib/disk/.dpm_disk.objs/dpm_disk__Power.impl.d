@@ -1,0 +1,1 @@
+lib/disk/power.ml: Rpm Service Specs

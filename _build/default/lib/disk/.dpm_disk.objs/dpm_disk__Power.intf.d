@@ -1,0 +1,1 @@
+lib/disk/power.mli: Specs

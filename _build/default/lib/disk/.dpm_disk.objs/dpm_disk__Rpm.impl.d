@@ -1,0 +1,1 @@
+lib/disk/rpm.ml: Printf Specs

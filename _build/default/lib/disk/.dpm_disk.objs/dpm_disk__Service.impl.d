@@ -1,0 +1,1 @@
+lib/disk/service.ml: Rpm Specs

@@ -1,0 +1,1 @@
+lib/disk/service.mli: Specs

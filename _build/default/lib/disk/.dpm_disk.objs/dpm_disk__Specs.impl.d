@@ -1,0 +1,1 @@
+lib/disk/specs.ml: Format

@@ -1,0 +1,121 @@
+let standby (s : Specs.t) = s.p_standby
+
+let speed_fraction (s : Specs.t) ~level =
+  float_of_int (Rpm.rpm_of_level s level) /. float_of_int s.rpm_max
+
+let idle (s : Specs.t) ~level =
+  let frac = speed_fraction s ~level in
+  s.p_standby +. ((s.p_idle -. s.p_standby) *. (frac ** s.spindle_exponent))
+
+let active (s : Specs.t) ~level =
+  idle s ~level +. ((s.p_active -. s.p_idle) *. speed_fraction s ~level)
+
+let tpm_break_even (s : Specs.t) =
+  (* Solve E_down + E_up + P_standby (T - t_rt) = P_idle T for T, where
+     t_rt is the down+up round trip. *)
+  let t_rt = s.t_spin_down +. s.t_spin_up in
+  let e_transitions = s.e_spin_down +. s.e_spin_up in
+  let t = (e_transitions -. (s.p_standby *. t_rt)) /. (s.p_idle -. s.p_standby) in
+  max t t_rt
+
+type gap_plan = {
+  level : int;
+  spin_down : bool;
+  energy : float;
+  down_time : float;
+  up_time : float;
+}
+
+let baseline_gap_energy (s : Specs.t) gap =
+  s.p_idle *. max 0.0 gap
+
+let stay_plan (s : Specs.t) gap =
+  {
+    level = Rpm.max_level s;
+    spin_down = false;
+    energy = baseline_gap_energy s gap;
+    down_time = 0.0;
+    up_time = 0.0;
+  }
+
+let best_gap_plan (s : Specs.t) ~from_level ~to_level gap =
+  let gap = max 0.0 gap in
+  let hold_fallback = max from_level to_level in
+  let plan_for level =
+    let down_time =
+      Rpm.transition_time s ~from_level ~to_level:level
+    in
+    let up_time = Rpm.transition_time s ~from_level:level ~to_level in
+    if down_time +. up_time > gap then None
+    else
+      Some
+        {
+          level;
+          spin_down = false;
+          energy =
+            Rpm.transition_energy s ~from_level ~to_level:level
+            +. Rpm.transition_energy s ~from_level:level ~to_level
+            +. (idle s ~level *. (gap -. down_time -. up_time));
+          down_time;
+          up_time;
+        }
+  in
+  let fallback =
+    (* Not even holding an endpoint level fits: hold the higher endpoint
+       and charge the direct modulation on top. *)
+    {
+      level = hold_fallback;
+      spin_down = false;
+      energy =
+        (idle s ~level:hold_fallback *. gap)
+        +. Rpm.transition_energy s ~from_level ~to_level;
+      down_time = 0.0;
+      up_time = Rpm.transition_time s ~from_level ~to_level;
+    }
+  in
+  let best = ref fallback in
+  let have_feasible = ref false in
+  for level = 0 to Rpm.max_level s do
+    match plan_for level with
+    | None -> ()
+    | Some plan ->
+        if (not !have_feasible) || plan.energy < !best.energy then begin
+          best := plan;
+          have_feasible := true
+        end
+  done;
+  !best
+
+let best_drpm_plan (s : Specs.t) gap =
+  let top = Rpm.max_level s in
+  let plan = best_gap_plan s ~from_level:top ~to_level:top gap in
+  (* Preserve the historical tie-break: stay at full speed unless the
+     plan strictly saves. *)
+  if plan.energy < baseline_gap_energy s gap then plan else stay_plan s gap
+
+let best_service_level (s : Specs.t) ~budget ~bytes =
+  let top = Rpm.max_level s in
+  let rec scan level =
+    if level > top then top
+    else if Service.request_time s ~level ~bytes <= budget then level
+    else scan (level + 1)
+  in
+  scan 0
+
+let best_tpm_plan (s : Specs.t) gap =
+  let stay = stay_plan s gap in
+  if gap < tpm_break_even s then stay
+  else
+    let energy =
+      s.e_spin_down +. s.e_spin_up
+      +. (s.p_standby *. (gap -. s.t_spin_down -. s.t_spin_up))
+    in
+    if energy >= stay.energy then stay
+    else
+      {
+        level = Rpm.max_level s;
+        spin_down = true;
+        energy;
+        down_time = s.t_spin_down;
+        up_time = s.t_spin_up;
+      }

@@ -1,0 +1,59 @@
+(** Power and energy model, including the per-gap optimization that the
+    ideal and compiler-managed schemes share.
+
+    Per-level power follows the DRPM spindle model: the power above the
+    standby floor scales as [(rpm / rpm_max) ^ spindle_exponent]; the
+    active increment (arm and channel electronics) scales linearly with
+    speed. *)
+
+val standby : Specs.t -> float
+
+val idle : Specs.t -> level:int -> float
+(** Idle power at an RPM level; equals [p_idle] at the top level. *)
+
+val active : Specs.t -> level:int -> float
+(** Power while servicing at an RPM level; equals [p_active] at the top
+    level. *)
+
+val tpm_break_even : Specs.t -> float
+(** Minimum idle-period length (seconds) for which spinning down saves
+    energy, counting transition energies and times:
+    the [T] solving [E_down + E_up + P_standby (T - t_down - t_up)
+    = P_idle T].  ≈ 15.2 s + transition round trip for the Ultrastar. *)
+
+(** Outcome of optimizing one idle gap. *)
+type gap_plan = {
+  level : int;  (** Level to drop to (DRPM) — [max_level] means stay. *)
+  spin_down : bool;  (** TPM alternative: go to standby. *)
+  energy : float;  (** Energy spent over the gap under the plan, J. *)
+  down_time : float;  (** Transition time at the start of the gap, s. *)
+  up_time : float;  (** Pre-activation lead time before the gap ends, s. *)
+}
+
+val baseline_gap_energy : Specs.t -> float -> float
+(** Energy of sitting idle at full speed for the gap. *)
+
+val best_gap_plan :
+  Specs.t -> from_level:int -> to_level:int -> float -> gap_plan
+(** [best_gap_plan specs ~from_level ~to_level gap] chooses the level to
+    hold during an idle gap that starts with the disk at [from_level] and
+    must end with it at [to_level] (the speed the next phase is served
+    at): minimizes transition plus residency energy subject to both
+    modulations fitting inside the gap.  When no intermediate level fits,
+    the plan holds the higher of the two endpoint levels and charges the
+    direct transition. *)
+
+val best_drpm_plan : Specs.t -> float -> gap_plan
+(** [best_drpm_plan specs gap] is {!best_gap_plan} anchored at full speed
+    on both ends — the classic spin-down-shaped decision. *)
+
+val best_service_level :
+  Specs.t -> budget:float -> bytes:int -> int
+(** Lowest RPM level whose request service time stays within the given
+    per-request time budget (full speed when none does): how both the
+    oracle and the compiler pick the speed an {e active} phase is served
+    at without delaying the application. *)
+
+val best_tpm_plan : Specs.t -> float -> gap_plan
+(** Same decision for a TPM disk: spin down iff the gap exceeds the
+    break-even threshold (with the spin-up completing inside the gap). *)

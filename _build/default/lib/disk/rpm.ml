@@ -1,0 +1,27 @@
+let num_levels (s : Specs.t) = ((s.rpm_max - s.rpm_min) / s.rpm_step) + 1
+let max_level s = num_levels s - 1
+
+let rpm_of_level (s : Specs.t) l =
+  if l < 0 || l > max_level s then
+    invalid_arg (Printf.sprintf "Rpm.rpm_of_level: level %d out of range" l);
+  s.rpm_min + (l * s.rpm_step)
+
+let level_of_rpm (s : Specs.t) rpm =
+  if rpm <= s.rpm_min then 0
+  else if rpm >= s.rpm_max then max_level s
+  else ((rpm - s.rpm_min + s.rpm_step - 1) / s.rpm_step)
+
+let transition_time (s : Specs.t) ~from_level ~to_level =
+  let r1 = rpm_of_level s from_level and r2 = rpm_of_level s to_level in
+  float_of_int (abs (r1 - r2)) *. s.rpm_transition_per_rpm
+
+let transition_energy (s : Specs.t) ~from_level ~to_level =
+  let faster = max from_level to_level in
+  (* Forward reference into Power would be circular; replicate the idle
+     formula here (tested for agreement with Power.idle). *)
+  let rpm = float_of_int (rpm_of_level s faster) in
+  let frac = rpm /. float_of_int s.rpm_max in
+  let p_idle_faster =
+    s.p_standby +. ((s.p_idle -. s.p_standby) *. (frac ** s.spindle_exponent))
+  in
+  p_idle_faster *. transition_time s ~from_level ~to_level

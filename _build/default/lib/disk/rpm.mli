@@ -1,0 +1,23 @@
+(** The DRPM level ladder.
+
+    Levels index the supported rotational speeds from slowest to fastest:
+    level 0 = [rpm_min], the top level = [rpm_max], spaced by
+    [rpm_step] (Table 1: 3,000 → 15,000 in 1,200-RPM steps, 11 levels). *)
+
+val num_levels : Specs.t -> int
+val max_level : Specs.t -> int
+(** [num_levels - 1]. *)
+
+val rpm_of_level : Specs.t -> int -> int
+(** Raises [Invalid_argument] for out-of-range levels. *)
+
+val level_of_rpm : Specs.t -> int -> int
+(** Nearest level at or above the given RPM, clamped to the ladder. *)
+
+val transition_time : Specs.t -> from_level:int -> to_level:int -> float
+(** Seconds to modulate between two levels; 0 for equal levels;
+    proportional to the RPM difference. *)
+
+val transition_energy : Specs.t -> from_level:int -> to_level:int -> float
+(** The paper's conservative assumption: the transition draws the idle
+    power of the {e faster} level involved for the whole transition. *)

@@ -1,0 +1,12 @@
+let seek_time (s : Specs.t) = s.avg_seek
+
+let rotation_time (s : Specs.t) ~level =
+  let rpm = float_of_int (Rpm.rpm_of_level s level) in
+  s.avg_rotation *. (float_of_int s.rpm_max /. rpm)
+
+let transfer_time (s : Specs.t) ~level ~bytes =
+  let frac = float_of_int (Rpm.rpm_of_level s level) /. float_of_int s.rpm_max in
+  float_of_int bytes /. (s.transfer_rate *. frac)
+
+let request_time s ~level ~bytes =
+  seek_time s +. rotation_time s ~level +. transfer_time s ~level ~bytes

@@ -1,0 +1,22 @@
+(** Request service-time model.
+
+    A request costs an average seek (speed-independent head movement), a
+    rotational latency that scales inversely with the current RPM, and a
+    media transfer whose rate scales linearly with RPM — the standard
+    DRPM service model.  At full speed and 64 KB this reproduces the
+    6.59 ms/request implied by the paper's Table 2 base numbers
+    (3.4 + 2.0 + 64 KB / 55 MB/s). *)
+
+val seek_time : Specs.t -> float
+(** Average seek; the model charges it on every request (the paper's
+    workloads interleave arrays on shared disks, defeating sequential
+    head locality). *)
+
+val rotation_time : Specs.t -> level:int -> float
+(** Average rotational latency at an RPM level (half a revolution scaled
+    from the datasheet's full-speed figure). *)
+
+val transfer_time : Specs.t -> level:int -> bytes:int -> float
+
+val request_time : Specs.t -> level:int -> bytes:int -> float
+(** Seek + rotation + transfer. *)

@@ -1,0 +1,62 @@
+type t = {
+  model_name : string;
+  capacity_bytes : int;
+  rpm_max : int;
+  avg_seek : float;
+  avg_rotation : float;
+  transfer_rate : float;
+  p_active : float;
+  p_idle : float;
+  p_standby : float;
+  e_spin_down : float;
+  t_spin_down : float;
+  e_spin_up : float;
+  t_spin_up : float;
+  rpm_min : int;
+  rpm_step : int;
+  rpm_transition_per_rpm : float;
+  spindle_exponent : float;
+  drpm_window : int;
+}
+
+let ultrastar_36z15 =
+  {
+    model_name = "IBM Ultrastar 36Z15";
+    capacity_bytes = 18 * 1024 * 1024 * 1024;
+    rpm_max = 15_000;
+    avg_seek = 3.4e-3;
+    avg_rotation = 2.0e-3;
+    transfer_rate = 55.0 *. 1024.0 *. 1024.0;
+    p_active = 13.5;
+    p_idle = 10.2;
+    p_standby = 2.5;
+    e_spin_down = 13.0;
+    t_spin_down = 1.5;
+    e_spin_up = 135.0;
+    t_spin_up = 10.9;
+    rpm_min = 3_000;
+    rpm_step = 1_200;
+    rpm_transition_per_rpm = 0.10e-3;
+    spindle_exponent = 2.8;
+    drpm_window = 30;
+  }
+
+let pp ppf t =
+  let line fmt = Format.fprintf ppf fmt in
+  line "Disk Model              %s@," t.model_name;
+  line "Storage Capacity        %d GB@," (t.capacity_bytes / (1024 * 1024 * 1024));
+  line "RPM                     %d@," t.rpm_max;
+  line "Average seek time       %.1f msec@," (t.avg_seek *. 1e3);
+  line "Average rotation time   %.1f msec@," (t.avg_rotation *. 1e3);
+  line "Internal transfer rate  %.0f MB/sec@," (t.transfer_rate /. (1024. *. 1024.));
+  line "Power (active)          %.1f W@," t.p_active;
+  line "Power (idle)            %.1f W@," t.p_idle;
+  line "Power (standby)         %.1f W@," t.p_standby;
+  line "Energy (spin down)      %.0f J@," t.e_spin_down;
+  line "Time (spin down)        %.1f sec@," t.t_spin_down;
+  line "Energy (spin up)        %.0f J@," t.e_spin_up;
+  line "Time (spin up)          %.1f sec@," t.t_spin_up;
+  line "Maximum RPM level       %d RPM@," t.rpm_max;
+  line "Minimum RPM level       %d RPM@," t.rpm_min;
+  line "RPM Step-Size           %d RPM@," t.rpm_step;
+  line "Window size             %d" t.drpm_window

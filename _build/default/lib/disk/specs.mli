@@ -1,0 +1,40 @@
+(** Disk datasheet parameters (paper Table 1).
+
+    All experiments model the IBM Ultrastar 36Z15, a 15,000-RPM SCSI
+    server disk.  The DRPM-specific fields follow Gurumurthi et al.
+    (ISCA'03): a ladder of RPM levels, per-level spindle power scaling as
+    a power of the rotational speed, and level-transition times far below
+    TPM spin-up times. *)
+
+type t = {
+  model_name : string;
+  capacity_bytes : int;
+  rpm_max : int;  (** 15,000 RPM. *)
+  avg_seek : float;  (** Average seek time, seconds (3.4 ms). *)
+  avg_rotation : float;
+      (** Average rotational latency at [rpm_max], seconds (2.0 ms). *)
+  transfer_rate : float;  (** Internal rate at [rpm_max], bytes/s (55 MB/s). *)
+  p_active : float;  (** Power while servicing at [rpm_max], W (13.5). *)
+  p_idle : float;  (** Power while idle at [rpm_max], W (10.2). *)
+  p_standby : float;  (** Power spun down, W (2.5). *)
+  e_spin_down : float;  (** Energy idle→standby, J (13). *)
+  t_spin_down : float;  (** Time idle→standby, s (1.5). *)
+  e_spin_up : float;  (** Energy standby→active, J (135). *)
+  t_spin_up : float;  (** Time standby→active, s (10.9). *)
+  rpm_min : int;  (** Lowest DRPM level, 3,000 RPM. *)
+  rpm_step : int;  (** Ladder step, 1,200 RPM. *)
+  rpm_transition_per_rpm : float;
+      (** Seconds per RPM of speed change (0.10 ms/RPM: one 1,200-RPM step
+          takes 120 ms and the full 3,000→15,000 swing ≈ 1.2 s, "much
+          smaller" than the 10.9 s spin-up, as the paper requires). *)
+  spindle_exponent : float;
+      (** Spindle power ∝ (RPM)^e above the standby floor; e = 2.8
+          following the DRPM air-drag model. *)
+  drpm_window : int;  (** Requests per DRPM observation window (30). *)
+}
+
+val ultrastar_36z15 : t
+(** The paper's default disk. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the Table 1 parameter block. *)

@@ -1,0 +1,1 @@
+lib/ir/array_decl.ml: Format List Printf String

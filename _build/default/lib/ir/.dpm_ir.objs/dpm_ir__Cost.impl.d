@@ -1,0 +1,1 @@
+lib/ir/cost.ml: Expr Float List Loop Stmt String

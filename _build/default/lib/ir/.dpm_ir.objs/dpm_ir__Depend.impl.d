@@ -1,0 +1,1 @@
+lib/ir/depend.ml: Expr Hashtbl List Loop Option Reference Stmt String

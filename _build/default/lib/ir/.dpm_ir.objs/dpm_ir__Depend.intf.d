@@ -1,0 +1,1 @@
+lib/ir/depend.mli: Expr Loop Reference Stmt

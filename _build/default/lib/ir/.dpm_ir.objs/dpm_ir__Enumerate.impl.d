@@ -1,0 +1,1 @@
+lib/ir/enumerate.ml: Expr Hashtbl List Loop Program Stmt

@@ -1,0 +1,1 @@
+lib/ir/enumerate.mli: Loop Program Stmt

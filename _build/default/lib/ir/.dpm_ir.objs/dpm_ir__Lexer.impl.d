@@ -1,0 +1,1 @@
+lib/ir/lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/ir/loop.ml: Expr Format Hashtbl List Stmt String

@@ -1,0 +1,1 @@
+lib/ir/loop.mli: Expr Format Stmt

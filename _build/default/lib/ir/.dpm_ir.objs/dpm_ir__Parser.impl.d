@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array_decl Expr Lexer List Loop Printf Program Reference Stmt

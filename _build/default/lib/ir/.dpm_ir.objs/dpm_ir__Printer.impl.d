@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array_decl Expr Format List Loop Printf Program Reference Stmt String

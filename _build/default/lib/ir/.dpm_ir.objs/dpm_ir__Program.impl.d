@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array_decl Dpm_util Expr Format Hashtbl List Loop Reference Stmt String

@@ -1,0 +1,1 @@
+lib/ir/program.mli: Array_decl Format Loop Stmt

@@ -1,0 +1,1 @@
+lib/ir/reference.ml: Expr Format List String

@@ -1,0 +1,1 @@
+lib/ir/reference.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Format List Option Printf Reference

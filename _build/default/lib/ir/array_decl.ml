@@ -1,0 +1,40 @@
+type t = { name : string; dims : int list; elem_size : int }
+
+let make ~name ~dims ~elem_size =
+  if dims = [] then invalid_arg "Array_decl.make: zero-rank array";
+  List.iter
+    (fun d -> if d <= 0 then invalid_arg "Array_decl.make: non-positive extent")
+    dims;
+  if elem_size <= 0 then invalid_arg "Array_decl.make: non-positive element size";
+  { name; dims; elem_size }
+
+let rank t = List.length t.dims
+let elements t = List.fold_left ( * ) 1 t.dims
+let size_bytes t = elements t * t.elem_size
+
+let check_index t idx =
+  if List.length idx <> rank t then
+    invalid_arg ("Array_decl: wrong index rank for " ^ t.name);
+  List.iter2
+    (fun i d ->
+      if i < 0 || i >= d then
+        invalid_arg
+          (Printf.sprintf "Array_decl: index %d out of range [0,%d) for %s" i d
+             t.name))
+    idx t.dims
+
+let linearize t idx =
+  check_index t idx;
+  List.fold_left2 (fun acc i d -> (acc * d) + i) 0 idx t.dims
+
+let linearize_colmajor t idx =
+  check_index t idx;
+  (* Fold from the innermost (last) dimension outwards. *)
+  List.fold_left2
+    (fun acc i d -> (acc * d) + i)
+    0 (List.rev idx) (List.rev t.dims)
+
+let pp ppf t =
+  Format.fprintf ppf "array %s%s : %dB" t.name
+    (String.concat "" (List.map (Printf.sprintf "[%d]") t.dims))
+    t.elem_size

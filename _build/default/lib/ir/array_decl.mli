@@ -1,0 +1,38 @@
+(** Array declarations.
+
+    Every dataset the paper's benchmarks manipulate is a disk-resident
+    multi-dimensional array stored in one file.  A declaration fixes the
+    logical shape; how the file is striped over disks is a separate
+    concern ({!Dpm_layout.Plan}).
+
+    The IR is deliberately coarse-grained: one "element" stands for a
+    contiguous chunk of the real array (e.g. a row segment), so that
+    iteration counts stay in the tens of thousands while byte-level sizes
+    match the paper's Table 2.  [elem_size] carries the chunk size in
+    bytes. *)
+
+type t = {
+  name : string;
+  dims : int list;  (** Extent of each dimension, outermost first. *)
+  elem_size : int;  (** Bytes per element (modeling granularity). *)
+}
+
+val make : name:string -> dims:int list -> elem_size:int -> t
+(** Validates that all extents and the element size are positive. *)
+
+val rank : t -> int
+val elements : t -> int
+(** Product of the extents. *)
+
+val size_bytes : t -> int
+(** [elements t * t.elem_size]. *)
+
+val linearize : t -> int list -> int
+(** [linearize t idx] is the row-major element offset of index vector
+    [idx] (0-based, outermost first).  Raises [Invalid_argument] if the
+    vector has the wrong rank or an index is out of range. *)
+
+val linearize_colmajor : t -> int list -> int
+(** Column-major linearization; used after a layout transformation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,133 @@
+type t =
+  | Const of int
+  | Var of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of int * t
+  | Div of t * int
+  | Min of t * t
+  | Max of t * t
+
+let const n = Const n
+let var x = Var x
+let scale k e = Mul (k, e)
+let min_ a b = Min (a, b)
+let max_ a b = Max (a, b)
+
+let rec eval env e =
+  match e with
+  | Const n -> n
+  | Var x -> (
+      try env x
+      with Not_found -> invalid_arg ("Expr.eval: unbound iterator " ^ x))
+  | Add (a, b) -> eval env a + eval env b
+  | Sub (a, b) -> eval env a - eval env b
+  | Mul (k, a) -> k * eval env a
+  | Div (a, k) ->
+      if k <= 0 then invalid_arg "Expr.eval: division by non-positive constant";
+      (* Floor division, also correct for negative numerators. *)
+      let n = eval env a in
+      if n >= 0 then n / k else -(((-n) + k - 1) / k)
+  | Min (a, b) -> min (eval env a) (eval env b)
+  | Max (a, b) -> max (eval env a) (eval env b)
+
+let rec bounds range e =
+  match e with
+  | Const n -> (n, n)
+  | Var x -> range x
+  | Add (a, b) ->
+      let la, ha = bounds range a and lb, hb = bounds range b in
+      (la + lb, ha + hb)
+  | Sub (a, b) ->
+      let la, ha = bounds range a and lb, hb = bounds range b in
+      (la - hb, ha - lb)
+  | Mul (k, a) ->
+      let la, ha = bounds range a in
+      if k >= 0 then (k * la, k * ha) else (k * ha, k * la)
+  | Div (a, k) ->
+      if k <= 0 then invalid_arg "Expr.bounds: division by non-positive constant";
+      let fdiv n = if n >= 0 then n / k else -(((-n) + k - 1) / k) in
+      let la, ha = bounds range a in
+      (fdiv la, fdiv ha)
+  | Min (a, b) ->
+      let la, ha = bounds range a and lb, hb = bounds range b in
+      (min la lb, min ha hb)
+  | Max (a, b) ->
+      let la, ha = bounds range a and lb, hb = bounds range b in
+      (max la lb, max ha hb)
+
+let vars e =
+  let rec go acc = function
+    | Const _ -> acc
+    | Var x -> x :: acc
+    | Add (a, b) | Sub (a, b) | Min (a, b) | Max (a, b) -> go (go acc a) b
+    | Mul (_, a) | Div (a, _) -> go acc a
+  in
+  List.sort_uniq compare (go [] e)
+
+let rec subst x by e =
+  match e with
+  | Const _ -> e
+  | Var y -> if String.equal x y then by else e
+  | Add (a, b) -> Add (subst x by a, subst x by b)
+  | Sub (a, b) -> Sub (subst x by a, subst x by b)
+  | Mul (k, a) -> Mul (k, subst x by a)
+  | Div (a, k) -> Div (subst x by a, k)
+  | Min (a, b) -> Min (subst x by a, subst x by b)
+  | Max (a, b) -> Max (subst x by a, subst x by b)
+
+let shift x k e = subst x (Add (Var x, Const k)) e
+
+let rec simplify e =
+  match e with
+  | Const _ | Var _ -> e
+  | Add (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (x + y)
+      | Const 0, b' -> b'
+      | a', Const 0 -> a'
+      | a', b' -> Add (a', b'))
+  | Sub (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (x - y)
+      | a', Const 0 -> a'
+      | a', b' -> Sub (a', b'))
+  | Mul (k, a) -> (
+      match (k, simplify a) with
+      | 0, _ -> Const 0
+      | 1, a' -> a'
+      | k, Const x -> Const (k * x)
+      | k, a' -> Mul (k, a'))
+  | Div (a, k) -> (
+      match (simplify a, k) with
+      | a', 1 -> a'
+      | Const x, k when x >= 0 -> Const (x / k)
+      | a', k -> Div (a', k))
+  | Min (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (min x y)
+      | a', b' -> if a' = b' then a' else Min (a', b'))
+  | Max (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (max x y)
+      | a', b' -> if a' = b' then a' else Max (a', b'))
+
+let equal a b = simplify a = simplify b
+
+let rec pp ppf e =
+  match e with
+  | Const n -> Format.fprintf ppf "%d" n
+  | Var x -> Format.fprintf ppf "%s" x
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (k, a) -> Format.fprintf ppf "%d*%a" k pp a
+  | Div (a, k) -> Format.fprintf ppf "(%a / %d)" pp a k
+  | Min (a, b) -> Format.fprintf ppf "min(%a, %a)" pp a pp b
+  | Max (a, b) -> Format.fprintf ppf "max(%a, %a)" pp a pp b
+
+let to_string e = Format.asprintf "%a" pp e
+
+(* Shadowing arithmetic: keep these definitions last so the implementations
+   above use integer arithmetic. *)
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)

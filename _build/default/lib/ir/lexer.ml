@@ -1,0 +1,138 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_ARRAY
+  | KW_FOR
+  | KW_TO
+  | KW_STEP
+  | KW_WORK
+  | KW_USE
+  | KW_SPIN_DOWN
+  | KW_SPIN_UP
+  | KW_SET_RPM
+  | KW_MIN
+  | KW_MAX
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | COMMA
+  | COLON
+  | SEMI
+  | EOF
+
+exception Error of { line : int; message : string }
+
+let keyword_of_string = function
+  | "array" -> Some KW_ARRAY
+  | "for" -> Some KW_FOR
+  | "to" -> Some KW_TO
+  | "step" -> Some KW_STEP
+  | "work" -> Some KW_WORK
+  | "use" -> Some KW_USE
+  | "spin_down" -> Some KW_SPIN_DOWN
+  | "spin_up" -> Some KW_SPIN_UP
+  | "set_rpm" | "set_RPM" -> Some KW_SET_RPM
+  | "min" -> Some KW_MIN
+  | "max" -> Some KW_MAX
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (
+      incr line;
+      incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if is_digit c then (
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      emit (INT (int_of_string (String.sub src start (!i - start)))))
+    else if is_ident_start c then (
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      match keyword_of_string word with
+      | Some kw -> emit kw
+      | None -> emit (IDENT word))
+    else (
+      (match c with
+      | '[' -> emit LBRACKET
+      | ']' -> emit RBRACKET
+      | '{' -> emit LBRACE
+      | '}' -> emit RBRACE
+      | '(' -> emit LPAREN
+      | ')' -> emit RPAREN
+      | '=' -> emit EQUALS
+      | '+' -> emit PLUS
+      | '-' -> emit MINUS
+      | '*' -> emit STAR
+      | '/' -> emit SLASH
+      | ',' -> emit COMMA
+      | ':' -> emit COLON
+      | ';' -> emit SEMI
+      | _ ->
+          raise
+            (Error
+               {
+                 line = !line;
+                 message = Printf.sprintf "unexpected character %C" c;
+               }));
+      incr i)
+  done;
+  emit EOF;
+  List.rev !tokens
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | KW_ARRAY -> "'array'"
+  | KW_FOR -> "'for'"
+  | KW_TO -> "'to'"
+  | KW_STEP -> "'step'"
+  | KW_WORK -> "'work'"
+  | KW_USE -> "'use'"
+  | KW_SPIN_DOWN -> "'spin_down'"
+  | KW_SPIN_UP -> "'spin_up'"
+  | KW_SET_RPM -> "'set_rpm'"
+  | KW_MIN -> "'min'"
+  | KW_MAX -> "'max'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | EQUALS -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | SEMI -> "';'"
+  | EOF -> "end of input"

@@ -1,0 +1,43 @@
+(** Lexer for the loop-nest DSL (see {!Parser} for the grammar).
+
+    Hand-written so the reproduction has no build-time dependencies beyond
+    the stdlib.  [#] starts a comment running to end of line. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_ARRAY
+  | KW_FOR
+  | KW_TO
+  | KW_STEP
+  | KW_WORK
+  | KW_USE
+  | KW_SPIN_DOWN
+  | KW_SPIN_UP
+  | KW_SET_RPM
+  | KW_MIN
+  | KW_MAX
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | COMMA
+  | COLON
+  | SEMI
+  | EOF
+
+exception Error of { line : int; message : string }
+(** Raised on an unexpected character. *)
+
+val tokenize : string -> (token * int) list
+(** Token stream with 1-based line numbers, terminated by [EOF]. *)
+
+val describe : token -> string
+(** Human-readable token name for error messages. *)

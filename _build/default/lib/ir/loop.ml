@@ -1,0 +1,101 @@
+type pm_call =
+  | Spin_down of int
+  | Spin_up of int
+  | Set_rpm of { level : int; disk : int }
+
+type node = For of t | Stmt of Stmt.t | Call of pm_call
+
+and t = {
+  var : string;
+  lo : Expr.t;
+  hi : Expr.t;
+  step : int;
+  body : node list;
+}
+
+let for_ var ?(step = 1) lo hi body =
+  if step <= 0 then invalid_arg "Loop.for_: step must be positive";
+  { var; lo; hi; step; body }
+
+let trip_count env t =
+  let lo = Expr.eval env t.lo and hi = Expr.eval env t.hi in
+  if hi < lo then 0 else ((hi - lo) / t.step) + 1
+
+let rec fold_nodes f acc nodes =
+  List.fold_left
+    (fun acc node ->
+      match node with
+      | For l -> fold_nodes f acc l.body
+      | Stmt _ | Call _ -> f acc node)
+    acc nodes
+
+let stmts t =
+  List.rev
+    (fold_nodes
+       (fun acc n -> match n with Stmt s -> s :: acc | For _ | Call _ -> acc)
+       [] [ For t ])
+
+let calls t =
+  List.rev
+    (fold_nodes
+       (fun acc n -> match n with Call c -> c :: acc | For _ | Stmt _ -> acc)
+       [] [ For t ])
+
+let arrays t =
+  List.sort_uniq compare (List.concat_map Stmt.arrays (stmts t))
+
+let iterators t =
+  let rec go acc node =
+    match node with
+    | For l -> List.fold_left go (l.var :: acc) l.body
+    | Stmt _ | Call _ -> acc
+  in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else (
+        Hashtbl.add seen v ();
+        true))
+    (List.rev (go [] (For t)))
+
+let rec depth t =
+  let sub =
+    List.fold_left
+      (fun acc node ->
+        match node with
+        | For l -> max acc (depth l)
+        | Stmt _ | Call _ -> acc)
+      0 t.body
+  in
+  1 + sub
+
+let rec map_stmts f t = { t with body = List.map (map_node f) t.body }
+
+and map_node f = function
+  | For l -> For (map_stmts f l)
+  | Stmt s -> Stmt (f s)
+  | Call c -> Call c
+
+let rec substitute x by t =
+  {
+    t with
+    lo = Expr.subst x by t.lo;
+    hi = Expr.subst x by t.hi;
+    body = List.map (substitute_node x by) t.body;
+  }
+
+and substitute_node x by = function
+  | For l ->
+      (* An inner loop redefining [x] shadows the substitution. *)
+      if String.equal l.var x then
+        For { l with lo = Expr.subst x by l.lo; hi = Expr.subst x by l.hi }
+      else For (substitute x by l)
+  | Stmt s -> Stmt (Stmt.subst x by s)
+  | Call c -> Call c
+
+let pp_call ppf = function
+  | Spin_down d -> Format.fprintf ppf "spin_down(disk%d)" d
+  | Spin_up d -> Format.fprintf ppf "spin_up(disk%d)" d
+  | Set_rpm { level; disk } ->
+      Format.fprintf ppf "set_RPM(level%d, disk%d)" level disk

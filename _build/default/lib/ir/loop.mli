@@ -1,0 +1,58 @@
+(** Loop nests and power-management calls.
+
+    A nest is a tree of [for] loops over statements; the compiler's output
+    additionally contains explicit disk power-management calls — the
+    paper's [spin_down(disk)], [spin_up(disk)] and
+    [set_RPM(level, disk)] — inserted between statements. *)
+
+type pm_call =
+  | Spin_down of int  (** TPM: send disk to standby. *)
+  | Spin_up of int  (** TPM: pre-activate disk (paper Eq. 1 placement). *)
+  | Set_rpm of { level : int; disk : int }
+      (** DRPM: change disk speed to RPM level index [level]
+          (0 = lowest supported, cf. {!Dpm_disk.Rpm}). *)
+
+type node =
+  | For of t
+  | Stmt of Stmt.t
+  | Call of pm_call
+
+and t = {
+  var : string;
+  lo : Expr.t;  (** Inclusive lower bound. *)
+  hi : Expr.t;  (** Inclusive upper bound. *)
+  step : int;  (** Positive. *)
+  body : node list;
+}
+
+val for_ : string -> ?step:int -> Expr.t -> Expr.t -> node list -> t
+(** [for_ var lo hi body]; validates the step. *)
+
+val trip_count : (string -> int) -> t -> int
+(** Number of iterations under an environment binding the outer
+    iterators; 0 when the range is empty. *)
+
+val stmts : t -> Stmt.t list
+(** All statements, in textual order. *)
+
+val calls : t -> pm_call list
+(** All power-management calls, in textual order. *)
+
+val arrays : t -> string list
+(** All arrays referenced anywhere in the nest. *)
+
+val iterators : t -> string list
+(** Iterator names from outermost in, in nesting order (pre-order;
+    duplicates removed). *)
+
+val depth : t -> int
+(** Maximum loop nesting depth. *)
+
+val map_stmts : (Stmt.t -> Stmt.t) -> t -> t
+(** Rewrite every statement in place, preserving structure. *)
+
+val substitute : string -> Expr.t -> t -> t
+(** Substitute an iterator expression in all bounds and subscripts of the
+    nest (does not rename the nest's own loops). *)
+
+val pp_call : Format.formatter -> pm_call -> unit

@@ -1,0 +1,279 @@
+exception Error of { line : int; message : string }
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let peek st =
+  match st.toks with
+  | (tok, _) :: _ -> tok
+  | [] -> Lexer.EOF
+
+let line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let fail st message = raise (Error { line = line st; message })
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s, found %s" (Lexer.describe tok)
+         (Lexer.describe (peek st)))
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      n
+  | t -> fail st (Printf.sprintf "expected integer, found %s" (Lexer.describe t))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t ->
+      fail st (Printf.sprintf "expected identifier, found %s" (Lexer.describe t))
+
+(* --- Expressions --- *)
+
+let rec parse_expr st =
+  let lhs = parse_term st in
+  parse_expr_rest st lhs
+
+and parse_expr_rest st lhs =
+  match peek st with
+  | Lexer.PLUS ->
+      advance st;
+      let rhs = parse_term st in
+      parse_expr_rest st (Expr.Add (lhs, rhs))
+  | Lexer.MINUS ->
+      advance st;
+      let rhs = parse_term st in
+      parse_expr_rest st (Expr.Sub (lhs, rhs))
+  | _ -> lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  parse_term_rest st lhs
+
+and parse_term_rest st lhs =
+  match peek st with
+  | Lexer.STAR ->
+      advance st;
+      let rhs = parse_factor st in
+      let product =
+        match (Expr.simplify lhs, Expr.simplify rhs) with
+        | Expr.Const k, e | e, Expr.Const k -> Expr.Mul (k, e)
+        | _ -> fail st "non-affine product: one operand must be constant"
+      in
+      parse_term_rest st product
+  | Lexer.SLASH ->
+      advance st;
+      let k = expect_int st in
+      if k <= 0 then fail st "division by non-positive constant";
+      parse_term_rest st (Expr.Div (lhs, k))
+  | _ -> lhs
+
+and parse_factor st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      Expr.Const n
+  | Lexer.IDENT x ->
+      advance st;
+      Expr.Var x
+  | Lexer.MINUS ->
+      advance st;
+      let e = parse_factor st in
+      Expr.Mul (-1, e)
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.KW_MIN ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let a = parse_expr st in
+      expect st Lexer.COMMA;
+      let b = parse_expr st in
+      expect st Lexer.RPAREN;
+      Expr.Min (a, b)
+  | Lexer.KW_MAX ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let a = parse_expr st in
+      expect st Lexer.COMMA;
+      let b = parse_expr st in
+      expect st Lexer.RPAREN;
+      Expr.Max (a, b)
+  | t -> fail st (Printf.sprintf "expected expression, found %s" (Lexer.describe t))
+
+(* --- References and statements --- *)
+
+let parse_subscripts st =
+  let rec go acc =
+    match peek st with
+    | Lexer.LBRACKET ->
+        advance st;
+        let e = parse_expr st in
+        expect st Lexer.RBRACKET;
+        go (e :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let parse_ref st =
+  let name = expect_ident st in
+  let subs = parse_subscripts st in
+  if subs = [] then fail st ("array reference " ^ name ^ " has no subscripts");
+  Reference.make name subs
+
+let parse_rhs st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PLUS ->
+        advance st;
+        go (parse_ref st :: acc)
+    | _ -> List.rev acc
+  in
+  let first = parse_ref st in
+  go [ first ]
+
+let parse_work st =
+  match peek st with
+  | Lexer.KW_WORK ->
+      advance st;
+      expect_int st
+  | _ -> 0
+
+let skip_semi st = if peek st = Lexer.SEMI then advance st
+
+(* --- Items --- *)
+
+let stmt_counter = ref 0
+
+let fresh_label () =
+  incr stmt_counter;
+  Printf.sprintf "s%d" !stmt_counter
+
+let rec parse_items st =
+  match peek st with
+  | Lexer.RBRACE -> []
+  | _ ->
+      let item = parse_item st in
+      item :: parse_items st
+
+and parse_item st =
+  match peek st with
+  | Lexer.KW_FOR -> Loop.For (parse_loop st)
+  | Lexer.KW_SPIN_DOWN ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let d = expect_int st in
+      expect st Lexer.RPAREN;
+      skip_semi st;
+      Loop.Call (Loop.Spin_down d)
+  | Lexer.KW_SPIN_UP ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let d = expect_int st in
+      expect st Lexer.RPAREN;
+      skip_semi st;
+      Loop.Call (Loop.Spin_up d)
+  | Lexer.KW_SET_RPM ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let level = expect_int st in
+      expect st Lexer.COMMA;
+      let disk = expect_int st in
+      expect st Lexer.RPAREN;
+      skip_semi st;
+      Loop.Call (Loop.Set_rpm { level; disk })
+  | Lexer.KW_USE ->
+      advance st;
+      let reads = parse_rhs st in
+      let work = parse_work st in
+      skip_semi st;
+      Loop.Stmt (Stmt.make ~label:(fresh_label ()) ~work reads)
+  | Lexer.IDENT _ ->
+      let write = parse_ref st in
+      expect st Lexer.EQUALS;
+      let reads = parse_rhs st in
+      let work = parse_work st in
+      skip_semi st;
+      Loop.Stmt (Stmt.make ~label:(fresh_label ()) ~write ~work reads)
+  | t -> fail st (Printf.sprintf "expected loop or statement, found %s" (Lexer.describe t))
+
+and parse_loop st =
+  expect st Lexer.KW_FOR;
+  let var = expect_ident st in
+  expect st Lexer.EQUALS;
+  let lo = parse_expr st in
+  expect st Lexer.KW_TO;
+  let hi = parse_expr st in
+  let step =
+    match peek st with
+    | Lexer.KW_STEP ->
+        advance st;
+        expect_int st
+    | _ -> 1
+  in
+  expect st Lexer.LBRACE;
+  let body = parse_items st in
+  expect st Lexer.RBRACE;
+  Loop.for_ var ~step lo hi body
+
+let parse_array_decl st =
+  expect st Lexer.KW_ARRAY;
+  let name = expect_ident st in
+  let rec dims acc =
+    match peek st with
+    | Lexer.LBRACKET ->
+        advance st;
+        let d = expect_int st in
+        expect st Lexer.RBRACKET;
+        dims (d :: acc)
+    | _ -> List.rev acc
+  in
+  let dims = dims [] in
+  if dims = [] then fail st ("array " ^ name ^ " has no dimensions");
+  expect st Lexer.COLON;
+  let elem_size = expect_int st in
+  Array_decl.make ~name ~dims ~elem_size
+
+let program ~name src =
+  stmt_counter := 0;
+  let st =
+    { toks = (try Lexer.tokenize src with Lexer.Error { line; message } ->
+                raise (Error { line; message })) }
+  in
+  let arrays = ref [] in
+  let body = ref [] in
+  let rec go () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.KW_ARRAY ->
+        arrays := parse_array_decl st :: !arrays;
+        go ()
+    | Lexer.KW_FOR | Lexer.KW_SPIN_DOWN | Lexer.KW_SPIN_UP | Lexer.KW_SET_RPM
+    | Lexer.KW_USE | Lexer.IDENT _ ->
+        body := parse_item st :: !body;
+        go ()
+    | t ->
+        fail st
+          (Printf.sprintf
+             "expected 'array', a loop, a call or a statement at top level, \
+              found %s"
+             (Lexer.describe t))
+  in
+  go ();
+  Program.make ~name ~arrays:(List.rev !arrays) ~body:(List.rev !body)
+
+let expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr st in
+  expect st Lexer.EOF;
+  e

@@ -1,0 +1,34 @@
+(** Recursive-descent parser for the loop-nest DSL.
+
+    Grammar (EBNF; [#] comments, newlines insignificant):
+    {v
+    program    ::= (array_decl | nest)*
+    array_decl ::= "array" IDENT ("[" INT "]")+ ":" INT          (* bytes *)
+    nest       ::= "for" IDENT "=" expr "to" expr ("step" INT)?
+                   "{" item* "}"
+    item       ::= nest | call | stmt
+    call       ::= "spin_down" "(" INT ")" ";"?
+                 | "spin_up" "(" INT ")" ";"?
+                 | "set_rpm" "(" INT "," INT ")" ";"?
+    stmt       ::= ref "=" rhs ("work" INT)? ";"?
+                 | "use" rhs ("work" INT)? ";"?
+    rhs        ::= ref ("+" ref)*
+    ref        ::= IDENT ("[" expr "]")+
+    expr       ::= term (("+" | "-") term)*
+    term       ::= factor ("*" factor)* | factor "/" INT
+    factor     ::= INT | IDENT | "(" expr ")" | "-" factor
+                 | "min" "(" expr "," expr ")"
+                 | "max" "(" expr "," expr ")"
+    v}
+    Multiplication requires at least one constant operand (the IR is
+    affine); division requires a constant divisor. *)
+
+exception Error of { line : int; message : string }
+
+val program : name:string -> string -> Program.t
+(** [program ~name src] parses and validates a whole program.
+    Raises {!Error} on syntax errors and [Invalid_argument] on validation
+    errors (cf. {!Program.make}). *)
+
+val expr : string -> Expr.t
+(** Parses a single expression (exposed for tests and the CLI). *)

@@ -1,0 +1,75 @@
+(* Precedence levels: 0 additive, 1 multiplicative, 2 atom. *)
+let rec expr_prec level e =
+  let atom s = s in
+  let wrap needed s = if level > needed then "(" ^ s ^ ")" else s in
+  match e with
+  | Expr.Const n -> if n < 0 then wrap 1 (string_of_int n) else atom (string_of_int n)
+  | Expr.Var x -> atom x
+  | Expr.Add (a, b) ->
+      wrap 0 (expr_prec 0 a ^ " + " ^ expr_prec 0 b)
+  | Expr.Sub (a, b) ->
+      (* Right operand needs multiplicative precedence to avoid a - (b - c)
+         reassociating on re-parse. *)
+      wrap 0 (expr_prec 0 a ^ " - " ^ expr_prec 1 b)
+  | Expr.Mul (k, a) -> wrap 1 (string_of_int k ^ " * " ^ expr_prec 2 a)
+  | Expr.Div (a, k) -> wrap 1 (expr_prec 2 a ^ " / " ^ string_of_int k)
+  | Expr.Min (a, b) ->
+      atom ("min(" ^ expr_prec 0 a ^ ", " ^ expr_prec 0 b ^ ")")
+  | Expr.Max (a, b) ->
+      atom ("max(" ^ expr_prec 0 a ^ ", " ^ expr_prec 0 b ^ ")")
+
+let expr e = expr_prec 0 e
+
+let reference (r : Reference.t) =
+  r.array ^ String.concat "" (List.map (fun s -> "[" ^ expr s ^ "]") r.indices)
+
+let stmt (s : Stmt.t) =
+  let rhs = String.concat " + " (List.map reference s.reads) in
+  let core =
+    match s.write with
+    | Some w -> reference w ^ " = " ^ rhs
+    | None -> "use " ^ rhs
+  in
+  if s.work > 0 then core ^ " work " ^ string_of_int s.work else core
+
+let call (c : Loop.pm_call) =
+  match c with
+  | Loop.Spin_down d -> Printf.sprintf "spin_down(%d)" d
+  | Loop.Spin_up d -> Printf.sprintf "spin_up(%d)" d
+  | Loop.Set_rpm { level; disk } -> Printf.sprintf "set_rpm(%d, %d)" level disk
+
+let rec loop_lines indent (l : Loop.t) =
+  let pad = String.make indent ' ' in
+  let header =
+    Printf.sprintf "%sfor %s = %s to %s%s {" pad l.var (expr l.lo) (expr l.hi)
+      (if l.step = 1 then "" else " step " ^ string_of_int l.step)
+  in
+  let body =
+    List.concat_map
+      (fun node ->
+        match node with
+        | Loop.For inner -> loop_lines (indent + 2) inner
+        | Loop.Stmt s -> [ String.make (indent + 2) ' ' ^ stmt s ]
+        | Loop.Call c -> [ String.make (indent + 2) ' ' ^ call c ])
+      l.body
+  in
+  (header :: body) @ [ pad ^ "}" ]
+
+let loop ?(indent = 0) l = String.concat "\n" (loop_lines indent l)
+
+let array_decl (a : Array_decl.t) =
+  Printf.sprintf "array %s%s : %d" a.name
+    (String.concat "" (List.map (Printf.sprintf "[%d]") a.dims))
+    a.elem_size
+
+let node = function
+  | Loop.For l -> loop_lines 0 l |> String.concat "\n"
+  | Loop.Stmt s -> stmt s
+  | Loop.Call c -> call c
+
+let program (p : Program.t) =
+  let decls = List.map array_decl p.arrays in
+  let items = List.map node p.body in
+  String.concat "\n" (decls @ [ "" ] @ items) ^ "\n"
+
+let pp_program ppf p = Format.pp_print_string ppf (program p)

@@ -1,0 +1,16 @@
+(** Code emission: pretty-prints programs back to DSL syntax.
+
+    The output re-parses to an equivalent program (round-trip property,
+    tested), and is how examples show compiler-transformed code with the
+    inserted power-management calls — the analogue of the paper's
+    Figure 2(d). *)
+
+val expr : Expr.t -> string
+(** Infix rendering with minimal parentheses (re-parseable). *)
+
+val stmt : Stmt.t -> string
+val loop : ?indent:int -> Loop.t -> string
+val program : Program.t -> string
+(** Full program: array declarations followed by nests. *)
+
+val pp_program : Format.formatter -> Program.t -> unit

@@ -1,0 +1,44 @@
+type t = {
+  label : string;
+  write : Reference.t option;
+  reads : Reference.t list;
+  work : int;
+}
+
+let counter = ref 0
+
+let make ?label ?write ?(work = 0) reads =
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+        incr counter;
+        Printf.sprintf "s%d" !counter
+  in
+  if work < 0 then invalid_arg "Stmt.make: negative work";
+  if write = None && reads = [] then
+    invalid_arg "Stmt.make: statement references no arrays";
+  { label; write; reads; work }
+
+let refs t = match t.write with None -> t.reads | Some w -> w :: t.reads
+
+let arrays t =
+  List.sort_uniq compare (List.map (fun (r : Reference.t) -> r.array) (refs t))
+
+let subst x by t =
+  {
+    t with
+    write = Option.map (Reference.subst x by) t.write;
+    reads = List.map (Reference.subst x by) t.reads;
+  }
+
+let pp ppf t =
+  (match t.write with
+  | Some w -> Format.fprintf ppf "%a = " Reference.pp w
+  | None -> Format.fprintf ppf "use ");
+  (match t.reads with
+  | [] -> Format.fprintf ppf "0"
+  | r :: rest ->
+      Reference.pp ppf r;
+      List.iter (fun r -> Format.fprintf ppf " + %a" Reference.pp r) rest);
+  if t.work > 0 then Format.fprintf ppf " work %d" t.work

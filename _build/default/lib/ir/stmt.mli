@@ -1,0 +1,32 @@
+(** Statements: one write reference, a list of read references, and a
+    compute-work annotation.
+
+    The work annotation is the number of CPU cycles one execution of the
+    statement spends outside the modeled I/O (it stands for the inner
+    arithmetic the coarse-grained IR does not represent, cf.
+    {!Dpm_ir.Array_decl}).  It feeds the cost model that converts loop
+    iterations into cycles — the role `gethrtime` calibration plays in the
+    paper. *)
+
+type t = {
+  label : string;  (** Stable identifier, unique within a program. *)
+  write : Reference.t option;  (** [None] for pure-read statements. *)
+  reads : Reference.t list;
+  work : int;  (** Compute cycles per execution. *)
+}
+
+val make :
+  ?label:string -> ?write:Reference.t -> ?work:int -> Reference.t list -> t
+(** [make ~label ~write ~work reads].  [work] defaults to 0; [label]
+    defaults to a fresh ["s<n>"] name. *)
+
+val refs : t -> Reference.t list
+(** Write (if any) followed by reads. *)
+
+val arrays : t -> string list
+(** Names of all arrays referenced, sorted, without duplicates. *)
+
+val subst : string -> Expr.t -> t -> t
+(** Substitute an iterator in every subscript. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/layout/plan.ml: Array Dpm_ir Format Hashtbl List Printf String Striping

@@ -1,0 +1,1 @@
+lib/layout/plan.mli: Dpm_ir Format Striping

@@ -1,0 +1,1 @@
+lib/layout/striping.ml: Dpm_util Format List

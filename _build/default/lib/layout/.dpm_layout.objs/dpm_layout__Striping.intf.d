@@ -1,0 +1,1 @@
+lib/layout/striping.mli: Format

@@ -1,0 +1,63 @@
+(** Disk layout plans: where every array of a program lives.
+
+    A plan fixes, for each array, its file's striping 3-tuple and its
+    storage order (row- or column-major — the layout transformation of the
+    paper's tiling pass flips this), plus the size of the disk subsystem.
+    Each array is stored in its own file; files are given disjoint global
+    block ranges so that trace records carry unambiguous "start block
+    numbers". *)
+
+type order = Row_major | Col_major
+
+type entry = {
+  decl : Dpm_ir.Array_decl.t;
+  striping : Striping.t;
+  order : order;
+}
+
+type t
+
+val make : ndisks:int -> entry list -> t
+(** Validates every entry against the disk count. *)
+
+val uniform :
+  ?order:order -> ?striping:Striping.t -> ndisks:int -> Dpm_ir.Program.t -> t
+(** One entry per declared array, all with the same striping (default:
+    {!Striping.default}) and order (default row-major) — the paper's
+    default configuration. *)
+
+val ndisks : t -> int
+val entry : t -> string -> entry
+(** Raises [Not_found] for arrays absent from the plan. *)
+
+val entries : t -> entry list
+val set_striping : t -> string -> Striping.t -> t
+val set_order : t -> string -> order -> t
+
+val element_offset : t -> string -> int list -> int
+(** Byte offset of an element within its array's file, honouring the
+    entry's storage order. *)
+
+val element_unit : t -> string -> int list -> int
+(** Stripe unit (= cache block) the element falls in. *)
+
+val unit_disk : t -> string -> int -> int
+(** Disk holding a stripe unit of the given array. *)
+
+val unit_count : t -> string -> int
+(** Stripe units in the array's file. *)
+
+val unit_global_block : t -> string -> int -> int
+(** Globally unique block number for a stripe unit (file base + unit);
+    this is the trace's "start block number" space. *)
+
+val region_disks : t -> string -> (int * int) list -> int list
+(** Disks touched by a rectangular element region (inclusive per-dimension
+    intervals, clamped to the array bounds).  Sorted, without
+    duplicates.  Early-exits once every disk of the stripe is seen. *)
+
+val region_units : t -> string -> (int * int) list -> (int * int) list
+(** [(lo, hi)] inclusive runs of stripe units touched by the region,
+    normalized (sorted, disjoint). *)
+
+val pp : Format.formatter -> t -> unit

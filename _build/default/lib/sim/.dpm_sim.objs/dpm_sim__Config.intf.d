@@ -1,0 +1,1 @@
+lib/sim/config.mli: Dpm_disk

@@ -1,0 +1,1 @@
+lib/sim/disk_state.ml: Array Dpm_disk List

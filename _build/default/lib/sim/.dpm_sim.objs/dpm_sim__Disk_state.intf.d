@@ -1,0 +1,1 @@
+lib/sim/disk_state.mli: Dpm_disk

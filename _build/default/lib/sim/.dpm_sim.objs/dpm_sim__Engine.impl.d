@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Config Disk_state Dpm_disk Dpm_trace Float List Policy Result String

@@ -1,0 +1,1 @@
+lib/sim/oracle.ml: Array Config Dpm_disk List Result

@@ -1,0 +1,1 @@
+lib/sim/oracle.mli: Config Dpm_disk Result

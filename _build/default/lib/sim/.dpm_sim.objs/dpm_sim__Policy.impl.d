@@ -1,0 +1,1 @@
+lib/sim/policy.ml: Array Config Disk_state Dpm_disk Float

@@ -1,0 +1,1 @@
+lib/sim/policy.mli: Config Disk_state

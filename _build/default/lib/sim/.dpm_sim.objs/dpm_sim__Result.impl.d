@@ -1,0 +1,1 @@
+lib/sim/result.ml: Array Dpm_util Printf

@@ -1,0 +1,22 @@
+type t = {
+  specs : Dpm_disk.Specs.t;
+  tpm_threshold : float option;
+  drpm_lower : float;
+  drpm_upper : float;
+  drpm_window : int;
+  drpm_idle_interval : float;
+  queue_depth : int;
+  pm_call_overhead : float;
+}
+
+let default =
+  {
+    specs = Dpm_disk.Specs.ultrastar_36z15;
+    tpm_threshold = None;
+    drpm_lower = 0.05;
+    drpm_upper = 0.15;
+    drpm_window = Dpm_disk.Specs.ultrastar_36z15.drpm_window;
+    drpm_idle_interval = 1.0;
+    queue_depth = 32;
+    pm_call_overhead = 2.0e-6;
+  }

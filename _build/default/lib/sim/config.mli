@@ -1,0 +1,35 @@
+(** Simulator configuration. *)
+
+type t = {
+  specs : Dpm_disk.Specs.t;
+  tpm_threshold : float option;
+      (** Reactive TPM idleness threshold in seconds; [None] uses the
+          break-even time computed from the specs (the standard
+          "competitive" setting). *)
+  drpm_lower : float;
+      (** DRPM lower tolerance: relative response-time degradation below
+          which the controller steps the RPM one level down. *)
+  drpm_upper : float;
+      (** DRPM upper tolerance: degradation above which the controller
+          restores full speed. *)
+  drpm_window : int;  (** Requests per observation window (Table 1: 30). *)
+  drpm_idle_interval : float;
+      (** Reactive DRPM idle control: a disk that has seen no request for
+          this long steps one RPM level down, and one more per further
+          interval — the reactive controller's only way to exploit
+          idleness (it pays for it by serving the next burst at the level
+          it drifted to). *)
+  queue_depth : int;
+      (** Open-loop replay: maximum requests outstanding per disk before
+          the traced application stalls (bounded I/O queue, default 32).
+          Transient service hiccups are absorbed; sustained slow service
+          becomes an execution-time penalty. *)
+  pm_call_overhead : float;
+      (** Cost of executing one inserted power-management call, seconds
+          (the paper's [Tm]); charged to compute time in CM schemes. *)
+}
+
+val default : t
+(** Ultrastar 36Z15 specs, break-even TPM threshold, 5%/15% DRPM
+    tolerances, 30-request windows, 0.5 s idle interval, 2 µs call
+    overhead. *)

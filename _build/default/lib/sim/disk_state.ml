@@ -1,0 +1,204 @@
+module Specs = Dpm_disk.Specs
+module Rpm = Dpm_disk.Rpm
+module Power = Dpm_disk.Power
+module Service = Dpm_disk.Service
+
+type phase =
+  | Ready of int
+  | Changing of { from_level : int; to_level : int; finish : float }
+  | Spinning_down of { finish : float }
+  | Standby
+  | Spinning_up of { finish : float }
+
+type t = {
+  specs : Specs.t;
+  disk_id : int;
+  mutable phase : phase;
+  mutable last_update : float;
+  mutable total_energy : float;
+  mutable idle_start : float;
+  mutable busy_rev : (float * float) list;
+  mutable served : int;
+  mutable transitions : int;
+  mutable spin_downs : int;
+  residency : float array;
+  mutable standby_time : float;
+}
+
+let create specs ~id =
+  {
+    specs;
+    disk_id = id;
+    phase = Ready (Rpm.max_level specs);
+    last_update = 0.0;
+    total_energy = 0.0;
+    idle_start = 0.0;
+    busy_rev = [];
+    served = 0;
+    transitions = 0;
+    spin_downs = 0;
+    residency = Array.make (Rpm.num_levels specs) 0.0;
+    standby_time = 0.0;
+  }
+
+let id t = t.disk_id
+let phase t = t.phase
+
+let level t =
+  match t.phase with
+  | Ready l -> l
+  | Changing { to_level; _ } -> to_level
+  | Spinning_down _ | Standby -> 0
+  | Spinning_up _ -> Rpm.max_level t.specs
+
+let idle_since t = t.idle_start
+
+let charge t power dt =
+  if dt > 0.0 then t.total_energy <- t.total_energy +. (power *. dt)
+
+(* Constant power drawn in each phase (service energy is charged
+   separately by [serve]). *)
+let phase_power t = function
+  | Ready l -> Power.idle t.specs ~level:l
+  | Changing { from_level; to_level; _ } ->
+      Power.idle t.specs ~level:(max from_level to_level)
+  | Spinning_down _ -> t.specs.Specs.e_spin_down /. t.specs.Specs.t_spin_down
+  | Standby -> Power.standby t.specs
+  | Spinning_up _ -> t.specs.Specs.e_spin_up /. t.specs.Specs.t_spin_up
+
+let note_residency t ph dt =
+  if dt > 0.0 then
+    match ph with
+    | Ready l -> t.residency.(l) <- t.residency.(l) +. dt
+    | Standby -> t.standby_time <- t.standby_time +. dt
+    | Changing _ | Spinning_down _ | Spinning_up _ -> ()
+
+let rec advance t now =
+  if now > t.last_update then
+    match t.phase with
+    | Ready _ | Standby ->
+        let dt = now -. t.last_update in
+        charge t (phase_power t t.phase) dt;
+        note_residency t t.phase dt;
+        t.last_update <- now
+    | Changing { to_level; finish; _ }
+      when now >= finish ->
+        let dt = finish -. t.last_update in
+        charge t (phase_power t t.phase) dt;
+        t.last_update <- finish;
+        t.phase <- Ready to_level;
+        advance t now
+    | Spinning_down { finish } when now >= finish ->
+        let dt = finish -. t.last_update in
+        charge t (phase_power t t.phase) dt;
+        t.last_update <- finish;
+        t.phase <- Standby;
+        advance t now
+    | Spinning_up { finish } when now >= finish ->
+        let dt = finish -. t.last_update in
+        charge t (phase_power t t.phase) dt;
+        t.last_update <- finish;
+        t.phase <- Ready (Rpm.max_level t.specs);
+        advance t now
+    | Changing _ | Spinning_down _ | Spinning_up _ ->
+        let dt = now -. t.last_update in
+        charge t (phase_power t t.phase) dt;
+        t.last_update <- now
+
+(* Time at which the disk will next be [Ready] with no further
+   intervention (standby never resolves by itself). *)
+let settle_time t =
+  match t.phase with
+  | Ready _ -> t.last_update
+  | Changing { finish; _ } | Spinning_up { finish } -> finish
+  | Spinning_down { finish } -> finish (* settles into Standby *)
+  | Standby -> t.last_update
+
+let rec set_level t ~now target =
+  (* Operations requested in the past (e.g. a directive issued while the
+     disk still drains a queue) take effect at the disk's own clock. *)
+  let now = max now t.last_update in
+  advance t now;
+  match t.phase with
+  | Ready l when l = target -> ()
+  | Ready l ->
+      let finish =
+        now +. Rpm.transition_time t.specs ~from_level:l ~to_level:target
+      in
+      t.transitions <- t.transitions + 1;
+      t.phase <- Changing { from_level = l; to_level = target; finish }
+  | Changing { to_level; finish; _ } ->
+      if to_level <> target then begin
+        advance t finish;
+        set_level t ~now:finish target
+      end
+  | Spinning_up { finish } ->
+      advance t finish;
+      set_level t ~now:finish target
+  | Standby | Spinning_down _ -> ()
+
+let rec spin_down t ~now =
+  let now = max now t.last_update in
+  advance t now;
+  match t.phase with
+  | Standby | Spinning_down _ -> ()
+  | Ready _ ->
+      t.spin_downs <- t.spin_downs + 1;
+      t.phase <- Spinning_down { finish = now +. t.specs.Specs.t_spin_down }
+  | Changing { finish; _ } | Spinning_up { finish } ->
+      advance t finish;
+      spin_down t ~now:finish
+
+let rec spin_up t ~now =
+  let now = max now t.last_update in
+  advance t now;
+  match t.phase with
+  | Ready _ | Spinning_up _ -> ()
+  | Standby ->
+      t.phase <- Spinning_up { finish = now +. t.specs.Specs.t_spin_up }
+  | Spinning_down { finish } ->
+      advance t finish;
+      spin_up t ~now:finish
+  | Changing { finish; _ } ->
+      advance t finish;
+      spin_up t ~now:finish
+
+let serve t ~now ~bytes =
+  let now = max now t.last_update in
+  advance t now;
+  (* Resolve any in-flight or low-power state into Ready. *)
+  let rec ready_at now =
+    match t.phase with
+    | Ready l -> (now, l)
+    | Standby ->
+        spin_up t ~now;
+        ready_at now
+    | Changing { finish; _ } | Spinning_down { finish } | Spinning_up { finish }
+      ->
+        advance t finish;
+        ready_at finish
+  in
+  let start, lvl = ready_at now in
+  let service = Service.request_time t.specs ~level:lvl ~bytes in
+  let completion = start +. service in
+  charge t (Power.active t.specs ~level:lvl) service;
+  t.residency.(lvl) <- t.residency.(lvl) +. service;
+  t.last_update <- completion;
+  t.busy_rev <- (start, completion) :: t.busy_rev;
+  t.served <- t.served + 1;
+  t.idle_start <- completion;
+  completion
+
+let finalize t ~at = advance t (max at (settle_time t))
+
+let energy t = t.total_energy
+let busy_intervals t = List.rev t.busy_rev
+
+let busy_time t =
+  List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 t.busy_rev
+
+let requests_served t = t.served
+let transition_count t = t.transitions
+let spin_down_count t = t.spin_downs
+let level_residency t = Array.copy t.residency
+let standby_residency t = t.standby_time

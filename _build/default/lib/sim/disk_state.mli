@@ -1,0 +1,78 @@
+(** Per-disk power state machine with lazy energy integration.
+
+    A disk is in one of five phases: spinning and ready at some RPM level,
+    modulating between two levels, spinning down, in standby, or spinning
+    back up.  Every operation first integrates the energy drawn since the
+    previous operation (at the phase's power), then applies the state
+    change, so total energy is exact regardless of event spacing.
+
+    Operations requested while a transition is in flight chain after it —
+    e.g. a [set_level] issued mid-modulation takes effect when the current
+    modulation finishes, and a request arriving in standby triggers the
+    automatic spin-up the paper describes ("the disk is automatically spun
+    up when an access comes"). *)
+
+type phase =
+  | Ready of int  (** Spinning at an RPM level, able to serve. *)
+  | Changing of { from_level : int; to_level : int; finish : float }
+  | Spinning_down of { finish : float }
+  | Standby
+  | Spinning_up of { finish : float }
+
+type t
+
+val create : Dpm_disk.Specs.t -> id:int -> t
+(** A disk starts ready at full speed at time 0. *)
+
+val id : t -> int
+val phase : t -> phase
+
+val level : t -> int
+(** Current level when [Ready]; the target level when [Changing]; 0 when
+    in or entering standby; top level when spinning up. *)
+
+val idle_since : t -> float
+(** Start of the current idle period (last request completion, or 0). *)
+
+val advance : t -> float -> unit
+(** Integrate energy up to the given time, resolving any transitions that
+    complete before it.  Monotone: earlier times are no-ops. *)
+
+val set_level : t -> now:float -> int -> unit
+(** Begin modulating toward a level (DRPM).  No-op if already there;
+    chains after an in-flight transition; ignored in standby (a standby
+    disk has no spindle to modulate). *)
+
+val spin_down : t -> now:float -> unit
+(** Begin spinning down to standby (TPM).  No-op if already in or heading
+    to standby; chains after an in-flight spin-up or modulation. *)
+
+val spin_up : t -> now:float -> unit
+(** Begin spinning up from standby.  No-op if ready or already rising;
+    chains after an in-flight spin-down. *)
+
+val serve : t -> now:float -> bytes:int -> float
+(** Serve one request arriving at [now]: waits out any transition (a
+    standby disk pays the full spin-up), serves at the then-current level,
+    charges active energy, records the busy interval, and returns the
+    completion time. *)
+
+val finalize : t -> at:float -> unit
+(** Integrate up to the end of the run. *)
+
+(** {2 Statistics} *)
+
+val energy : t -> float
+val busy_intervals : t -> (float * float) list
+(** Sorted service intervals. *)
+
+val busy_time : t -> float
+val requests_served : t -> int
+val transition_count : t -> int
+(** RPM modulations begun. *)
+
+val spin_down_count : t -> int
+val level_residency : t -> float array
+(** Seconds spent ready at each level (index = level). *)
+
+val standby_residency : t -> float

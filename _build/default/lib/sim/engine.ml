@@ -1,0 +1,227 @@
+module Request = Dpm_trace.Request
+module Trace = Dpm_trace.Trace
+
+type mode = [ `Open | `Closed ]
+
+let run ?(config = Config.default) ?(mode = `Open) (policy : Policy.t)
+    (trace : Trace.t) =
+  let specs = config.Config.specs in
+  let top = Dpm_disk.Rpm.max_level specs in
+  let ndisks = trace.Trace.ndisks in
+  let disks = Array.init ndisks (fun id -> Disk_state.create specs ~id) in
+  let gap_choices = ref [] in
+  (* Application clock: in open mode it advances along the traced (base)
+     timeline; in closed mode it advances to each actual completion. *)
+  let clock = ref 0.0 in
+  (* Completion time of the last request queued at each disk. *)
+  let backlog = Array.make ndisks 0.0 in
+  (* Ring of the last [queue_depth] completions per disk: the traced
+     application stalls rather than queue more than that. *)
+  let depth = max 1 config.Config.queue_depth in
+  let recent = Array.init ndisks (fun _ -> Array.make depth 0.0) in
+  let recent_pos = Array.make ndisks 0 in
+  let makespan = ref 0.0 in
+  let apply_directive directive =
+    clock := !clock +. config.Config.pm_call_overhead;
+    match directive with
+    | Request.Spin_down d -> Disk_state.spin_down disks.(d) ~now:!clock
+    | Request.Spin_up d -> Disk_state.spin_up disks.(d) ~now:!clock
+    | Request.Set_rpm { level; disk } ->
+        if level < top then gap_choices := (disk, !clock, level) :: !gap_choices;
+        Disk_state.set_level disks.(disk) ~now:!clock level
+  in
+  Array.iter
+    (fun event ->
+      clock := !clock +. Request.think event;
+      match event with
+      | Request.Pm { directive; _ } ->
+          if policy.Policy.accepts_directives then apply_directive directive
+      | Request.Io io ->
+          let st = disks.(io.disk) in
+          (* Bounded queue: wait until the oldest of the last [depth]
+             requests on this disk has completed. *)
+          let oldest = recent.(io.disk).(recent_pos.(io.disk)) in
+          if oldest > !clock then clock := oldest;
+          let arrival = !clock in
+          let issue = max arrival backlog.(io.disk) in
+          policy.Policy.catch_up st ~now:issue;
+          let completion = Disk_state.serve st ~now:issue ~bytes:io.bytes in
+          backlog.(io.disk) <- completion;
+          recent.(io.disk).(recent_pos.(io.disk)) <- completion;
+          recent_pos.(io.disk) <- (recent_pos.(io.disk) + 1) mod depth;
+          if completion > !makespan then makespan := completion;
+          let response = completion -. arrival in
+          let nominal =
+            Dpm_disk.Service.request_time specs ~level:top ~bytes:io.bytes
+          in
+          policy.Policy.on_complete st ~now:completion ~response ~nominal;
+          (match mode with
+          | `Open ->
+              (* The traced application proceeds on its own clock: the
+                 base-run service time elapses before the next think. *)
+              clock := arrival +. nominal
+          | `Closed -> clock := completion))
+    trace.Trace.events;
+  clock := !clock +. trace.Trace.tail_think;
+  let exec_time = max !clock !makespan in
+  Array.iter
+    (fun st ->
+      policy.Policy.catch_up st ~now:exec_time;
+      Disk_state.finalize st ~at:exec_time)
+    disks;
+  let disk_stats =
+    Array.map
+      (fun st ->
+        {
+          Result.energy = Disk_state.energy st;
+          busy = Disk_state.busy_intervals st;
+          requests = Disk_state.requests_served st;
+          transitions = Disk_state.transition_count st;
+          spin_downs = Disk_state.spin_down_count st;
+          level_residency = Disk_state.level_residency st;
+          standby_time = Disk_state.standby_residency st;
+        })
+      disks
+  in
+  {
+    Result.scheme = policy.Policy.name;
+    program = trace.Trace.program;
+    exec_time;
+    energy =
+      Array.fold_left
+        (fun acc (d : Result.disk_stats) -> acc +. d.Result.energy)
+        0.0 disk_stats;
+    disks = disk_stats;
+    gap_choices = List.rev !gap_choices;
+  }
+
+(* --- Multiprogrammed replay --- *)
+
+type app = {
+  trace : Trace.t;
+  mutable cursor : int;
+  mutable clock : float;
+  mutable done_ : bool;
+}
+
+let run_many ?(config = Config.default) ?(mode = `Open) (policy : Policy.t)
+    traces =
+  match traces with
+  | [] -> invalid_arg "Engine.run_many: no traces"
+  | first :: rest ->
+      let ndisks = first.Trace.ndisks in
+      List.iter
+        (fun (t : Trace.t) ->
+          if t.Trace.ndisks <> ndisks then
+            invalid_arg "Engine.run_many: disk counts differ")
+        rest;
+      let specs = config.Config.specs in
+      let top = Dpm_disk.Rpm.max_level specs in
+      let disks = Array.init ndisks (fun id -> Disk_state.create specs ~id) in
+      let gap_choices = ref [] in
+      let backlog = Array.make ndisks 0.0 in
+      let depth = max 1 config.Config.queue_depth in
+      let recent = Array.init ndisks (fun _ -> Array.make depth 0.0) in
+      let recent_pos = Array.make ndisks 0 in
+      let makespan = ref 0.0 in
+      let apps =
+        List.map
+          (fun trace -> { trace; cursor = 0; clock = 0.0; done_ = false })
+          traces
+      in
+      (* Time at which an app's next event becomes runnable. *)
+      let next_time app =
+        if app.cursor >= Array.length app.trace.Trace.events then infinity
+        else app.clock +. Request.think app.trace.Trace.events.(app.cursor)
+      in
+      let step app =
+        let event = app.trace.Trace.events.(app.cursor) in
+        app.cursor <- app.cursor + 1;
+        app.clock <- app.clock +. Request.think event;
+        (match event with
+        | Request.Pm { directive; _ } ->
+            if policy.Policy.accepts_directives then begin
+              app.clock <- app.clock +. config.Config.pm_call_overhead;
+              match directive with
+              | Request.Spin_down d ->
+                  Disk_state.spin_down disks.(d) ~now:app.clock
+              | Request.Spin_up d -> Disk_state.spin_up disks.(d) ~now:app.clock
+              | Request.Set_rpm { level; disk } ->
+                  if level < top then
+                    gap_choices := (disk, app.clock, level) :: !gap_choices;
+                  Disk_state.set_level disks.(disk) ~now:app.clock level
+            end
+        | Request.Io io ->
+            let d = io.disk in
+            let oldest = recent.(d).(recent_pos.(d)) in
+            if oldest > app.clock then app.clock <- oldest;
+            let arrival = app.clock in
+            let issue = max arrival backlog.(d) in
+            policy.Policy.catch_up disks.(d) ~now:issue;
+            let completion = Disk_state.serve disks.(d) ~now:issue ~bytes:io.bytes in
+            backlog.(d) <- completion;
+            recent.(d).(recent_pos.(d)) <- completion;
+            recent_pos.(d) <- (recent_pos.(d) + 1) mod depth;
+            if completion > !makespan then makespan := completion;
+            let response = completion -. arrival in
+            let nominal =
+              Dpm_disk.Service.request_time specs ~level:top ~bytes:io.bytes
+            in
+            policy.Policy.on_complete disks.(d) ~now:completion ~response
+              ~nominal;
+            (match mode with
+            | `Open -> app.clock <- arrival +. nominal
+            | `Closed -> app.clock <- completion));
+        if app.cursor >= Array.length app.trace.Trace.events then begin
+          app.done_ <- true;
+          app.clock <- app.clock +. app.trace.Trace.tail_think;
+          if app.clock > !makespan then makespan := app.clock
+        end
+      in
+      let rec drive () =
+        let ready =
+          List.filter (fun a -> not a.done_) apps
+          |> List.sort (fun a b -> compare (next_time a) (next_time b))
+        in
+        match ready with
+        | [] -> ()
+        | app :: _ ->
+            step app;
+            drive ()
+      in
+      drive ();
+      let exec_time =
+        List.fold_left (fun acc a -> Float.max acc a.clock) !makespan apps
+      in
+      Array.iter
+        (fun st ->
+          policy.Policy.catch_up st ~now:exec_time;
+          Disk_state.finalize st ~at:exec_time)
+        disks;
+      let disk_stats =
+        Array.map
+          (fun st ->
+            {
+              Result.energy = Disk_state.energy st;
+              busy = Disk_state.busy_intervals st;
+              requests = Disk_state.requests_served st;
+              transitions = Disk_state.transition_count st;
+              spin_downs = Disk_state.spin_down_count st;
+              level_residency = Disk_state.level_residency st;
+              standby_time = Disk_state.standby_residency st;
+            })
+          disks
+      in
+      {
+        Result.scheme = policy.Policy.name;
+        program =
+          String.concat "+"
+            (List.map (fun (t : Trace.t) -> t.Trace.program) traces);
+        exec_time;
+        energy =
+          Array.fold_left
+            (fun acc (d : Result.disk_stats) -> acc +. d.Result.energy)
+            0.0 disk_stats;
+        disks = disk_stats;
+        gap_choices = List.rev !gap_choices;
+      }

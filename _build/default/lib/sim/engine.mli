@@ -1,0 +1,50 @@
+(** Trace replay engine.
+
+    Two replay modes:
+
+    - [`Open] (default; the paper's model): request arrival times are
+      fixed by the traced execution — each event's think time and its
+      full-speed service time advance the application clock regardless of
+      how power management delays actual service.  Delayed requests queue
+      FIFO at their disk; the run's execution time is the completion of
+      the last piece of work, so sustained slow service shows up as an
+      execution-time penalty only to the extent the backlog survives to
+      the end of a burst.  This matches a trace-driven simulator fed with
+      recorded arrival times (DiskSim-style, paper §4.1).
+
+    - [`Closed]: the application issues one request at a time: each
+      event's think time elapses after the previous event {e completes},
+      so every service delay propagates fully into execution time.  This
+      stricter model is kept as an ablation (see the benchmark harness)
+      — under it, reactive speed control is far less attractive because
+      one second of slowdown buys eight disk-seconds of idle energy.
+
+    Directives in the trace are applied on the application clock when the
+    policy accepts them (a modulation or spin-down proceeds while the
+    application computes), and are skipped otherwise; their think time
+    always elapses, so the compute timeline is scheme-independent. *)
+
+type mode = [ `Open | `Closed ]
+
+val run :
+  ?config:Config.t ->
+  ?mode:mode ->
+  Policy.t ->
+  Dpm_trace.Trace.t ->
+  Result.t
+(** Replays the whole trace and returns the outcome. *)
+
+val run_many :
+  ?config:Config.t ->
+  ?mode:mode ->
+  Policy.t ->
+  Dpm_trace.Trace.t list ->
+  Result.t
+(** Extension beyond the paper (which "considers one benchmark program at
+    a time"): replay several applications concurrently over one shared
+    disk subsystem.  Each application advances on its own clock; at every
+    step the one with the earliest next event proceeds.  All traces must
+    agree on the disk count.  Compiler-managed traces keep their own
+    directives — two co-scheduled CM applications can fight over a disk's
+    speed, which is precisely the open problem the paper's
+    one-at-a-time evaluation sidesteps. *)

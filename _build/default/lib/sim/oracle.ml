@@ -1,0 +1,286 @@
+module Power = Dpm_disk.Power
+module Rpm = Dpm_disk.Rpm
+module Specs = Dpm_disk.Specs
+
+let burst_threshold = 0.5
+
+type phase =
+  | Burst of { span : float * float; level : int; service : float }
+  | Gap of { span : float * float; plan : Power.gap_plan }
+
+(* Group a disk's (start, completion) service intervals into bursts
+   separated by at least [burst_threshold] of idleness. *)
+let bursts_of_busy busy =
+  let rec go current acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | (a, b) :: rest -> (
+        match current with
+        | [] -> go [ (a, b) ] acc rest
+        | (_, prev_b) :: _ ->
+            if a -. prev_b >= burst_threshold then
+              go [ (a, b) ] (List.rev current :: acc) rest
+            else go ((a, b) :: current) acc rest)
+  in
+  match busy with [] -> [] | _ -> go [] [] busy
+
+(* Service time of a request at [level], given its full-speed time: seek
+   is speed-independent, rotation and transfer scale with 1/RPM. *)
+let service_at (specs : Specs.t) ~level s_top =
+  let scale =
+    float_of_int specs.Specs.rpm_max
+    /. float_of_int (Rpm.rpm_of_level specs level)
+  in
+  specs.Specs.avg_seek +. ((s_top -. specs.Specs.avg_seek) *. scale)
+
+(* Total service time of a burst at a level, and whether the level keeps
+   the burst work-conserving on average: the total demand must fit the
+   burst's span (plus a little of the following gap for the tail) —
+   intra-burst jitter is absorbed by the disk queue, so the constraint is
+   on throughput, not on each request's own slack. *)
+let burst_demand (specs : Specs.t) requests ~level =
+  List.fold_left
+    (fun acc (a, b) -> acc +. service_at specs ~level (b -. a))
+    0.0 requests
+
+let burst_energy (specs : Specs.t) requests ~level ~span =
+  let service = burst_demand specs requests ~level in
+  (Power.active specs ~level *. service)
+  +. (Power.idle specs ~level *. max 0.0 (span -. service))
+
+(* The oracle's schedule is the exact optimum of a dynamic program over
+   (phase, level): bursts hold one level for their whole extent (a disk
+   cannot modulate mid-stream), gaps may dip to any intermediate level
+   whose modulations fit.  The all-top path is always feasible, so the
+   oracle never loses to Base. *)
+let phases ?(config = Config.default) (base : Result.t) ~disk =
+  let specs = config.Config.specs in
+  let top = Rpm.max_level specs in
+  let nlevels = Rpm.num_levels specs in
+  let busy = base.Result.disks.(disk).Result.busy in
+  let exec = base.Result.exec_time in
+  let bursts = bursts_of_busy busy in
+  (* Phase skeletons covering [0, exec]. *)
+  let skeleton = ref [] in
+  let cursor = ref 0.0 in
+  List.iteri
+    (fun i requests ->
+      let first = fst (List.hd requests) in
+      let last = snd (List.nth requests (List.length requests - 1)) in
+      let next_start =
+        match List.nth_opt bursts (i + 1) with
+        | Some next -> fst (List.hd next)
+        | None -> exec
+      in
+      if first > !cursor then skeleton := `Gap (!cursor, first) :: !skeleton;
+      skeleton := `Burst (requests, first, last, 0.25 *. (next_start -. last)) :: !skeleton;
+      cursor := last)
+    bursts;
+  if exec > !cursor then skeleton := `Gap (!cursor, exec) :: !skeleton;
+  let skeleton = List.rev !skeleton in
+  (* DP forward pass.  dp.(l) = (cost, backpointer list of choices). *)
+  let inf = infinity in
+  let dp = Array.make nlevels inf in
+  dp.(top) <- 0.0;
+  (* Per phase, remember for each exit level the (entry level, choice). *)
+  let trace_back = ref [] in
+  List.iter
+    (fun phase ->
+      match phase with
+      | `Burst (requests, first, last, tail_slack) ->
+          let span = last -. first in
+          let choices = Array.make nlevels (-1) in
+          let dp' = Array.make nlevels inf in
+          for l = 0 to nlevels - 1 do
+            if dp.(l) < inf then begin
+              let feasible =
+                l = top
+                || burst_demand specs requests ~level:l <= span +. tail_slack
+              in
+              if feasible then begin
+                let e = dp.(l) +. burst_energy specs requests ~level:l ~span in
+                if e < dp'.(l) then begin
+                  dp'.(l) <- e;
+                  choices.(l) <- l
+                end
+              end
+            end
+          done;
+          Array.blit dp' 0 dp 0 nlevels;
+          trace_back := `Burst_choice choices :: !trace_back
+      | `Gap (lo, hi) ->
+          let gap = hi -. lo in
+          let dp' = Array.make nlevels inf in
+          let from_of = Array.make nlevels (-1) in
+          for from_level = 0 to nlevels - 1 do
+            if dp.(from_level) < inf then
+              for to_level = 0 to nlevels - 1 do
+                let plan =
+                  Power.best_gap_plan specs ~from_level ~to_level gap
+                in
+                let e = dp.(from_level) +. plan.Power.energy in
+                if e < dp'.(to_level) then begin
+                  dp'.(to_level) <- e;
+                  from_of.(to_level) <- from_level
+                end
+              done
+          done;
+          Array.blit dp' 0 dp 0 nlevels;
+          trace_back := `Gap_choice (lo, hi, from_of) :: !trace_back)
+    skeleton;
+  (* Reconstruct: end at the cheapest exit level. *)
+  let final = ref top in
+  Array.iteri (fun l c -> if c < dp.(!final) then final := l) dp;
+  let result = ref [] in
+  let level = ref !final in
+  List.iter
+    (fun step ->
+      match step with
+      | `Burst_choice choices ->
+          ignore choices;
+          result := `Burst_at !level :: !result
+      | `Gap_choice (lo, hi, from_of) ->
+          let from_level = if from_of.(!level) < 0 then top else from_of.(!level) in
+          result := `Gap_at (lo, hi, from_level, !level) :: !result;
+          level := from_level)
+    !trace_back;
+  (* !result is already in forward phase order: the backward walk over
+     the reversed trace prepends each phase's choice. *)
+  let recon = !result in
+  let rec emit skel recon =
+    match (skel, recon) with
+    | [], [] -> []
+    | `Burst (requests, first, last, _) :: skel', `Burst_at l :: recon' ->
+        Burst
+          {
+            span = (first, last);
+            level = l;
+            service = burst_demand specs requests ~level:l;
+          }
+        :: emit skel' recon'
+    | `Gap (lo, hi) :: skel', `Gap_at (_, _, from_level, to_level) :: recon' ->
+        Gap
+          {
+            span = (lo, hi);
+            plan =
+              Power.best_gap_plan specs ~from_level ~to_level (hi -. lo);
+          }
+        :: emit skel' recon'
+    | _ -> invalid_arg "Oracle.phases: reconstruction mismatch"
+  in
+  emit skeleton recon
+
+let gap_plans ?config base ~disk =
+  List.filter_map
+    (function
+      | Gap { span; plan } -> Some (span, plan)
+      | Burst _ -> None)
+    (phases ?config base ~disk)
+
+let idrpm ?(config = Config.default) (base : Result.t) =
+  let specs = config.Config.specs in
+  let top = Rpm.max_level specs in
+  let nlevels = Rpm.num_levels specs in
+  let gap_choices = ref [] in
+  let disks =
+    Array.mapi
+      (fun disk_id (d : Result.disk_stats) ->
+        let residency = Array.make nlevels 0.0 in
+        let energy = ref 0.0 in
+        let transitions = ref 0 in
+        List.iter
+          (fun phase ->
+            match phase with
+            | Burst { span = lo, hi; level; service } ->
+                energy :=
+                  !energy
+                  +. (Power.active specs ~level *. service)
+                  +. (Power.idle specs ~level
+                     *. max 0.0 (hi -. lo -. service));
+                residency.(level) <- residency.(level) +. (hi -. lo)
+            | Gap { span = lo, hi; plan } ->
+                energy := !energy +. plan.Power.energy;
+                let inner =
+                  hi -. lo -. plan.Power.down_time -. plan.Power.up_time
+                in
+                residency.(plan.Power.level) <-
+                  residency.(plan.Power.level) +. max 0.0 inner;
+                if plan.Power.down_time > 0.0 then transitions := !transitions + 1;
+                if plan.Power.up_time > 0.0 then transitions := !transitions + 1;
+                if plan.Power.level < top then
+                  gap_choices := (disk_id, lo, plan.Power.level) :: !gap_choices)
+          (phases ~config base ~disk:disk_id);
+        {
+          Result.energy = !energy;
+          busy = d.Result.busy;
+          requests = d.Result.requests;
+          transitions = !transitions;
+          spin_downs = 0;
+          level_residency = residency;
+          standby_time = 0.0;
+        })
+      base.Result.disks
+  in
+  {
+    Result.scheme = "IDRPM";
+    program = base.Result.program;
+    exec_time = base.Result.exec_time;
+    energy =
+      Array.fold_left
+        (fun acc (d : Result.disk_stats) -> acc +. d.Result.energy)
+        0.0 disks;
+    disks;
+    gap_choices =
+      List.sort
+        (fun (d1, t1, _) (d2, t2, _) -> compare (d1, t1) (d2, t2))
+        !gap_choices;
+  }
+
+(* ITPM: full-speed service, oracle spin-down decisions per gap. *)
+let itpm ?(config = Config.default) (base : Result.t) =
+  let specs = config.Config.specs in
+  let top = Rpm.max_level specs in
+  let disks =
+    Array.mapi
+      (fun disk_id (d : Result.disk_stats) ->
+        let busy_time =
+          List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 d.Result.busy
+        in
+        let active_energy = Power.active specs ~level:top *. busy_time in
+        let residency = Array.make (Rpm.num_levels specs) 0.0 in
+        residency.(top) <- busy_time;
+        let gap_energy = ref 0.0 in
+        let spin_downs = ref 0 in
+        let standby_time = ref 0.0 in
+        List.iter
+          (fun (lo, hi) ->
+            let plan = Power.best_tpm_plan specs (hi -. lo) in
+            gap_energy := !gap_energy +. plan.Power.energy;
+            let inner = hi -. lo -. plan.Power.down_time -. plan.Power.up_time in
+            if plan.Power.spin_down then begin
+              incr spin_downs;
+              standby_time := !standby_time +. inner
+            end
+            else residency.(top) <- residency.(top) +. (hi -. lo))
+          (Result.idle_gaps base ~disk:disk_id);
+        {
+          Result.energy = active_energy +. !gap_energy;
+          busy = d.Result.busy;
+          requests = d.Result.requests;
+          transitions = 0;
+          spin_downs = !spin_downs;
+          level_residency = residency;
+          standby_time = !standby_time;
+        })
+      base.Result.disks
+  in
+  {
+    Result.scheme = "ITPM";
+    program = base.Result.program;
+    exec_time = base.Result.exec_time;
+    energy =
+      Array.fold_left
+        (fun acc (d : Result.disk_stats) -> acc +. d.Result.energy)
+        0.0 disks;
+    disks;
+    gap_choices = [];
+  }

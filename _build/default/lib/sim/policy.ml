@@ -1,0 +1,179 @@
+type t = {
+  name : string;
+  accepts_directives : bool;
+  catch_up : Disk_state.t -> now:float -> unit;
+  on_complete :
+    Disk_state.t -> now:float -> response:float -> nominal:float -> unit;
+}
+
+let no_catch_up _ ~now:_ = ()
+let no_on_complete _ ~now:_ ~response:_ ~nominal:_ = ()
+
+let base =
+  {
+    name = "Base";
+    accepts_directives = false;
+    catch_up = no_catch_up;
+    on_complete = no_on_complete;
+  }
+
+let tpm (config : Config.t) =
+  let threshold =
+    match config.tpm_threshold with
+    | Some t -> t
+    | None -> Dpm_disk.Power.tpm_break_even config.specs
+  in
+  let catch_up st ~now =
+    match Disk_state.phase st with
+    | Disk_state.Ready _ ->
+        let fire_at = Disk_state.idle_since st +. threshold in
+        if now >= fire_at then Disk_state.spin_down st ~now:fire_at
+    | Disk_state.Changing _ | Disk_state.Spinning_down _ | Disk_state.Standby
+    | Disk_state.Spinning_up _ ->
+        ()
+  in
+  {
+    name = "TPM";
+    accepts_directives = false;
+    catch_up;
+    on_complete = no_on_complete;
+  }
+
+let tpm_adaptive (config : Config.t) ~ndisks =
+  let break_even = Dpm_disk.Power.tpm_break_even config.specs in
+  let thresholds = Array.make ndisks break_even in
+  let catch_up st ~now =
+    let id = Disk_state.id st in
+    match Disk_state.phase st with
+    | Disk_state.Ready _ ->
+        let fire_at = Disk_state.idle_since st +. thresholds.(id) in
+        if now >= fire_at then begin
+          (* The timer fired during this idle period; the arrival at
+             [now] also tells us how long the period really was, which is
+             exactly what the controller learns at wake-up time: a
+             premature wake doubles the threshold, a long sleep decays
+             it. *)
+          Disk_state.spin_down st ~now:fire_at;
+          let gap = now -. Disk_state.idle_since st in
+          let t =
+            if gap < break_even then thresholds.(id) *. 2.0
+            else thresholds.(id) *. 0.9
+          in
+          thresholds.(id) <- Float.min (4.0 *. break_even) (Float.max 2.0 t)
+        end
+    | Disk_state.Standby | Disk_state.Spinning_down _
+    | Disk_state.Spinning_up _ | Disk_state.Changing _ ->
+        ()
+  in
+  {
+    name = "ATPM";
+    accepts_directives = false;
+    catch_up;
+    on_complete = no_on_complete;
+  }
+
+type drpm_window = {
+  mutable count : int;
+  mutable response_sum : float;
+  mutable nominal_sum : float;
+  mutable span_start : float;
+}
+
+let drpm (config : Config.t) ~ndisks =
+  let windows =
+    Array.init ndisks (fun _ ->
+        { count = 0; response_sum = 0.0; nominal_sum = 0.0; span_start = 0.0 })
+  in
+  let top = Dpm_disk.Rpm.max_level config.specs in
+  (* Restores are deferred to the next idle moment: firmware cannot
+     modulate the spindle mid-stream, so a burst that caught the disk at
+     a drifted level is served at that level and the speed-up happens
+     once the stream pauses. *)
+  let pending_restore = Array.make ndisks false in
+  (* Idle control with exponential back-off: the k-th downward step fires
+     after idle_interval * (2^k - 1) of idleness, so the controller drops
+     quickly at first but commits to deep (expensive to reverse) levels
+     only for long gaps.  Steps are applied retroactively at their firing
+     times so the energy accounting reflects when the controller would
+     have acted. *)
+  let catch_up st ~now =
+    match Disk_state.phase st with
+    | Disk_state.Ready _ ->
+        let interval = config.drpm_idle_interval in
+        let start = Disk_state.idle_since st in
+        if pending_restore.(Disk_state.id st) && now -. start > 0.05 then begin
+          pending_restore.(Disk_state.id st) <- false;
+          (* If the pause is long enough for the idle controller to act,
+             restoring first would be pointless churn. *)
+          if now -. start <= interval then
+            Disk_state.set_level st ~now:(start +. 0.01) top
+        end;
+        if interval > 0.0 then begin
+          (* The controller will not drift more than four steps below full
+             speed on idleness alone: deeper levels cost too much to
+             reverse when the workload returns. *)
+          let floor_level = max 0 (top - 4) in
+          let k = ref 1 in
+          let fire = ref (start +. interval) in
+          while !fire <= now && Disk_state.level st > floor_level do
+            Disk_state.set_level st ~now:!fire (Disk_state.level st - 1);
+            incr k;
+            fire := start +. (interval *. (Float.of_int ((1 lsl !k) - 1)))
+          done
+        end
+    | Disk_state.Changing _ | Disk_state.Spinning_down _ | Disk_state.Standby
+    | Disk_state.Spinning_up _ ->
+        ()
+  in
+  let on_complete st ~now ~response ~nominal =
+    let w = windows.(Disk_state.id st) in
+    if w.count = 0 then w.span_start <- now -. response;
+    w.count <- w.count + 1;
+    w.response_sum <- w.response_sum +. response;
+    w.nominal_sum <- w.nominal_sum +. nominal;
+    (* A grossly degraded response (a request that caught the disk at a
+       drifted-down level) triggers an immediate restore — the
+       controller "compensating for the previous slowdown". *)
+    if response > nominal *. 1.3 && Disk_state.level st < top then begin
+      pending_restore.(Disk_state.id st) <- true;
+      w.count <- 0;
+      w.response_sum <- 0.0;
+      w.nominal_sum <- 0.0
+    end
+    else if w.count >= config.drpm_window then begin
+      let degradation = (w.response_sum /. w.nominal_sum) -. 1.0 in
+      let nominal_total = w.nominal_sum in
+      w.count <- 0;
+      w.response_sum <- 0.0;
+      w.nominal_sum <- 0.0;
+      if degradation > config.drpm_upper then
+        pending_restore.(Disk_state.id st) <- true
+      else if degradation < config.drpm_lower then begin
+        (* Step down only when the window shows real headroom: a busy
+           window (demand filling much of its span) must not be slowed,
+           and modulating mid-burst would block queued requests. *)
+        let span = now -. w.span_start in
+        let utilization = if span > 0.0 then nominal_total /. span else 1.0 in
+        let level = Disk_state.level st in
+        if utilization < 0.4 && level > 0 then
+          Disk_state.set_level st ~now (level - 1)
+      end
+    end
+  in
+  { name = "DRPM"; accepts_directives = false; catch_up; on_complete }
+
+let cm_tpm =
+  {
+    name = "CMTPM";
+    accepts_directives = true;
+    catch_up = no_catch_up;
+    on_complete = no_on_complete;
+  }
+
+let cm_drpm =
+  {
+    name = "CMDRPM";
+    accepts_directives = true;
+    catch_up = no_catch_up;
+    on_complete = no_on_complete;
+  }

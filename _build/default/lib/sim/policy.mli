@@ -1,0 +1,48 @@
+(** Power-management policies for the replay engine.
+
+    A policy reacts at two hook points: [catch_up], called with the
+    current time just before a disk is consulted (this is where
+    timer-based decisions such as the TPM idleness threshold fire,
+    possibly retroactively at the exact timer expiry), and
+    [on_complete], called after each request completes (this is where the
+    DRPM window heuristic observes response times).  Compiler-managed
+    schemes take no reactive decisions at all: they set
+    [accepts_directives] so the engine applies the trace's inserted
+    calls. *)
+
+type t = {
+  name : string;
+  accepts_directives : bool;
+  catch_up : Disk_state.t -> now:float -> unit;
+  on_complete :
+    Disk_state.t -> now:float -> response:float -> nominal:float -> unit;
+}
+
+val base : t
+(** No power management: disks idle at full speed. *)
+
+val tpm : Config.t -> t
+(** Reactive threshold-based spin-down (traditional power management):
+    a disk idle longer than the threshold spins down and stays in standby
+    until the next request arrives (paying the full spin-up then). *)
+
+val tpm_adaptive : Config.t -> ndisks:int -> t
+(** Adaptive-threshold spin-down (the paper's §2 mentions both fixed and
+    adaptive thresholds; this follows Douglis et al.'s multiplicative
+    scheme): each disk starts at the break-even threshold; a spin-down
+    that gets woken before recouping its cost doubles the threshold, one
+    that sleeps well past break-even decays it by 10%, within
+    [2 s, 4 x break-even]. *)
+
+val drpm : Config.t -> ndisks:int -> t
+(** Reactive dynamic-RPM control per Gurumurthi et al.: per-disk windows
+    of [drpm_window] requests; if the window's mean response-time
+    degradation (vs. the full-speed service time) stays below the lower
+    tolerance the disk steps one RPM level down; if it exceeds the upper
+    tolerance the controller restores full speed. *)
+
+val cm_tpm : t
+(** Compiler-managed TPM: obeys [spin_down]/[spin_up] directives only. *)
+
+val cm_drpm : t
+(** Compiler-managed DRPM: obeys [set_RPM] directives only. *)

@@ -1,0 +1,37 @@
+(** Simulation outcomes: everything the experiments report.
+
+    Energy means disk-subsystem energy; execution time is the completion
+    time of the whole application run (paper §4.1). *)
+
+type disk_stats = {
+  energy : float;
+  busy : (float * float) list;  (** Service intervals, sorted. *)
+  requests : int;
+  transitions : int;  (** RPM modulations. *)
+  spin_downs : int;
+  level_residency : float array;
+  standby_time : float;
+}
+
+type t = {
+  scheme : string;
+  program : string;
+  exec_time : float;  (** Seconds. *)
+  energy : float;  (** Joules, summed over disks. *)
+  disks : disk_stats array;
+  gap_choices : (int * float * int) list;
+      (** (disk, time, target level) for every down-modulation decision
+          taken; used for the Table 3 misprediction comparison. *)
+}
+
+val requests : t -> int
+
+val idle_gaps : t -> disk:int -> (float * float) list
+(** Complement of the disk's busy intervals over [\[0, exec_time)] —
+    the idle periods an oracle can exploit. *)
+
+val normalized_energy : t -> base:t -> float
+val normalized_time : t -> base:t -> float
+
+val summary : t -> string
+(** One-line human-readable summary. *)

@@ -1,0 +1,1 @@
+lib/trace/generate.ml: Dpm_cache Dpm_ir Dpm_layout List Option Request Trace

@@ -1,0 +1,1 @@
+lib/trace/generate.mli: Dpm_ir Dpm_layout Trace

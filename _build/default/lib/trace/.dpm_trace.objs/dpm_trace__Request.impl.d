@@ -1,0 +1,1 @@
+lib/trace/request.ml: Dpm_util Format Printf String

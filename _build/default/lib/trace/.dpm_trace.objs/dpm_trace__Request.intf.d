@@ -1,0 +1,1 @@
+lib/trace/request.mli: Format

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Fun List Printf Request Scanf String

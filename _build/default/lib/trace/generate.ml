@@ -1,0 +1,73 @@
+type config = { cost : Dpm_ir.Cost.model; cache_blocks : int }
+
+let default_config = { cost = Dpm_ir.Cost.default; cache_blocks = 1024 }
+
+let run ?(config = default_config) (p : Dpm_ir.Program.t) plan =
+  let cache = Dpm_cache.Lru.create ~capacity:config.cache_blocks in
+  let events = ref [] in
+  let pending_cycles = ref 0 in
+  let current_iter = ref 0 in
+  let flush_think () =
+    let t = Dpm_ir.Cost.seconds config.cost !pending_cycles in
+    pending_cycles := 0;
+    t
+  in
+  let unit_bytes name u =
+    let entry = Dpm_layout.Plan.entry plan name in
+    let ss = entry.Dpm_layout.Plan.striping.Dpm_layout.Striping.stripe_size in
+    let file = Dpm_ir.Array_decl.size_bytes entry.Dpm_layout.Plan.decl in
+    min ss (file - (u * ss))
+  in
+  let touch ~nest ~kind (r : Dpm_ir.Reference.t) env =
+    let idx = Dpm_ir.Reference.eval env r in
+    let u = Dpm_layout.Plan.element_unit plan r.array idx in
+    match Dpm_cache.Lru.access cache (r.array, u) with
+    | `Hit -> ()
+    | `Miss _ ->
+        let io =
+          Request.Io
+            {
+              think = flush_think ();
+              disk = Dpm_layout.Plan.unit_disk plan r.array u;
+              block = Dpm_layout.Plan.unit_global_block plan r.array u;
+              bytes = unit_bytes r.array u;
+              kind;
+              nest;
+              iter = !current_iter;
+            }
+        in
+        events := io :: !events
+  in
+  let callbacks =
+    {
+      Dpm_ir.Enumerate.on_enter =
+        (fun ~nest:_ ~depth ~var:_ ~value ->
+          if depth = 0 then current_iter := value;
+          pending_cycles := !pending_cycles + config.cost.loop_overhead);
+      on_stmt =
+        (fun ~nest s env ->
+          pending_cycles :=
+            !pending_cycles + Dpm_ir.Cost.stmt_cycles config.cost s;
+          List.iter (fun r -> touch ~nest ~kind:Request.Read r env) s.reads;
+          Option.iter
+            (fun w -> touch ~nest ~kind:Request.Write w env)
+            s.write);
+      on_call =
+        (fun ~nest:_ call _env ->
+          let directive =
+            match call with
+            | Dpm_ir.Loop.Spin_down d -> Request.Spin_down d
+            | Dpm_ir.Loop.Spin_up d -> Request.Spin_up d
+            | Dpm_ir.Loop.Set_rpm { level; disk } ->
+                Request.Set_rpm { level; disk }
+          in
+          events := Request.Pm { think = flush_think (); directive } :: !events);
+    }
+  in
+  Dpm_ir.Enumerate.run callbacks p;
+  let tail_think = flush_think () in
+  Trace.make ~tail_think ~program:p.Dpm_ir.Program.name
+    ~ndisks:(Dpm_layout.Plan.ndisks plan)
+    (List.rev !events)
+
+let request_count ?config p plan = Trace.io_count (run ?config p plan)

@@ -1,0 +1,83 @@
+type kind = Read | Write
+
+type io = {
+  think : float;
+  disk : int;
+  block : int;
+  bytes : int;
+  kind : kind;
+  nest : int;
+  iter : int;
+}
+
+type directive =
+  | Spin_down of int
+  | Spin_up of int
+  | Set_rpm of { level : int; disk : int }
+
+type event = Io of io | Pm of { think : float; directive : directive }
+
+let think = function Io io -> io.think | Pm p -> p.think
+
+let pp ppf = function
+  | Io io ->
+      Format.fprintf ppf "io think=%a disk=%d block=%d bytes=%d %s (nest %d, iter %d)"
+        Dpm_util.Units.pp_seconds io.think io.disk io.block io.bytes
+        (match io.kind with Read -> "read" | Write -> "write")
+        io.nest io.iter
+  | Pm { think; directive } -> (
+      match directive with
+      | Spin_down d ->
+          Format.fprintf ppf "pm think=%a spin_down(disk%d)"
+            Dpm_util.Units.pp_seconds think d
+      | Spin_up d ->
+          Format.fprintf ppf "pm think=%a spin_up(disk%d)"
+            Dpm_util.Units.pp_seconds think d
+      | Set_rpm { level; disk } ->
+          Format.fprintf ppf "pm think=%a set_RPM(level%d, disk%d)"
+            Dpm_util.Units.pp_seconds think level disk)
+
+let to_line = function
+  | Io io ->
+      Printf.sprintf "io %.9f %d %d %d %c %d %d" io.think io.disk io.block
+        io.bytes
+        (match io.kind with Read -> 'r' | Write -> 'w')
+        io.nest io.iter
+  | Pm { think; directive } -> (
+      match directive with
+      | Spin_down d -> Printf.sprintf "pm %.9f down %d" think d
+      | Spin_up d -> Printf.sprintf "pm %.9f up %d" think d
+      | Set_rpm { level; disk } ->
+          Printf.sprintf "pm %.9f rpm %d %d" think level disk)
+
+let of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "io"; think; disk; block; bytes; kind; nest; iter ] ->
+      let kind =
+        match kind with
+        | "r" -> Read
+        | "w" -> Write
+        | k -> failwith ("Request.of_line: bad kind " ^ k)
+      in
+      Io
+        {
+          think = float_of_string think;
+          disk = int_of_string disk;
+          block = int_of_string block;
+          bytes = int_of_string bytes;
+          kind;
+          nest = int_of_string nest;
+          iter = int_of_string iter;
+        }
+  | [ "pm"; think; "down"; d ] ->
+      Pm { think = float_of_string think; directive = Spin_down (int_of_string d) }
+  | [ "pm"; think; "up"; d ] ->
+      Pm { think = float_of_string think; directive = Spin_up (int_of_string d) }
+  | [ "pm"; think; "rpm"; level; disk ] ->
+      Pm
+        {
+          think = float_of_string think;
+          directive =
+            Set_rpm { level = int_of_string level; disk = int_of_string disk };
+        }
+  | _ -> failwith ("Request.of_line: malformed line: " ^ line)

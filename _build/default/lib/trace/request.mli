@@ -1,0 +1,49 @@
+(** Trace events.
+
+    The paper's simulator input is a sequence of I/O requests, each
+    "composed of the four parameters: request arrival time, start block
+    number, request size, and request type (read or write)".  Two
+    adaptations:
+
+    - we store {e think time} (compute seconds since the previous event
+      completed) instead of an absolute arrival time, because the replay
+      is closed-loop: a delayed request delays everything after it, which
+      is how power management shows up as an execution-time penalty;
+    - compiler-managed schemes additionally carry explicit
+      power-management directives in the stream, at the positions where
+      the inserted [spin_down]/[spin_up]/[set_RPM] calls execute.
+
+    Each I/O also records which disk it targets (resolved from the layout
+    plan, as the paper's simulator does with its striping parameters) and
+    its provenance (nest index and outermost-loop iteration) for the DAP
+    cross-checks. *)
+
+type kind = Read | Write
+
+type io = {
+  think : float;  (** Compute time before issue, seconds. *)
+  disk : int;
+  block : int;  (** Global start block number. *)
+  bytes : int;
+  kind : kind;
+  nest : int;  (** Source loop nest (0-based). *)
+  iter : int;  (** Outermost-loop iteration of that nest. *)
+}
+
+type directive =
+  | Spin_down of int
+  | Spin_up of int
+  | Set_rpm of { level : int; disk : int }
+
+type event =
+  | Io of io
+  | Pm of { think : float; directive : directive }
+
+val think : event -> float
+val pp : Format.formatter -> event -> unit
+
+val to_line : event -> string
+(** One-line text form (see {!Trace.save}). *)
+
+val of_line : string -> event
+(** Inverse of {!to_line}; raises [Failure] on malformed input. *)

@@ -1,0 +1,98 @@
+type t = {
+  program : string;
+  ndisks : int;
+  events : Request.event array;
+  tail_think : float;
+}
+
+let make ?(tail_think = 0.0) ~program ~ndisks events =
+  if ndisks <= 0 then invalid_arg "Trace.make: non-positive disk count";
+  Array.iter
+    (function
+      | Request.Io io ->
+          if io.disk < 0 || io.disk >= ndisks then
+            invalid_arg "Trace.make: request disk out of range"
+      | Request.Pm _ -> ())
+    (Array.of_list events);
+  { program; ndisks; events = Array.of_list events; tail_think }
+
+let io_count t =
+  Array.fold_left
+    (fun n -> function Request.Io _ -> n + 1 | Request.Pm _ -> n)
+    0 t.events
+
+let pm_count t = Array.length t.events - io_count t
+
+let total_bytes t =
+  Array.fold_left
+    (fun n -> function Request.Io io -> n + io.bytes | Request.Pm _ -> n)
+    0 t.events
+
+let total_think t =
+  Array.fold_left (fun acc e -> acc +. Request.think e) t.tail_think t.events
+
+let io_events t =
+  List.filter_map
+    (function Request.Io io -> Some io | Request.Pm _ -> None)
+    (Array.to_list t.events)
+
+let disks_used t =
+  List.sort_uniq compare (List.map (fun (io : Request.io) -> io.disk) (io_events t))
+
+let map_events f t =
+  {
+    t with
+    events = Array.of_list (List.filter_map f (Array.to_list t.events));
+  }
+
+let without_pm t =
+  let pending = ref 0.0 in
+  let events =
+    List.filter_map
+      (function
+        | Request.Pm { think; _ } ->
+            pending := !pending +. think;
+            None
+        | Request.Io io ->
+            let think = io.think +. !pending in
+            pending := 0.0;
+            Some (Request.Io { io with think }))
+      (Array.to_list t.events)
+  in
+  {
+    t with
+    events = Array.of_list events;
+    tail_think = t.tail_think +. !pending;
+  }
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# program=%s ndisks=%d tail=%.9f\n" t.program t.ndisks
+        t.tail_think;
+      Array.iter (fun e -> output_string oc (Request.to_line e ^ "\n")) t.events)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = input_line ic in
+      let program, ndisks, tail_think =
+        try
+          Scanf.sscanf header "# program=%s@ ndisks=%d tail=%f" (fun p n t ->
+              (p, n, t))
+        with Scanf.Scan_failure _ | End_of_file ->
+          failwith "Trace.load: malformed header"
+      in
+      let events = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             events := Request.of_line line :: !events
+         done
+       with End_of_file -> ());
+      make ~tail_think ~program ~ndisks (List.rev !events))

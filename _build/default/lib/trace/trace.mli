@@ -1,0 +1,48 @@
+(** Trace containers.
+
+    A trace is the ordered event stream of one application run together
+    with the subsystem metadata the simulator needs (program name, disk
+    count).  Traces can be saved to and reloaded from a line-oriented text
+    format, mirroring the externally-provided trace files of the paper's
+    setup. *)
+
+type t = {
+  program : string;
+  ndisks : int;
+  events : Request.event array;
+  tail_think : float;
+      (** Compute time after the last event completes, seconds. *)
+}
+
+val make :
+  ?tail_think:float -> program:string -> ndisks:int -> Request.event list -> t
+
+val io_count : t -> int
+(** Number of I/O requests (Table 2 "Num of Disk Reqs"). *)
+
+val pm_count : t -> int
+val total_bytes : t -> int
+val total_think : t -> float
+(** Sum of think times including the tail: the pure-compute part of the
+    run. *)
+
+val io_events : t -> Request.io list
+(** In order, directives skipped. *)
+
+val disks_used : t -> int list
+(** Sorted list of disks receiving at least one request. *)
+
+val map_events :
+  (Request.event -> Request.event option) -> t -> t
+(** Filter-map over the stream (used to strip or rewrite directives). *)
+
+val without_pm : t -> t
+(** Drops directives, folding their think time into the next event so the
+    compute timeline is preserved. *)
+
+val save : t -> string -> unit
+(** Writes header lines ([# program=... ndisks=...]) then one event per
+    line. *)
+
+val load : string -> t
+(** Inverse of {!save}; raises [Failure] on malformed files. *)

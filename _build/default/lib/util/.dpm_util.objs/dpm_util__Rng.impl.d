@@ -1,0 +1,1 @@
+lib/util/rng.ml: Array Char Int64 String

@@ -1,0 +1,46 @@
+(** Half-open interval lists over floats.
+
+    The simulator and the compiler both reason about disk timelines as
+    unions of half-open intervals [\[lo, hi)]: busy periods, idle gaps,
+    low-power residencies.  This module provides a normalized
+    representation (sorted, disjoint, non-empty, non-adjacent) and the
+    algebra needed to turn an access timeline into an idle-gap list. *)
+
+type t
+(** A normalized set of disjoint half-open intervals. *)
+
+val empty : t
+val is_empty : t -> bool
+
+val of_list : (float * float) list -> t
+(** Builds a normalized set from arbitrary (possibly overlapping, unsorted,
+    or empty) pairs; pairs with [hi <= lo] are dropped. *)
+
+val to_list : t -> (float * float) list
+(** Sorted, disjoint, non-adjacent intervals with [lo < hi]. *)
+
+val singleton : float -> float -> t
+(** [singleton lo hi]; empty if [hi <= lo]. *)
+
+val add : t -> float -> float -> t
+(** Union with a single interval. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+
+val complement : lo:float -> hi:float -> t -> t
+(** [complement ~lo ~hi s] is [\[lo, hi)] minus [s]: the gaps. *)
+
+val measure : t -> float
+(** Total length. *)
+
+val count : t -> int
+(** Number of maximal intervals. *)
+
+val mem : t -> float -> bool
+(** Point membership. *)
+
+val gaps_longer_than : float -> t -> (float * float) list
+(** Maximal intervals of length strictly greater than the threshold. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type t = { mutable state : int64 }
+
+(* Constants from Knuth's MMIX LCG; we keep the top 30 bits of the 64-bit
+   state, which pass the (weak) statistical needs of this code base. *)
+let multiplier = 6364136223846793005L
+let increment = 1442695040888963407L
+
+let create seed = { state = Int64.of_int (seed land max_int) }
+
+let step t =
+  t.state <- Int64.add (Int64.mul t.state multiplier) increment;
+  t.state
+
+let bits t = Int64.to_int (Int64.shift_right_logical (step t) 34)
+
+(* FNV-1a over the tag, folded into the parent's seed.  Uses the current
+   state value but does not advance it, keeping [split] by-value. *)
+let split t tag =
+  let h = ref (Int64.to_int (Int64.shift_right_logical t.state 1)) in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x100000001b3 land max_int)
+    tag;
+  create !h
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec draw () =
+    let r = bits t in
+    let v = r mod n in
+    if r - v > 0x3FFFFFFF - n + 1 then draw () else v
+  in
+  draw ()
+
+let float t x = float_of_int (bits t) /. 1073741824.0 *. x
+let uniform t lo hi = lo +. float t (hi -. lo)
+let symmetric t a = uniform t (-.a) a
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic elements of the reproduction (compiler estimation error,
+    seek-distance jitter) draw from this splittable linear-congruential
+    generator so that every experiment is bit-reproducible across runs and
+    machines.  The stdlib [Random] module is deliberately not used: its
+    algorithm changed between OCaml releases, which would silently change
+    the reproduced numbers. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Two generators created with the
+    same seed produce identical streams. *)
+
+val split : t -> string -> t
+(** [split t tag] derives an independent generator from [t]'s seed and
+    [tag].  Splitting is by value: it does not advance [t], and the derived
+    stream depends only on the original seed and the tag, so adding a new
+    consumer never perturbs existing streams. *)
+
+val bits : t -> int
+(** [bits t] returns 30 uniformly distributed bits and advances [t]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform on [\[0, n)].  [n] must be positive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform on [\[0, x)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform on [\[lo, hi)]. *)
+
+val symmetric : t -> float -> float
+(** [symmetric t a] is uniform on [\[-a, a)]; used for relative-error
+    perturbations. *)
+
+val shuffle : t -> 'a array -> unit
+(** Fisher-Yates in-place shuffle. *)

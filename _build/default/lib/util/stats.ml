@@ -1,0 +1,72 @@
+let total = List.fold_left ( +. ) 0.0
+
+let mean = function
+  | [] -> 0.0
+  | xs -> total xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      let logsum = List.fold_left (fun a x -> a +. log x) 0.0 xs in
+      exp (logsum /. float_of_int (List.length xs))
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty list"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty list"
+  | x :: xs -> List.fold_left max x xs
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      List.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs /. n
+
+let stddev xs = sqrt (variance xs)
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  let rank =
+    int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1
+  in
+  let rank = max 0 (min (n - 1) rank) in
+  List.nth sorted rank
+
+let ratio a b = if b = 0.0 then 0.0 else a /. b
+
+type accumulator = {
+  mutable count : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let acc_create () =
+  { count = 0; sum = 0.0; sumsq = 0.0; mn = infinity; mx = neg_infinity }
+
+let acc_add a x =
+  a.count <- a.count + 1;
+  a.sum <- a.sum +. x;
+  a.sumsq <- a.sumsq +. (x *. x);
+  if x < a.mn then a.mn <- x;
+  if x > a.mx then a.mx <- x
+
+let acc_count a = a.count
+let acc_sum a = a.sum
+let acc_mean a = if a.count = 0 then 0.0 else a.sum /. float_of_int a.count
+let acc_min a = a.mn
+let acc_max a = a.mx
+
+let acc_stddev a =
+  if a.count < 2 then 0.0
+  else
+    let m = acc_mean a in
+    sqrt (max 0.0 ((a.sumsq /. float_of_int a.count) -. (m *. m)))

@@ -1,0 +1,42 @@
+(** Small descriptive-statistics helpers used by the simulator results and
+    the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 on the empty list. *)
+
+val total : float list -> float
+(** Sum. *)
+
+val minimum : float list -> float
+(** Smallest element; raises [Invalid_argument] on the empty list. *)
+
+val maximum : float list -> float
+(** Largest element; raises [Invalid_argument] on the empty list. *)
+
+val variance : float list -> float
+(** Population variance; 0 for fewer than two samples. *)
+
+val stddev : float list -> float
+(** Square root of {!variance}. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0, 100\]], nearest-rank on the sorted
+    sample.  Raises [Invalid_argument] on the empty list. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a /. b], or 0 when [b = 0]; used for normalizations. *)
+
+type accumulator
+(** Streaming accumulator: count, sum, min, max, sum of squares. *)
+
+val acc_create : unit -> accumulator
+val acc_add : accumulator -> float -> unit
+val acc_count : accumulator -> int
+val acc_mean : accumulator -> float
+val acc_sum : accumulator -> float
+val acc_min : accumulator -> float
+val acc_max : accumulator -> float
+val acc_stddev : accumulator -> float

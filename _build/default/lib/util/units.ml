@@ -1,0 +1,22 @@
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+let bytes_of_mb x = int_of_float (Float.round (x *. 1024.0 *. 1024.0))
+let mb_of_bytes b = float_of_int b /. (1024.0 *. 1024.0)
+let ms x = x /. 1000.0
+let s_to_ms x = x *. 1000.0
+let us x = x /. 1_000_000.0
+
+let pp_bytes ppf b =
+  let fb = float_of_int b in
+  if b >= mib 1 then Format.fprintf ppf "%.1f MB" (fb /. 1048576.0)
+  else if b >= kib 1 then Format.fprintf ppf "%.1f KB" (fb /. 1024.0)
+  else Format.fprintf ppf "%d B" b
+
+let pp_seconds ppf t =
+  if Float.abs t >= 1.0 then Format.fprintf ppf "%.2f s" t
+  else if Float.abs t >= 0.001 then Format.fprintf ppf "%.2f ms" (t *. 1000.0)
+  else Format.fprintf ppf "%.1f us" (t *. 1_000_000.0)
+
+let pp_joules ppf e =
+  if Float.abs e >= 1000.0 then Format.fprintf ppf "%.2f kJ" (e /. 1000.0)
+  else Format.fprintf ppf "%.2f J" e

@@ -1,0 +1,32 @@
+(** Unit conventions and conversions.
+
+    Internally the whole code base uses SI base units: seconds for time,
+    bytes for sizes, joules for energy, watts for power.  The paper mixes
+    milliseconds, kilobytes and megabytes; these helpers keep conversions
+    in one place and the call sites readable. *)
+
+val kib : int -> int
+(** [kib n] is [n] kibibytes in bytes. *)
+
+val mib : int -> int
+(** [mib n] is [n] mebibytes in bytes. *)
+
+val bytes_of_mb : float -> int
+(** Fractional mebibytes to bytes (rounded); Table 2 sizes are given in
+    fractional MB. *)
+
+val mb_of_bytes : int -> float
+val ms : float -> float
+(** Milliseconds to seconds. *)
+
+val s_to_ms : float -> float
+val us : float -> float
+(** Microseconds to seconds. *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Human-readable size, e.g. ["176.7 MB"]. *)
+
+val pp_seconds : Format.formatter -> float -> unit
+(** Human-readable duration, e.g. ["248.79 s"] or ["3.40 ms"]. *)
+
+val pp_joules : Format.formatter -> float -> unit

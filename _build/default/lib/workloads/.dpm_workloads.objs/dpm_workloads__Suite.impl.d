@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Applu Dpm_compiler Dpm_disk Dpm_ir Dpm_layout Float Galgel List Mesa Mgrid Printf String Swim Wupwise

@@ -1,0 +1,1 @@
+lib/workloads/suite.mli: Dpm_disk Dpm_ir Dpm_layout

@@ -1,0 +1,1 @@
+lib/workloads/wupwise.ml: Buffer Printf

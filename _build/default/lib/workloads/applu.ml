@@ -1,0 +1,57 @@
+(* Arrays: a, b 24x64 (12 MB each, row-swept); c, d 384x4 tall-thin
+   (12 MB each, column-swept, thrashing as a pair); rsd 13x64 (6.5 MB);
+   tmat 1x32 (0.25 MB).  Total 54.75 MB vs. paper 54.7.
+
+   The SSOR structure is phase-contiguous: one long jacld/blts block
+   (three row-order sweeps of a and b as independent statements), one
+   long jacu/buts block (three column-order passes over the tall
+   arrays), and a compute-dominated RHS phase.  After layout-aware
+   fission each array group owns its disks for a whole multi-sweep phase,
+   so the other groups' disks see idle runs beyond the TPM break-even —
+   the effect behind the paper's "code transformations make TPM a viable
+   option". *)
+
+let source () =
+  {|# 173.applu -- SSOR kernel re-creation
+array a[24][64] : 8192
+array b[24][64] : 8192
+array c[384][4] : 8192
+array d[384][4] : 8192
+array rsd[13][64] : 8192
+array tmat[1][32] : 8192
+
+# init: load the residual and workspace
+for i = 0 to 12 { for j = 0 to 63 { use rsd[i][j] work 80 } }
+for j = 0 to 31 { use tmat[0][j] work 80 }
+
+# jacld/blts block: three lower sweeps, independent statements
+for r = 1 to 3 { for i = 0 to 23 { for j = 0 to 63 {
+    use a[i][j] work 40
+    use b[i][j] work 40
+} } }
+
+# jacu/buts block: three upper passes over the tall coefficient arrays
+for r = 1 to 3 { for j = 0 to 3 { for i = 0 to 383 {
+    c[i][j] = c[i][j] + d[i][j] + rsd[i/32][16*j] work 120
+} } }
+
+# rhs: compute-dominated phases on the resident workspace, punctuated by
+# small row touches that keep per-disk idleness below the TPM range
+for s = 1 to 16 { for j = 0 to 31 { use tmat[0][j] work 2600 } }
+for j = 0 to 63 { use a[0][j] work 40 }
+for s = 1 to 16 { for j = 0 to 31 { use tmat[0][j] work 2600 } }
+for j = 0 to 63 { use a[1][j] work 40 }
+for s = 1 to 16 { for j = 0 to 31 { use tmat[0][j] work 2600 } }
+
+# final lower sweep
+for i = 0 to 23 { for j = 0 to 63 {
+    use a[i][j] work 40
+    use b[i][j] work 40
+} }
+
+# pintgr post-processing: full passes over the coefficient arrays
+for i = 0 to 383 { for j = 0 to 3 { use c[i][j] work 60 } }
+for i = 0 to 383 { for j = 0 to 3 { use d[i][j] work 60 } }
+for i = 0 to 12 { for j = 0 to 63 { use rsd[i][j] work 60 } }
+for i = 0 to 12 { for j = 0 to 63 { use a[i][j] + tmat[0][2*j/4] work 60 } }
+|}

@@ -1,0 +1,10 @@
+(** 173.applu re-creation (SSOR solver).
+
+    Alternating lower/upper sweeps: the jacld/blts phase reads two 12 MB
+    coefficient arrays row-wise with independent statements (fissionable
+    into {a} and {b}); the jacu/buts phase updates two tall-thin arrays
+    column-wise, refetching stripe units because the interleaved working
+    set exceeds the cache — the non-conforming pattern that makes applu
+    profit from both LF+DL and TL+DL in the paper. *)
+
+val source : unit -> string

@@ -1,0 +1,43 @@
+(* Arrays: k 24x64 (12 MB), x and b 4x64 (2 MB each).  Total 16 MB.
+   The working set per assembly sweep (k + x + b = 256 units) exceeds the
+   192-unit cache, so the sweeps miss throughout: four time steps of two
+   sweeps each, plus the initial vector load, give 2,040 requests vs. the
+   paper's 2,048.  The column-blocked visit order clusters requests per
+   disk; the eigenproblem phases between sweeps are compute-dominated. *)
+
+let step =
+  {|
+# assembly: one coupled group; column-blocked visit clusters per disk
+for j = 0 to 63 { for i = 0 to 23 {
+    b[i/6][j] = k[i][j] + x[i/6][j] work 180
+} }
+# eigenproblem iteration: compute-dominated revisit of the vectors
+for s = 1 to 36 { for j = 0 to 55 {
+    b[0][j] = b[0][j] + x[0][j] work 1400
+} }
+# back-substitution sweep
+for j = 0 to 63 { for i = 0 to 23 {
+    b[i/6][j] = k[i][j] + x[i/6][j] work 180
+} }
+# second eigenproblem phase
+for s = 1 to 36 { for j = 0 to 63 {
+    b[0][j] = b[0][j] + x[0][j] work 1400
+} }
+|}
+
+let source () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    {|# 178.galgel -- Galerkin FEM re-creation
+array k[24][64] : 8192
+array x[4][64] : 8192
+array b[4][64] : 8192
+
+# init: load the vectors and the matrix head
+for i = 0 to 3 { for j = 0 to 63 { use x[i][j] + b[i][j] work 100 } }
+for i = 0 to 1 { for j = 0 to 63 { use k[i][j] work 100 } }
+|};
+  for _t = 1 to 4 do
+    Buffer.add_string buf step
+  done;
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** 178.galgel re-creation (Galerkin FEM).
+
+    A single stiffness matrix swept row-wise against two small coupled
+    vectors — one array group, so galgel contains no fissionable nest,
+    and the access pattern already conforms to the row-major layout, so
+    layout-aware tiling finds nothing either: the paper reports galgel
+    gains from neither LF+DL nor TL+DL. *)
+
+val source : unit -> string

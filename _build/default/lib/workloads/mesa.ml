@@ -1,0 +1,40 @@
+(* Arrays: fb 16x64 (8 MB), tex1/tex2 512x2 tall-thin (8 MB each).
+   Total 24 MB, matching the paper.  Each frame: rasterization sweep of
+   the frame buffer, a geometry phase computing on the resident last row,
+   and a column-order texture pass that thrashes (the pair exceeds the
+   cache) — the non-conforming pattern behind mesa's TL+DL benefit. *)
+
+let frame =
+  {|
+# composite: frame-buffer write plus texture prefetch (two array groups)
+for i = 0 to 15 { for j = 0 to 63 {
+    fb[i][j] = fb[i][j] work 250
+    for k = 0 to 0 { use tex1[0][j/32] work 100 }
+} }
+# geometry: compute-dominated phase on the resident row
+for s = 1 to 30 { for j = 0 to 63 { use fb[15][j] work 900 } }
+# texture sampling: column-order, the pair thrashes the cache
+for j = 0 to 1 { for i = 0 to 511 {
+    use tex1[i][j] + tex2[i][j] work 110
+} }
+|}
+
+let source () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    {|# 177.mesa -- rasterization re-creation
+array fb[16][64] : 8192
+array tex1[512][2] : 8192
+array tex2[512][2] : 8192
+|};
+  for _f = 1 to 4 do
+    Buffer.add_string buf frame
+  done;
+  Buffer.add_string buf
+    {|
+# final texture pass
+for j = 0 to 1 { for i = 0 to 511 {
+    use tex1[i][j] + tex2[i][j] work 110
+} }
+|};
+  Buffer.contents buf

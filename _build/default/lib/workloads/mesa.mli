@@ -1,0 +1,12 @@
+(** 177.mesa re-creation (software rasterization).
+
+    A frame buffer swept row-wise per frame and two tall-thin texture
+    arrays sampled column-wise (the pair exceeds the cache, so texture
+    passes refetch — the non-conforming pattern behind mesa's TL+DL
+    benefit).  The per-frame composite nest mixes a frame-buffer statement
+    with a texture prefetch statement from a different array group, making
+    mesa fissionable (LF+DL benefit); an inner unit loop keeps that nest
+    out of the tiling candidate set, as the rasterizer's real inner loops
+    would. *)
+
+val source : unit -> string

@@ -1,0 +1,47 @@
+(* Grids: u0 24x64 (12 MB), r0 17x64 (8.5 MB, 12 rows hot), u1 6x64
+   (3 MB), u2 2x64 (1 MB), r1 2x16 (0.25 MB).  Total 24.75 MB vs. the
+   paper's 24.7.  Each V-cycle does six column-order line-relaxation
+   sweeps over the fine level (u0 + r0 exceed the cache, so every unit
+   misses; 512 KB rows pin one disk per column group) followed by a long
+   coarse-grid correction on resident grids — the all-disk compute
+   windows that shape mgrid's idle structure. *)
+
+let fine =
+  {|
+for j = 0 to 63 { for i = 0 to 23 { u0[i][j] = u0[i][j] + r0[i/2][j] work 60 } }
+|}
+
+let cycle =
+  "\n# fine line relaxation (six directional sweeps): every unit misses\n"
+  ^ fine ^ fine ^ fine ^ fine ^ fine ^ fine
+  ^ {|
+# coarse correction: resident grids, compute-dominated; fissionable pairs
+for s = 1 to 60 { for i = 0 to 5 { for j = 0 to 63 {
+    u1[i][j] = u1[i][j] + r1[i/3][j/4] work 700
+    u2[i/3][j] = u2[i/3][j] work 250
+} } }
+|}
+
+let source () =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    {|# 172.mgrid -- multigrid V-cycle re-creation
+array u0[24][64] : 8192
+array r0[17][64] : 8192
+array u1[6][64] : 8192
+array u2[2][64] : 8192
+array r1[2][16] : 8192
+
+# init sweep of the fine level
+for i = 0 to 23 { for j = 0 to 63 { use u0[i][j] work 60 } }
+for i = 0 to 16 { for j = 0 to 63 { use r0[i][j] work 60 } }
+|};
+  for _c = 1 to 6 do
+    Buffer.add_string buf cycle
+  done;
+  Buffer.add_string buf
+    ("\n# closing smoothing passes\n" ^ fine ^ fine ^ fine ^ fine
+   ^ {|
+for i = 0 to 3 { for j = 0 to 63 { use u0[i][j] work 60 } }
+|});
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** 172.mgrid re-creation (multigrid V-cycles).
+
+    One fine grid plus residual (together larger than the buffer cache,
+    so each V-cycle's fine smoothing misses throughout) and a hierarchy of
+    coarse grids that fit in cache, whose repeated smoothing forms the
+    long all-disk compute phases characteristic of mgrid's 31 effective
+    sweeps over only 24.7 MB.  Fine and coarse smoothing statements touch
+    disjoint array couples, so the correction nest is fissionable —
+    mgrid profits from LF+DL in the paper. *)
+
+val source : unit -> string

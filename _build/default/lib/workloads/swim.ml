@@ -1,0 +1,34 @@
+(* Grids are 32 x 64 elements of 8 KB (16 MB each, 256 stripe units; rows
+   of 8 units span all disks, columns pin one).  Total 96 MB.  The CALC
+   kernels form one long column-order nest so each disk's busy phase is
+   contiguous and the other seven disks see second-scale idle windows. *)
+
+let source () =
+  {|# 171.swim -- shallow-water kernel re-creation
+array u[32][64] : 8192
+array v[32][64] : 8192
+array p[32][64] : 8192
+array cu[32][64] : 8192
+array cv[32][64] : 8192
+array z[32][64] : 8192
+
+# init: row-order sweep
+for i = 0 to 31 { for j = 0 to 63 { z[i][j] = p[i][j] work 60 } }
+
+# calc1+calc2: column-order fluxes and height update; the statement
+# pairs couple disjoint arrays, so swim is fissionable (three groups)
+for j = 0 to 63 { for i = 0 to 31 {
+    cu[i][j] = u[i][j] work 1000
+    cv[i][j] = v[i][j] work 1000
+    z[i][j] = z[i][j] + p[i][j] work 1000
+} }
+
+# calc3: row-order velocity update
+for i = 0 to 31 { for j = 0 to 63 { u[i][j] = u[i][j] + cu[i][j] work 120 } }
+
+# time-smoothing: column-order
+for j = 0 to 63 { for i = 0 to 31 { v[i][j] = v[i][j] + cv[i][j] work 500 } }
+
+# diagnostics: repeated sweep of a small resident region (pure compute)
+for s = 1 to 24 { for i = 0 to 10 { for j = 0 to 63 { use p[i][j] work 350 } } }
+|}

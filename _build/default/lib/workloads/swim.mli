@@ -1,0 +1,11 @@
+(** 171.swim re-creation (shallow-water stencils).
+
+    Six 16 MB grids.  The CALC kernels are modeled as column-order sweeps
+    whose 512 KB rows pin one disk per column group — the phase structure
+    that gives each disk second-scale idle windows — plus row-order update
+    sweeps and a short cached smoothing phase.  The main kernel contains
+    independent statement pairs over disjoint array couples, so swim is
+    fissionable into three array groups ({u,cu}, {v,cv}, {p,z}),
+    matching the paper's finding that swim profits from LF+DL. *)
+
+val source : unit -> string

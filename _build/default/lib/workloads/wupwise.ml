@@ -1,0 +1,52 @@
+(* Dimensions: m1..m4 are 459 x 12 elements of 8 KB (43.0 MB each); a row
+   is 1.5 stripe units, so column-order sweeps walk all eight disks, and
+   459 rows against the 192-unit cache means every access refetches its
+   unit — the non-conforming pattern TL+DL repairs.  v1/v2 are 19 x 16
+   (2.375 MB each, resident between phases).  Total 176.85 MB vs. the
+   paper's 176.7. *)
+
+let zaxpy k half =
+  Printf.sprintf
+    {|
+# zcopy %d%s: reload the vectors evicted by the zgemm stream
+for i = 0 to 18 { for j = 0 to 15 { v1[i][j] = v2[i][j] work 200 } }
+# zaxpy phase %d%s: pure compute on the resident vectors
+for r = 1 to 12 { for i = 0 to 18 { for j = 0 to 15 {
+    v1[i][j] = v1[i][j] + v2[i][j] work 1500
+} } }
+# small I/O touch keeps per-disk idleness below the TPM range
+for i = 0 to 5 { for j = 0 to 11 { use m%d[i][j] work 60 } }
+|}
+    k half k half k
+
+let matrix_nest k =
+  Printf.sprintf
+    {|
+# zgemm phase %d: column-order sweep of m%d (non-conforming access)
+for j = 0 to 11 { for i = 0 to 458 {
+    v2[i/25][j] = m%d[i][j] + v1[i/25][j] work 60
+} }
+|}
+    k k k
+  ^ zaxpy k "a"
+  ^ zaxpy k "b"
+
+let source () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    {|# 168.wupwise -- lattice QCD kernel re-creation
+array m1[459][12] : 8192
+array m2[459][12] : 8192
+array m3[459][12] : 8192
+array m4[459][12] : 8192
+array v1[19][16] : 8192
+array v2[19][16] : 8192
+
+# initialization: load the vectors and the head of m1 (conforming order)
+for i = 0 to 18 { for j = 0 to 15 { v1[i][j] = v2[i][j] work 200 } }
+for i = 0 to 299 { for j = 0 to 11 { use m1[i][j] work 40 } }
+|};
+  for k = 1 to 4 do
+    Buffer.add_string buf (matrix_nest k)
+  done;
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** 168.wupwise re-creation (lattice QCD, BLAS-heavy).
+
+    Structure: four large matrices are swept column-wise against two small
+    resident vectors (zgemm-like), interleaved with long zaxpy compute
+    phases on the cached vectors.  The matrices are stored row-major but
+    accessed column-wise with more rows than the buffer cache holds, so
+    every element access refetches its stripe unit — the non-conforming
+    access pattern the paper says makes wupwise profit from layout-aware
+    tiling (TL+DL) while containing no fissionable nest (every statement
+    is coupled through the vector chain). *)
+
+val source : unit -> string

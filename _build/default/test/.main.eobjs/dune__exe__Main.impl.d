@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_cache Test_compiler Test_core Test_disk Test_ir Test_layout Test_sim Test_trace Test_util Test_workloads

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Dpm_cache List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Dpm_compiler Dpm_disk Dpm_ir Dpm_layout Dpm_trace Dpm_util Float List

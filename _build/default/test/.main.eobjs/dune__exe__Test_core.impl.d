@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Dpm_compiler Dpm_core Dpm_sim Dpm_workloads Float Lazy List String

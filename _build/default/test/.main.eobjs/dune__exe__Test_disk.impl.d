@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Dpm_disk Dpm_util Fun List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Dpm_ir List QCheck2 QCheck_alcotest String

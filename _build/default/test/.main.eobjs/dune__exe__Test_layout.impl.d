@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Dpm_ir Dpm_layout Dpm_util Hashtbl List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dpm_disk Dpm_sim Dpm_trace Dpm_util List QCheck2 QCheck_alcotest

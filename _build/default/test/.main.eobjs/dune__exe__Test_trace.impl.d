@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Dpm_ir Dpm_layout Dpm_trace Dpm_util Filename Float Fun List QCheck2 QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dpm_util Float Fun List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Dpm_compiler Dpm_disk Dpm_ir Dpm_trace Dpm_util Dpm_workloads Float List Printf

@@ -1,0 +1,7 @@
+(* Aggregates all suites; one alcotest binary run by `dune runtest`. *)
+
+let () =
+  Alcotest.run "dpm"
+    (Test_util.suite @ Test_ir.suite @ Test_layout.suite @ Test_cache.suite
+   @ Test_disk.suite @ Test_trace.suite @ Test_sim.suite @ Test_compiler.suite
+   @ Test_workloads.suite @ Test_core.suite)

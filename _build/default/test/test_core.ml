@@ -1,0 +1,156 @@
+(* End-to-end tests for Dpm_core: the qualitative claims of the paper's
+   evaluation, verified on the fastest benchmark (galgel) plus targeted
+   checks on swim.  These are the "shape" assertions of Figures 3/4. *)
+
+module Scheme = Dpm_core.Scheme
+module Experiment = Dpm_core.Experiment
+module Figures = Dpm_core.Figures
+module Result = Dpm_sim.Result
+
+let galgel = lazy (Experiment.workload (Dpm_workloads.Suite.find "galgel"))
+
+let galgel_results =
+  lazy
+    (let p, plan = Lazy.force galgel in
+     let spec = Dpm_workloads.Suite.find "galgel" in
+     Experiment.run_all
+       ~setup:{ Experiment.default_setup with noise = spec.noise }
+       p plan)
+
+let energy s = (List.assoc s (Lazy.force galgel_results)).Result.energy
+let time s = (List.assoc s (Lazy.force galgel_results)).Result.exec_time
+
+let test_scheme_names () =
+  Alcotest.(check int) "seven schemes" 7 (List.length Scheme.all);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "name round-trip" true
+        (Scheme.of_name (Scheme.name s) = s))
+    Scheme.all;
+  Alcotest.(check bool) "case-insensitive" true
+    (Scheme.of_name "cmdrpm" = Scheme.Cmdrpm);
+  Alcotest.(check bool) "cm flags" true
+    (Scheme.is_compiler_managed Scheme.Cmtpm
+    && not (Scheme.is_compiler_managed Scheme.Drpm));
+  Alcotest.(check bool) "ideal flags" true
+    (Scheme.is_ideal Scheme.Idrpm && not (Scheme.is_ideal Scheme.Cmdrpm))
+
+(* Paper claim: TPM-family schemes achieve no savings on these codes
+   (idle periods below the spin-down break-even). *)
+let test_tpm_family_inert () =
+  let base = energy Scheme.Base in
+  Alcotest.(check (float 1e-6)) "TPM = Base" base (energy Scheme.Tpm);
+  Alcotest.(check (float 1e-6)) "ITPM = Base" base (energy Scheme.Itpm);
+  Alcotest.(check (float 1e-6)) "CMTPM = Base" base (energy Scheme.Cmtpm)
+
+(* Paper claim: the proactive scheme beats the reactive one and comes
+   close to (never beats) the oracle. *)
+let test_drpm_family_ordering () =
+  Alcotest.(check bool) "CMDRPM saves vs Base" true
+    (energy Scheme.Cmdrpm < energy Scheme.Base);
+  Alcotest.(check bool) "CMDRPM beats reactive DRPM" true
+    (energy Scheme.Cmdrpm < energy Scheme.Drpm);
+  Alcotest.(check bool) "oracle is a lower bound" true
+    (energy Scheme.Idrpm <= energy Scheme.Cmdrpm +. 1e-6)
+
+(* Paper claim: CMDRPM incurs almost no performance penalty; the ideal
+   schemes incur none at all. *)
+let test_time_penalties () =
+  let base = time Scheme.Base in
+  Alcotest.(check (float 1e-9)) "IDRPM no penalty" base (time Scheme.Idrpm);
+  Alcotest.(check (float 1e-9)) "ITPM no penalty" base (time Scheme.Itpm);
+  Alcotest.(check bool) "CMDRPM within 5%" true
+    (time Scheme.Cmdrpm <= base *. 1.05)
+
+let test_misprediction_bounds () =
+  let p, plan = Lazy.force galgel in
+  let spec = Dpm_workloads.Suite.find "galgel" in
+  let m =
+    Experiment.misprediction_pct
+      ~setup:{ Experiment.default_setup with noise = spec.noise }
+      p plan
+  in
+  Alcotest.(check bool) "in [0, 100]" true (m >= 0.0 && m <= 100.0);
+  (* Zero noise leaves nothing to mispredict beyond granularity; it must
+     not be larger than the noisy figure by more than a rounding step. *)
+  let m0 = Experiment.misprediction_pct p plan in
+  Alcotest.(check bool) "noise-free mispredicts less" true (m0 <= m +. 1e-9)
+
+let test_run_single_matches_run_all () =
+  let p, plan = Lazy.force galgel in
+  let spec = Dpm_workloads.Suite.find "galgel" in
+  let setup = { Experiment.default_setup with noise = spec.noise } in
+  let single = Experiment.run ~setup Scheme.Cmdrpm p plan in
+  Alcotest.(check (float 1e-6)) "single = grid"
+    (energy Scheme.Cmdrpm) single.Result.energy
+
+(* Transformations: the paper's per-benchmark applicability claims. *)
+let test_transforms_leave_galgel_alone () =
+  let p, plan = Lazy.force galgel in
+  List.iter
+    (fun v ->
+      let setup = { Experiment.default_setup with version = v } in
+      let r = Experiment.run ~setup Scheme.Base p plan in
+      (* galgel is not fissionable and its tiled layout stays row-major,
+         so LF must be an identity and TL must stay within 3%. *)
+      match v with
+      | Dpm_compiler.Pipeline.LF | Dpm_compiler.Pipeline.LF_DL ->
+          Alcotest.(check (float 1e-6)) "LF identity" (energy Scheme.Base)
+            r.Result.energy
+      | Dpm_compiler.Pipeline.TL | Dpm_compiler.Pipeline.TL_DL
+      | Dpm_compiler.Pipeline.TL_ALL_DL ->
+          Alcotest.(check bool) "TL within 3%" true
+            (Float.abs (r.Result.energy -. energy Scheme.Base)
+            <= 0.03 *. energy Scheme.Base)
+      | Dpm_compiler.Pipeline.Orig -> ())
+    Dpm_compiler.Pipeline.all_versions
+
+let test_closed_loop_penalizes_delays () =
+  let p, plan = Lazy.force galgel in
+  let spec = Dpm_workloads.Suite.find "galgel" in
+  let setup =
+    { Experiment.default_setup with noise = spec.noise; mode = `Closed }
+  in
+  let results =
+    Experiment.run_all ~setup ~schemes:[ Scheme.Base; Scheme.Drpm ] p plan
+  in
+  let base = List.assoc Scheme.Base results in
+  let drpm = List.assoc Scheme.Drpm results in
+  Alcotest.(check bool) "reactive DRPM pays time in closed loop" true
+    (drpm.Result.exec_time >= base.Result.exec_time)
+
+let test_figures_smoke () =
+  (* The cheap figures render with the right shape; the expensive grids
+     are covered by the benchmark harness. *)
+  let t2 = Figures.table2 () in
+  Alcotest.(check int) "table2 rows" 6 (List.length t2.Figures.rows);
+  Alcotest.(check bool) "table2 rendered" true
+    (String.length t2.Figures.rendered > 100);
+  let t1 = Figures.table1 () in
+  Alcotest.(check bool) "table1 mentions the disk" true
+    (let s = t1.Figures.rendered in
+     let rec find i =
+       i + 8 <= String.length s && (String.sub s i 8 = "Ultrasta" || find (i + 1))
+     in
+     find 0)
+
+let suite =
+  [
+    ( "core.scheme",
+      [ Alcotest.test_case "names and flags" `Quick test_scheme_names ] );
+    ( "core.experiment",
+      [
+        Alcotest.test_case "TPM family inert" `Quick test_tpm_family_inert;
+        Alcotest.test_case "DRPM family ordering" `Quick
+          test_drpm_family_ordering;
+        Alcotest.test_case "time penalties" `Quick test_time_penalties;
+        Alcotest.test_case "misprediction bounds" `Quick
+          test_misprediction_bounds;
+        Alcotest.test_case "run = run_all" `Quick test_run_single_matches_run_all;
+        Alcotest.test_case "galgel transform-inert" `Quick
+          test_transforms_leave_galgel_alone;
+        Alcotest.test_case "closed loop penalty" `Quick
+          test_closed_loop_penalizes_delays;
+      ] );
+    ("core.figures", [ Alcotest.test_case "smoke" `Quick test_figures_smoke ]);
+  ]

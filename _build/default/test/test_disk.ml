@@ -1,0 +1,195 @@
+(* Tests for Dpm_disk: the RPM ladder, the power model and its per-gap
+   optimization, and the service-time model (checked against the figures
+   implied by the paper's Table 2). *)
+
+module Specs = Dpm_disk.Specs
+module Rpm = Dpm_disk.Rpm
+module Power = Dpm_disk.Power
+module Service = Dpm_disk.Service
+
+let specs = Specs.ultrastar_36z15
+let top = Rpm.max_level specs
+let check_float = Alcotest.(check (float 1e-6))
+
+(* --- Rpm --- *)
+
+let test_rpm_ladder () =
+  Alcotest.(check int) "11 levels" 11 (Rpm.num_levels specs);
+  Alcotest.(check int) "bottom" 3000 (Rpm.rpm_of_level specs 0);
+  Alcotest.(check int) "top" 15000 (Rpm.rpm_of_level specs top);
+  Alcotest.(check int) "step" 4200 (Rpm.rpm_of_level specs 1)
+
+let test_rpm_level_of_rpm () =
+  Alcotest.(check int) "exact" 0 (Rpm.level_of_rpm specs 3000);
+  Alcotest.(check int) "round up" 1 (Rpm.level_of_rpm specs 3001);
+  Alcotest.(check int) "clamp low" 0 (Rpm.level_of_rpm specs 100);
+  Alcotest.(check int) "clamp high" top (Rpm.level_of_rpm specs 99999)
+
+let test_rpm_transitions () =
+  check_float "same level" 0.0 (Rpm.transition_time specs ~from_level:3 ~to_level:3);
+  let t1 = Rpm.transition_time specs ~from_level:top ~to_level:0 in
+  check_float "full swing" (12000.0 *. specs.Specs.rpm_transition_per_rpm) t1;
+  check_float "symmetric" t1 (Rpm.transition_time specs ~from_level:0 ~to_level:top);
+  Alcotest.(check bool) "much smaller than spin-up" true
+    (t1 < specs.Specs.t_spin_up /. 2.0)
+
+let test_rpm_transition_energy_conservative () =
+  (* Charged at the idle power of the faster level involved. *)
+  let e = Rpm.transition_energy specs ~from_level:top ~to_level:0 in
+  let t = Rpm.transition_time specs ~from_level:top ~to_level:0 in
+  check_float "faster-level power" (specs.Specs.p_idle *. t) e
+
+let test_rpm_out_of_range () =
+  Alcotest.check_raises "level 11"
+    (Invalid_argument "Rpm.rpm_of_level: level 11 out of range") (fun () ->
+      ignore (Rpm.rpm_of_level specs 11))
+
+(* --- Power --- *)
+
+let test_power_endpoints () =
+  check_float "idle at top" specs.Specs.p_idle (Power.idle specs ~level:top);
+  check_float "active at top" specs.Specs.p_active (Power.active specs ~level:top);
+  check_float "standby" specs.Specs.p_standby (Power.standby specs)
+
+let test_power_monotone_in_level () =
+  for l = 0 to top - 1 do
+    Alcotest.(check bool) "idle increases" true
+      (Power.idle specs ~level:l < Power.idle specs ~level:(l + 1));
+    Alcotest.(check bool) "active increases" true
+      (Power.active specs ~level:l < Power.active specs ~level:(l + 1));
+    Alcotest.(check bool) "active > idle" true
+      (Power.active specs ~level:l > Power.idle specs ~level:l)
+  done;
+  Alcotest.(check bool) "idle above standby" true
+    (Power.idle specs ~level:0 > Power.standby specs)
+
+let test_power_tpm_break_even () =
+  let be = Power.tpm_break_even specs in
+  (* Hand computation from Table 1:
+     (13 + 135 - 2.5 * 12.4) / (10.2 - 2.5) = 15.19s. *)
+  Alcotest.(check (float 0.01)) "break-even" 15.19 be;
+  (* At the break-even point, spinning down neither wins nor loses. *)
+  let plan = Power.best_tpm_plan specs (be +. 1.0) in
+  Alcotest.(check bool) "spins beyond break-even" true plan.Power.spin_down;
+  let plan2 = Power.best_tpm_plan specs (be -. 1.0) in
+  Alcotest.(check bool) "stays below break-even" false plan2.Power.spin_down
+
+let test_power_tpm_plan_energy () =
+  let gap = 30.0 in
+  let plan = Power.best_tpm_plan specs gap in
+  let expected =
+    specs.Specs.e_spin_down +. specs.Specs.e_spin_up
+    +. (specs.Specs.p_standby
+       *. (gap -. specs.Specs.t_spin_down -. specs.Specs.t_spin_up))
+  in
+  check_float "spin-down energy" expected plan.Power.energy;
+  Alcotest.(check bool) "beats staying" true
+    (plan.Power.energy < Power.baseline_gap_energy specs gap)
+
+let test_power_drpm_plan_tiny_gap () =
+  let plan = Power.best_drpm_plan specs 0.001 in
+  Alcotest.(check int) "stays at top" top plan.Power.level;
+  Alcotest.(check bool) "no spin" true (not plan.Power.spin_down)
+
+let test_power_drpm_plan_long_gap () =
+  let plan = Power.best_drpm_plan specs 60.0 in
+  Alcotest.(check bool) "drops deep" true (plan.Power.level <= 1);
+  Alcotest.(check bool) "fits" true
+    (plan.Power.down_time +. plan.Power.up_time <= 60.0);
+  Alcotest.(check bool) "saves" true
+    (plan.Power.energy < Power.baseline_gap_energy specs 60.0)
+
+let qcheck_drpm_plan_optimal =
+  (* The chosen level beats every other feasible level. *)
+  QCheck2.Test.make ~count:200 ~name:"power: best_drpm_plan is argmin"
+    QCheck2.Gen.(float_range 0.01 30.0)
+    (fun gap ->
+      let plan = Power.best_drpm_plan specs gap in
+      let energy_at level =
+        let down = Rpm.transition_time specs ~from_level:top ~to_level:level in
+        let up = Rpm.transition_time specs ~from_level:level ~to_level:top in
+        if down +. up > gap then None
+        else
+          Some
+            (Rpm.transition_energy specs ~from_level:top ~to_level:level
+            +. Rpm.transition_energy specs ~from_level:level ~to_level:top
+            +. (Power.idle specs ~level *. (gap -. down -. up)))
+      in
+      List.for_all
+        (fun l ->
+          match energy_at l with
+          | None -> true
+          | Some e -> plan.Power.energy <= e +. 1e-9)
+        (List.init (top + 1) Fun.id))
+
+let qcheck_gap_plan_respects_fit =
+  QCheck2.Test.make ~count:200
+    ~name:"power: best_gap_plan transitions fit inside the gap"
+    QCheck2.Gen.(
+      triple (int_range 0 10) (int_range 0 10) (float_range 0.5 20.0))
+    (fun (f, t, gap) ->
+      let plan = Power.best_gap_plan specs ~from_level:f ~to_level:t gap in
+      plan.Power.down_time +. plan.Power.up_time <= gap +. 1e-9
+      || plan.Power.level = max f t)
+
+let test_power_service_level () =
+  (* Budget below even full-speed service forces the top level. *)
+  Alcotest.(check int) "tight budget" top
+    (Power.best_service_level specs ~budget:0.001 ~bytes:(Dpm_util.Units.kib 64));
+  (* A huge budget allows the bottom level. *)
+  Alcotest.(check int) "loose budget" 0
+    (Power.best_service_level specs ~budget:1.0 ~bytes:(Dpm_util.Units.kib 64))
+
+(* --- Service --- *)
+
+let test_service_top_speed_matches_paper () =
+  (* 3.4 ms seek + 2.0 ms rotation + 64 KB / 55 MB/s = 6.54 ms: the
+     per-request time implied by the paper's Table 2 base numbers. *)
+  let t = Service.request_time specs ~level:top ~bytes:(Dpm_util.Units.kib 64) in
+  Alcotest.(check (float 1e-4)) "6.54 ms" 6.54e-3 t
+
+let test_service_scales_with_level () =
+  let t_top = Service.request_time specs ~level:top ~bytes:(Dpm_util.Units.kib 64) in
+  let t_bot = Service.request_time specs ~level:0 ~bytes:(Dpm_util.Units.kib 64) in
+  Alcotest.(check bool) "slower at low rpm" true (t_bot > t_top);
+  (* Seek is speed-independent: the slowdown is bounded by 5x on the
+     rotational and transfer parts. *)
+  Alcotest.(check bool) "bounded by 5x" true
+    (t_bot < specs.Specs.avg_seek +. (5.0 *. (t_top -. specs.Specs.avg_seek)) +. 1e-9)
+
+let test_service_monotone_in_bytes () =
+  let t1 = Service.request_time specs ~level:top ~bytes:(Dpm_util.Units.kib 32) in
+  let t2 = Service.request_time specs ~level:top ~bytes:(Dpm_util.Units.kib 64) in
+  Alcotest.(check bool) "more bytes, more time" true (t2 > t1)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "disk.rpm",
+      [
+        Alcotest.test_case "ladder" `Quick test_rpm_ladder;
+        Alcotest.test_case "level_of_rpm" `Quick test_rpm_level_of_rpm;
+        Alcotest.test_case "transitions" `Quick test_rpm_transitions;
+        Alcotest.test_case "transition energy" `Quick
+          test_rpm_transition_energy_conservative;
+        Alcotest.test_case "out of range" `Quick test_rpm_out_of_range;
+      ] );
+    ( "disk.power",
+      [
+        Alcotest.test_case "endpoints" `Quick test_power_endpoints;
+        Alcotest.test_case "monotone" `Quick test_power_monotone_in_level;
+        Alcotest.test_case "tpm break-even" `Quick test_power_tpm_break_even;
+        Alcotest.test_case "tpm plan energy" `Quick test_power_tpm_plan_energy;
+        Alcotest.test_case "drpm tiny gap" `Quick test_power_drpm_plan_tiny_gap;
+        Alcotest.test_case "drpm long gap" `Quick test_power_drpm_plan_long_gap;
+        Alcotest.test_case "service level" `Quick test_power_service_level;
+        q qcheck_drpm_plan_optimal;
+        q qcheck_gap_plan_respects_fit;
+      ] );
+    ( "disk.service",
+      [
+        Alcotest.test_case "paper 6.54ms" `Quick test_service_top_speed_matches_paper;
+        Alcotest.test_case "scales with level" `Quick test_service_scales_with_level;
+        Alcotest.test_case "monotone in bytes" `Quick test_service_monotone_in_bytes;
+      ] );
+  ]

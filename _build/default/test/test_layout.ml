@@ -1,0 +1,240 @@
+(* Tests for Dpm_layout: striping arithmetic, plans, region queries. *)
+
+module Striping = Dpm_layout.Striping
+module Plan = Dpm_layout.Plan
+module Array_decl = Dpm_ir.Array_decl
+module Parser = Dpm_ir.Parser
+
+let kib = Dpm_util.Units.kib
+
+(* --- Striping --- *)
+
+let test_striping_defaults () =
+  let s = Striping.default in
+  Alcotest.(check int) "factor" 8 s.Striping.stripe_factor;
+  Alcotest.(check int) "size" (kib 64) s.Striping.stripe_size;
+  Alcotest.(check int) "start" 0 s.Striping.start_disk
+
+let test_striping_round_robin () =
+  let s = Striping.make ~start_disk:2 ~stripe_factor:3 ~stripe_size:(kib 64) in
+  let disks = List.init 7 (fun u -> Striping.disk_of_unit s ~ndisks:8 u) in
+  Alcotest.(check (list int)) "wraps over factor" [ 2; 3; 4; 2; 3; 4; 2 ] disks
+
+let test_striping_wrap_modulo_ndisks () =
+  let s = Striping.make ~start_disk:6 ~stripe_factor:4 ~stripe_size:(kib 64) in
+  let disks = List.init 4 (fun u -> Striping.disk_of_unit s ~ndisks:8 u) in
+  Alcotest.(check (list int)) "wraps modulo subsystem" [ 6; 7; 0; 1 ] disks
+
+let test_striping_unit_of_offset () =
+  let s = Striping.default in
+  Alcotest.(check int) "first" 0 (Striping.unit_of_offset s 0);
+  Alcotest.(check int) "boundary" 1 (Striping.unit_of_offset s (kib 64));
+  Alcotest.(check int) "inside" 0 (Striping.unit_of_offset s (kib 64 - 1))
+
+let test_striping_units_in_file () =
+  let s = Striping.default in
+  Alcotest.(check int) "exact" 2 (Striping.units_in_file s ~file_bytes:(kib 128));
+  Alcotest.(check int) "tail rounds up" 3
+    (Striping.units_in_file s ~file_bytes:(kib 128 + 1));
+  Alcotest.(check int) "empty" 0 (Striping.units_in_file s ~file_bytes:0)
+
+let test_striping_disks_used () =
+  let s = Striping.make ~start_disk:0 ~stripe_factor:4 ~stripe_size:(kib 64) in
+  Alcotest.(check (list int)) "small file" [ 0; 1 ]
+    (Striping.disks_used s ~ndisks:8 ~file_bytes:(kib 128));
+  Alcotest.(check (list int)) "big file saturates factor" [ 0; 1; 2; 3 ]
+    (Striping.disks_used s ~ndisks:8 ~file_bytes:(kib 1024))
+
+let test_striping_validation () =
+  Alcotest.check_raises "factor too big"
+    (Invalid_argument "Striping.disk_of_unit: stripe factor exceeds disk count")
+    (fun () ->
+      ignore
+        (Striping.disk_of_unit
+           (Striping.make ~start_disk:0 ~stripe_factor:9 ~stripe_size:1)
+           ~ndisks:8 0))
+
+(* --- Plan --- *)
+
+let program_2d () =
+  Parser.program ~name:"t"
+    {|
+array A[4][16] : 8192
+array B[32] : 8192
+for i = 0 to 3 { for j = 0 to 15 { A[i][j] = B[2*i] work 1 } }
+|}
+
+let test_plan_element_offset_orders () =
+  let p = program_2d () in
+  let plan = Plan.uniform ~ndisks:8 p in
+  Alcotest.(check int) "row major" (((1 * 16) + 2) * 8192)
+    (Plan.element_offset plan "A" [ 1; 2 ]);
+  let plan' = Plan.set_order plan "A" Plan.Col_major in
+  Alcotest.(check int) "col major" (((2 * 4) + 1) * 8192)
+    (Plan.element_offset plan' "A" [ 1; 2 ])
+
+let test_plan_unit_mapping () =
+  let p = program_2d () in
+  let plan = Plan.uniform ~ndisks:8 p in
+  (* 8 KB elements, 64 KB units: 8 elements per unit. *)
+  Alcotest.(check int) "unit of element 0" 0 (Plan.element_unit plan "A" [ 0; 0 ]);
+  Alcotest.(check int) "unit of element 8" 1 (Plan.element_unit plan "A" [ 0; 8 ]);
+  Alcotest.(check int) "unit count A" 8 (Plan.unit_count plan "A");
+  Alcotest.(check int) "unit count B" 4 (Plan.unit_count plan "B")
+
+let test_plan_global_blocks_disjoint () =
+  let p = program_2d () in
+  let plan = Plan.uniform ~ndisks:8 p in
+  let a_blocks = List.init 8 (Plan.unit_global_block plan "A") in
+  let b_blocks = List.init 4 (Plan.unit_global_block plan "B") in
+  let all = a_blocks @ b_blocks in
+  Alcotest.(check int) "disjoint global blocks" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+let test_plan_region_disks_whole_array () =
+  let p = program_2d () in
+  let plan = Plan.uniform ~ndisks:8 p in
+  Alcotest.(check (list int)) "whole array hits all disks"
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (Plan.region_disks plan "A" [ (0, 3); (0, 15) ])
+
+let test_plan_region_disks_single_unit () =
+  let p = program_2d () in
+  let plan = Plan.uniform ~ndisks:8 p in
+  Alcotest.(check (list int)) "one unit one disk" [ 1 ]
+    (Plan.region_disks plan "A" [ (0, 0); (8, 15) ])
+
+let test_plan_region_units () =
+  let p = program_2d () in
+  let plan = Plan.uniform ~ndisks:8 p in
+  Alcotest.(check (list (pair int int))) "row 1 units" [ (2, 3) ]
+    (Plan.region_units plan "A" [ (1, 1); (0, 15) ]);
+  Alcotest.(check (list (pair int int))) "whole array one run" [ (0, 7) ]
+    (Plan.region_units plan "A" [ (0, 3); (0, 15) ])
+
+let test_plan_region_clamps () =
+  let p = program_2d () in
+  let plan = Plan.uniform ~ndisks:8 p in
+  Alcotest.(check (list (pair int int))) "clamped" [ (0, 7) ]
+    (Plan.region_units plan "A" [ (-5, 99); (-1, 99) ]);
+  Alcotest.(check (list (pair int int))) "empty region" []
+    (Plan.region_units plan "A" [ (2, 1); (0, 15) ])
+
+(* qcheck: region_units agrees with brute-force element enumeration *)
+
+let qcheck_region_units_vs_bruteforce =
+  QCheck2.Test.make ~count:300
+    ~name:"plan: region_units = brute-force element units"
+    QCheck2.Gen.(
+      quad (int_range 0 3) (int_range 0 3) (int_range 0 15) (int_range 0 15))
+    (fun (r0, dr, c0, dc) ->
+      let p = program_2d () in
+      let plan = Plan.uniform ~ndisks:8 p in
+      let r1 = min 3 (r0 + dr) and c1 = min 15 (c0 + dc) in
+      let expected = Hashtbl.create 16 in
+      for i = r0 to r1 do
+        for j = c0 to c1 do
+          Hashtbl.replace expected (Plan.element_unit plan "A" [ i; j ]) ()
+        done
+      done;
+      let got = Hashtbl.create 16 in
+      List.iter
+        (fun (u0, u1) ->
+          for u = u0 to u1 do
+            Hashtbl.replace got u ()
+          done)
+        (Plan.region_units plan "A" [ (r0, r1); (c0, c1) ]);
+      (* region_units may overapproximate (whole stripe-unit granularity)
+         but must cover every touched unit. *)
+      Hashtbl.fold (fun u () acc -> acc && Hashtbl.mem got u) expected true)
+
+let qcheck_unit_disk_consistent =
+  QCheck2.Test.make ~count:300
+    ~name:"plan: element unit/disk consistent with striping arithmetic"
+    QCheck2.Gen.(pair (int_range 0 3) (int_range 0 15))
+    (fun (i, j) ->
+      let p = program_2d () in
+      let plan = Plan.uniform ~ndisks:8 p in
+      let u = Plan.element_unit plan "A" [ i; j ] in
+      let entry = Plan.entry plan "A" in
+      Plan.unit_disk plan "A" u
+      = Striping.disk_of_unit entry.Plan.striping ~ndisks:8 u)
+
+let qcheck_region_units_colmajor =
+  QCheck2.Test.make ~count:300
+    ~name:"plan: col-major region_units covers brute force"
+    QCheck2.Gen.(
+      quad (int_range 0 3) (int_range 0 3) (int_range 0 15) (int_range 0 15))
+    (fun (r0, dr, c0, dc) ->
+      let p = program_2d () in
+      let plan = Plan.set_order (Plan.uniform ~ndisks:8 p) "A" Plan.Col_major in
+      let r1 = min 3 (r0 + dr) and c1 = min 15 (c0 + dc) in
+      let got = Hashtbl.create 16 in
+      List.iter
+        (fun (u0, u1) ->
+          for u = u0 to u1 do
+            Hashtbl.replace got u ()
+          done)
+        (Plan.region_units plan "A" [ (r0, r1); (c0, c1) ]);
+      let ok = ref true in
+      for i = r0 to r1 do
+        for j = c0 to c1 do
+          if not (Hashtbl.mem got (Plan.element_unit plan "A" [ i; j ])) then
+            ok := false
+        done
+      done;
+      !ok)
+
+let test_plan_colmajor_unit_layout () =
+  let p = program_2d () in
+  let plan = Plan.set_order (Plan.uniform ~ndisks:8 p) "A" Plan.Col_major in
+  (* Column-major: consecutive rows of one column are contiguous.  A is
+     4x16 with 8KB elements: one column (4 elements, 32KB) is half a
+     64KB unit, so columns 0 and 1 share unit 0. *)
+  Alcotest.(check int) "col 0 top" 0 (Plan.element_unit plan "A" [ 0; 0 ]);
+  Alcotest.(check int) "col 0 bottom" 0 (Plan.element_unit plan "A" [ 3; 0 ]);
+  Alcotest.(check int) "col 1" 0 (Plan.element_unit plan "A" [ 0; 1 ]);
+  Alcotest.(check int) "col 2" 1 (Plan.element_unit plan "A" [ 0; 2 ])
+
+let test_plan_duplicate_rejected () =
+  let decl = Array_decl.make ~name:"A" ~dims:[ 4 ] ~elem_size:8 in
+  let entry =
+    { Plan.decl; striping = Striping.default; order = Plan.Row_major }
+  in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Plan.make: duplicate array A") (fun () ->
+      ignore (Plan.make ~ndisks:8 [ entry; entry ]))
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "layout.striping",
+      [
+        Alcotest.test_case "defaults" `Quick test_striping_defaults;
+        Alcotest.test_case "round robin" `Quick test_striping_round_robin;
+        Alcotest.test_case "wrap modulo" `Quick test_striping_wrap_modulo_ndisks;
+        Alcotest.test_case "unit of offset" `Quick test_striping_unit_of_offset;
+        Alcotest.test_case "units in file" `Quick test_striping_units_in_file;
+        Alcotest.test_case "disks used" `Quick test_striping_disks_used;
+        Alcotest.test_case "validation" `Quick test_striping_validation;
+      ] );
+    ( "layout.plan",
+      [
+        Alcotest.test_case "element offsets" `Quick test_plan_element_offset_orders;
+        Alcotest.test_case "unit mapping" `Quick test_plan_unit_mapping;
+        Alcotest.test_case "global blocks disjoint" `Quick
+          test_plan_global_blocks_disjoint;
+        Alcotest.test_case "region all disks" `Quick
+          test_plan_region_disks_whole_array;
+        Alcotest.test_case "region one disk" `Quick
+          test_plan_region_disks_single_unit;
+        Alcotest.test_case "region units" `Quick test_plan_region_units;
+        Alcotest.test_case "region clamps" `Quick test_plan_region_clamps;
+        Alcotest.test_case "duplicate rejected" `Quick test_plan_duplicate_rejected;
+        Alcotest.test_case "col-major units" `Quick
+          test_plan_colmajor_unit_layout;
+        q qcheck_region_units_vs_bruteforce;
+        q qcheck_region_units_colmajor;
+        q qcheck_unit_disk_consistent;
+      ] );
+  ]

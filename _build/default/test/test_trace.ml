@@ -1,0 +1,227 @@
+(* Tests for Dpm_trace: event (de)serialization, trace containers, and the
+   trace generator's miss accounting. *)
+
+module Request = Dpm_trace.Request
+module Trace = Dpm_trace.Trace
+module Generate = Dpm_trace.Generate
+module Parser = Dpm_ir.Parser
+module Plan = Dpm_layout.Plan
+
+let kib = Dpm_util.Units.kib
+
+(* --- Request line round-trips --- *)
+
+let sample_events =
+  [
+    Request.Io
+      {
+        think = 0.00125;
+        disk = 3;
+        block = 42;
+        bytes = kib 64;
+        kind = Request.Read;
+        nest = 2;
+        iter = 17;
+      };
+    Request.Io
+      {
+        think = 0.0;
+        disk = 0;
+        block = 0;
+        bytes = 512;
+        kind = Request.Write;
+        nest = 0;
+        iter = 0;
+      };
+    Request.Pm { think = 1.5; directive = Request.Spin_down 7 };
+    Request.Pm { think = 0.0; directive = Request.Spin_up 0 };
+    Request.Pm { think = 2e-6; directive = Request.Set_rpm { level = 4; disk = 5 } };
+  ]
+
+let test_line_roundtrip () =
+  List.iter
+    (fun e ->
+      let e' = Request.of_line (Request.to_line e) in
+      Alcotest.(check bool) "round-trip" true (e = e'))
+    sample_events
+
+let test_line_malformed () =
+  List.iter
+    (fun line ->
+      try
+        ignore (Request.of_line line);
+        Alcotest.fail ("should reject: " ^ line)
+      with Failure _ -> ())
+    [ "nonsense"; "io 1.0 2"; "pm 1.0 sideways 3"; "io 1.0 0 0 64 x 0 0" ]
+
+let qcheck_io_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"trace: io line round-trip"
+    QCheck2.Gen.(
+      tup6 (float_bound_exclusive 10.0) (int_bound 31) (int_bound 100000)
+        (int_range 1 65536) bool (int_bound 5000))
+    (fun (think, disk, block, bytes, read, iter) ->
+      let io =
+        Request.Io
+          {
+            think;
+            disk;
+            block;
+            bytes;
+            kind = (if read then Request.Read else Request.Write);
+            nest = 1;
+            iter;
+          }
+      in
+      match (Request.of_line (Request.to_line io), io) with
+      | Request.Io io', Request.Io io0 ->
+          Float.abs (io'.Request.think -. io0.Request.think) < 1e-8
+          && io'.disk = io0.disk && io'.block = io0.block
+          && io'.bytes = io0.bytes && io'.kind = io0.kind
+          && io'.iter = io0.iter
+      | _ -> false)
+
+(* --- Trace containers --- *)
+
+let test_trace_counters () =
+  let t = Trace.make ~tail_think:0.5 ~program:"p" ~ndisks:8 sample_events in
+  Alcotest.(check int) "io count" 2 (Trace.io_count t);
+  Alcotest.(check int) "pm count" 3 (Trace.pm_count t);
+  Alcotest.(check int) "bytes" (kib 64 + 512) (Trace.total_bytes t);
+  Alcotest.(check (float 1e-9)) "think incl tail"
+    (0.00125 +. 1.5 +. 2e-6 +. 0.5)
+    (Trace.total_think t);
+  Alcotest.(check (list int)) "disks used" [ 0; 3 ] (Trace.disks_used t)
+
+let test_trace_rejects_bad_disk () =
+  Alcotest.check_raises "disk out of range"
+    (Invalid_argument "Trace.make: request disk out of range") (fun () ->
+      ignore (Trace.make ~program:"p" ~ndisks:2 sample_events))
+
+let test_trace_without_pm_preserves_think () =
+  let t = Trace.make ~tail_think:0.25 ~program:"p" ~ndisks:8 sample_events in
+  let t' = Trace.without_pm t in
+  Alcotest.(check int) "no pm" 0 (Trace.pm_count t');
+  Alcotest.(check int) "same io" (Trace.io_count t) (Trace.io_count t');
+  Alcotest.(check (float 1e-9)) "compute timeline preserved"
+    (Trace.total_think t) (Trace.total_think t')
+
+let test_trace_save_load () =
+  let t = Trace.make ~tail_think:0.125 ~program:"prog" ~ndisks:8 sample_events in
+  let path = Filename.temp_file "dpm" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save t path;
+      let t' = Trace.load path in
+      Alcotest.(check string) "program" t.Trace.program t'.Trace.program;
+      Alcotest.(check int) "ndisks" t.Trace.ndisks t'.Trace.ndisks;
+      Alcotest.(check (float 1e-9)) "tail" t.Trace.tail_think t'.Trace.tail_think;
+      Alcotest.(check int) "events"
+        (Array.length t.Trace.events)
+        (Array.length t'.Trace.events);
+      Array.iteri
+        (fun i e ->
+          Alcotest.(check string) "event line" (Request.to_line e)
+            (Request.to_line t'.Trace.events.(i)))
+        t.Trace.events)
+
+(* --- Generator --- *)
+
+let simple_program () =
+  Parser.program ~name:"gen"
+    {|
+array A[32] : 8192
+array B[32] : 8192
+for t = 1 to 2 {
+  for i = 0 to 31 { B[i] = A[i] work 1000 }
+}
+|}
+
+let test_generate_cold_misses () =
+  let p = simple_program () in
+  let plan = Plan.uniform ~ndisks:8 p in
+  let trace =
+    Generate.run ~config:{ Generate.default_config with cache_blocks = 64 } p plan
+  in
+  Alcotest.(check int) "cold misses only" 8 (Trace.io_count trace);
+  (match Trace.io_events trace with
+  | first :: _ ->
+      Alcotest.(check bool) "first is read" true (first.Request.kind = Request.Read)
+  | [] -> Alcotest.fail "no events");
+  Alcotest.(check bool) "writes present" true
+    (List.exists
+       (fun (io : Request.io) -> io.Request.kind = Request.Write)
+       (Trace.io_events trace))
+
+let test_generate_thrash_on_tiny_cache () =
+  let p = simple_program () in
+  let plan = Plan.uniform ~ndisks:8 p in
+  let trace =
+    Generate.run ~config:{ Generate.default_config with cache_blocks = 2 } p plan
+  in
+  Alcotest.(check int) "both sweeps miss" 16 (Trace.io_count trace)
+
+let test_generate_deterministic () =
+  let p = simple_program () in
+  let plan = Plan.uniform ~ndisks:8 p in
+  let t1 = Generate.run p plan and t2 = Generate.run p plan in
+  Alcotest.(check int) "same length"
+    (Array.length t1.Trace.events)
+    (Array.length t2.Trace.events);
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check string) "same event" (Request.to_line e)
+        (Request.to_line t2.Trace.events.(i)))
+    t1.Trace.events
+
+let test_generate_think_accounts_work () =
+  let p = simple_program () in
+  let plan = Plan.uniform ~ndisks:8 p in
+  let trace = Generate.run p plan in
+  let work_seconds = 64.0 *. 1000.0 /. 750e6 in
+  Alcotest.(check bool) "think >= work" true
+    (Trace.total_think trace >= work_seconds)
+
+let test_generate_pm_passthrough () =
+  let p =
+    Parser.program ~name:"pm"
+      {|
+array A[8] : 8192
+spin_down(3)
+for i = 0 to 7 { use A[i] work 10 }
+spin_up(3)
+|}
+  in
+  let plan = Plan.uniform ~ndisks:8 p in
+  let trace = Generate.run p plan in
+  Alcotest.(check int) "directives pass through" 2 (Trace.pm_count trace);
+  match trace.Trace.events.(0) with
+  | Request.Pm { directive = Request.Spin_down 3; _ } -> ()
+  | _ -> Alcotest.fail "first event should be the spin_down directive"
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "trace.request",
+      [
+        Alcotest.test_case "line round-trip" `Quick test_line_roundtrip;
+        Alcotest.test_case "malformed lines" `Quick test_line_malformed;
+        q qcheck_io_roundtrip;
+      ] );
+    ( "trace.container",
+      [
+        Alcotest.test_case "counters" `Quick test_trace_counters;
+        Alcotest.test_case "bad disk" `Quick test_trace_rejects_bad_disk;
+        Alcotest.test_case "without_pm" `Quick test_trace_without_pm_preserves_think;
+        Alcotest.test_case "save/load" `Quick test_trace_save_load;
+      ] );
+    ( "trace.generate",
+      [
+        Alcotest.test_case "cold misses" `Quick test_generate_cold_misses;
+        Alcotest.test_case "thrash" `Quick test_generate_thrash_on_tiny_cache;
+        Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+        Alcotest.test_case "think includes work" `Quick
+          test_generate_think_accounts_work;
+        Alcotest.test_case "pm passthrough" `Quick test_generate_pm_passthrough;
+      ] );
+  ]

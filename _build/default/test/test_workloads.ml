@@ -1,0 +1,136 @@
+(* Tests for Dpm_workloads: the suite's observable characteristics must
+   match the paper's Table 2 (within tolerance), the structural claims
+   each benchmark makes (fissionability, transform applicability) must
+   hold, and calibration must be exact. *)
+
+module Suite = Dpm_workloads.Suite
+module Ir = Dpm_ir
+module Grouping = Dpm_compiler.Grouping
+module Fission = Dpm_compiler.Fission
+
+let tol_pct value target pct =
+  Float.abs (value -. target) /. target *. 100.0 <= pct
+
+let with_spec name f () = f (Suite.find name)
+
+let test_suite_complete () =
+  Alcotest.(check (list string)) "six benchmarks in paper order"
+    [ "wupwise"; "swim"; "mgrid"; "applu"; "mesa"; "galgel" ]
+    (List.map (fun (s : Suite.spec) -> s.name) Suite.all)
+
+let test_sources_parse (spec : Suite.spec) =
+  let p = Suite.program spec in
+  Alcotest.(check bool) "has nests" true (Ir.Program.nests p <> [])
+
+let test_data_sizes (spec : Suite.spec) =
+  let p = Suite.program spec in
+  let mb = Dpm_util.Units.mb_of_bytes (Ir.Program.total_data_bytes p) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.2f MB within 0.5%% of %.1f" spec.name mb spec.data_mb)
+    true
+    (tol_pct mb spec.data_mb 0.5)
+
+let test_request_counts (spec : Suite.spec) =
+  let p = Suite.program spec in
+  let plan = Suite.default_plan p in
+  let trace =
+    Dpm_trace.Generate.run
+      ~config:
+        {
+          Dpm_trace.Generate.default_config with
+          cache_blocks = Suite.cache_blocks;
+        }
+      p plan
+  in
+  let n = Dpm_trace.Trace.io_count trace in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %d requests within 2%% of %d" spec.name n spec.requests)
+    true
+    (tol_pct (float_of_int n) (float_of_int spec.requests) 2.0)
+
+let test_calibration_exact (spec : Suite.spec) =
+  let p = Suite.program spec in
+  let plan = Suite.default_plan p in
+  let p' = Suite.calibrate ~target_exec:spec.exec_time_s p plan in
+  let est =
+    Dpm_compiler.Estimate.profile ~cache_blocks:Suite.cache_blocks
+      ~specs:Dpm_disk.Specs.ultrastar_36z15 p' plan
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.3fs within 0.5%% of %.3fs" spec.name
+       est.Dpm_compiler.Estimate.total spec.exec_time_s)
+    true
+    (tol_pct est.Dpm_compiler.Estimate.total spec.exec_time_s 0.5)
+
+let fissionable_nest_exists spec =
+  let p = Suite.program spec in
+  let g = Grouping.of_program p in
+  List.exists
+    (fun (_, l) -> Fission.fissionable g l)
+    (Ir.Program.nests p)
+
+let test_fissionability_matches_paper () =
+  (* Paper: wupwise and galgel "do not contain any fissionable loop
+     nests"; the other four do. *)
+  List.iter
+    (fun (name, expected) ->
+      Alcotest.(check bool)
+        (name ^ " fissionable = " ^ string_of_bool expected)
+        expected
+        (fissionable_nest_exists (Suite.find name)))
+    [
+      ("wupwise", false);
+      ("swim", true);
+      ("mgrid", true);
+      ("applu", true);
+      ("mesa", true);
+      ("galgel", false);
+    ]
+
+let test_tiling_candidates_exist () =
+  (* Every benchmark has some tileable nest (the paper tiles the most
+     costly one per application). *)
+  List.iter
+    (fun (spec : Suite.spec) ->
+      let p = Suite.program spec in
+      let plan = Suite.default_plan p in
+      Alcotest.(check bool)
+        (spec.name ^ " has a tiling candidate")
+        true
+        (Dpm_compiler.Tiling.candidate p plan <> None))
+    Suite.all
+
+let test_noise_amplitudes_positive () =
+  List.iter
+    (fun (s : Suite.spec) ->
+      Alcotest.(check bool) "noise in (0, 0.5)" true
+        (s.noise > 0.0 && s.noise < 0.5))
+    Suite.all
+
+let per_bench name tests =
+  List.map
+    (fun (label, f) ->
+      Alcotest.test_case (name ^ " " ^ label) `Quick (with_spec name f))
+    tests
+
+let suite =
+  [
+    ( "workloads.suite",
+      [
+        Alcotest.test_case "complete" `Quick test_suite_complete;
+        Alcotest.test_case "fissionability" `Quick test_fissionability_matches_paper;
+        Alcotest.test_case "tiling candidates" `Quick test_tiling_candidates_exist;
+        Alcotest.test_case "noise amplitudes" `Quick test_noise_amplitudes_positive;
+      ] );
+    ( "workloads.table2",
+      List.concat_map
+        (fun name ->
+          per_bench name
+            [
+              ("parses", test_sources_parse);
+              ("data size", test_data_sizes);
+              ("requests", test_request_counts);
+              ("calibration", test_calibration_exact);
+            ])
+        [ "wupwise"; "swim"; "mgrid"; "applu"; "mesa"; "galgel" ] );
+  ]
