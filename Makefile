@@ -1,0 +1,21 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+# Tier-1 verification: full build + test suite, including the
+# property-based Pool/determinism tests and the golden-file comparison
+# of Table 2 and Figures 3/4 (test/golden/*.expected).
+test:
+	dune runtest
+
+check: build test
+
+# Regenerate every table/figure with metrics, fanned out over domains.
+bench: build
+	dune exec bench/main.exe -- --metrics
+
+clean:
+	dune clean

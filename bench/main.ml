@@ -3,11 +3,18 @@
    micro-benchmarks of the pipeline stages.
 
    Usage:
-     bench/main.exe                 -- everything
-     bench/main.exe fig3 table2     -- selected figures only
-     bench/main.exe micro           -- only the Bechamel micro-benchmarks *)
+     bench/main.exe                          -- everything
+     bench/main.exe fig3 table2              -- selected figures only
+     bench/main.exe micro                    -- only the micro-benchmarks
+     bench/main.exe fig3 --domains 4 --metrics
+                                             -- fan the grid out over 4
+                                                domains and report
+                                                per-stage wall time *)
 
+open Cmdliner
 module Figures = Dpm_core.Figures
+module Metrics = Dpm_util.Metrics
+module Pool = Dpm_util.Pool
 
 let available =
   [
@@ -27,8 +34,11 @@ let available =
     ("ablation-closed", Figures.closed_loop_ablation);
   ]
 
-let print_figure (f : Figures.figure) =
-  print_string f.Figures.rendered;
+let print_figure name f =
+  let figure =
+    Metrics.span Metrics.global ("figure." ^ name) (fun () -> f ())
+  in
+  print_string figure.Figures.rendered;
   print_newline ()
 
 (* --- Bechamel micro-benchmarks: one per pipeline stage --- *)
@@ -84,22 +94,72 @@ let micro () =
         results)
     tests
 
+(* --- CLI --- *)
+
+let figures_arg =
+  let doc =
+    "Figures/tables to regenerate (default: all plus the \
+     micro-benchmarks).  $(b,micro) selects the Bechamel \
+     micro-benchmarks."
+  in
+  Arg.(value & pos_all string [] & info [] ~doc ~docv:"FIGURE")
+
+let domains_arg =
+  let doc =
+    "Number of domains the experiment grids fan out over (default: the \
+     runtime's recommended count, or $(b,DPM_DOMAINS)).  Results are \
+     bit-identical whatever the value."
+  in
+  Arg.(value & opt (some int) None & info [ "d"; "domains" ] ~doc ~docv:"N")
+
+let metrics_arg =
+  let doc =
+    "Collect and print per-stage wall time (workload build, compile, \
+     trace generation, replay) and throughput counters."
+  in
+  Arg.(value & flag & info [ "m"; "metrics" ] ~doc)
+
+let run names domains metrics =
+  Option.iter Pool.set_default_domains domains;
+  if metrics then Metrics.set_enabled Metrics.global true;
+  let total0 = Metrics.now () in
+  let rc =
+    match names with
+    | [] ->
+        List.iter (fun (name, f) -> print_figure name f) available;
+        micro ();
+        0
+    | names ->
+        List.fold_left
+          (fun rc name ->
+            if String.equal name "micro" then begin
+              micro ();
+              rc
+            end
+            else
+              match List.assoc_opt name available with
+              | Some f ->
+                  print_figure name f;
+                  rc
+              | None ->
+                  Printf.eprintf "unknown figure %S; available: %s micro\n"
+                    name
+                    (String.concat " " (List.map fst available));
+                  2)
+          0 names
+  in
+  if metrics then begin
+    Printf.printf "total wall time: %.3f s (domains=%d)\n"
+      (Metrics.now () -. total0)
+      (Pool.default_domains ());
+    print_string (Metrics.report Metrics.global)
+  end;
+  rc
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [] ->
-      List.iter (fun (_, f) -> print_figure (f ())) available;
-      micro ()
-  | [ "micro" ] -> micro ()
-  | names ->
-      List.iter
-        (fun name ->
-          if String.equal name "micro" then micro ()
-          else
-            match List.assoc_opt name available with
-            | Some f -> print_figure (f ())
-            | None ->
-                Printf.eprintf "unknown figure %S; available: %s micro\n" name
-                  (String.concat " " (List.map fst available));
-                exit 2)
-        names
+  let doc =
+    "Regenerate the paper's tables and figures, with optional \
+     multi-domain fan-out and per-stage metrics."
+  in
+  let info = Cmd.info "dpm-bench" ~doc in
+  exit (Cmd.eval' (Cmd.v info Term.(const run $ figures_arg $ domains_arg $ metrics_arg)))

@@ -67,6 +67,37 @@ let setup_of spec version mode =
     mode;
   }
 
+(* --- shared instrumentation flags (--domains / --metrics) --- *)
+
+let domains_arg =
+  let doc =
+    "Number of domains experiment grids fan out over (results are \
+     bit-identical whatever the value; default: the runtime's \
+     recommended count, or $(b,DPM_DOMAINS))."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
+
+let metrics_arg =
+  let doc =
+    "Print per-stage wall time (workload build, compile, trace \
+     generation, replay) and throughput counters after the command."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Evaluates before the command body: applies the domain override,
+   enables the global collector, and returns whether to print the report
+   afterwards. *)
+let instrument_term =
+  let apply domains metrics =
+    Option.iter Dpm_util.Pool.set_default_domains domains;
+    if metrics then Dpm_util.Metrics.(set_enabled global true);
+    metrics
+  in
+  Term.(const apply $ domains_arg $ metrics_arg)
+
+let report_metrics metrics =
+  if metrics then print_string Dpm_util.Metrics.(report global)
+
 (* --- list --- *)
 
 let list_cmd =
@@ -110,7 +141,7 @@ let schemes_arg =
   Arg.(value & opt (list scheme_conv) Dpm_core.Scheme.all & info [ "s"; "scheme" ] ~doc)
 
 let simulate_cmd =
-  let run name schemes version mode =
+  let run metrics name schemes version mode =
     let spec, p, plan = workload name in
     let setup = setup_of spec version mode in
     let results = Dpm_core.Experiment.run_all ~setup ~schemes p plan in
@@ -124,12 +155,15 @@ let simulate_cmd =
           (Dpm_sim.Result.normalized_energy r ~base)
           (Dpm_sim.Result.normalized_time r ~base))
       results;
+    report_metrics metrics;
     0
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Simulate a benchmark under one or more power-management schemes.")
-    Term.(const run $ bench_arg $ schemes_arg $ version_arg $ mode_arg)
+    Term.(
+      const run $ instrument_term $ bench_arg $ schemes_arg $ version_arg
+      $ mode_arg)
 
 (* --- compile: print the instrumented program --- *)
 
@@ -236,7 +270,7 @@ let figure_cmd =
     let doc = "Figure/table id (table1 table2 table3 fig3..fig8 fig13 ablation-closed)." in
     Arg.(non_empty & pos_all string [] & info [] ~doc ~docv:"ID")
   in
-  let run ids =
+  let run metrics ids =
     let available =
       [
         ("table1", Dpm_core.Figures.table1);
@@ -255,21 +289,25 @@ let figure_cmd =
         ("ablation-closed", Dpm_core.Figures.closed_loop_ablation);
       ]
     in
-    List.fold_left
-      (fun rc id ->
-        match List.assoc_opt id available with
-        | Some f ->
-            print_string (f ()).Dpm_core.Figures.rendered;
-            print_newline ();
-            rc
-        | None ->
-            Printf.eprintf "unknown figure %S\n" id;
-            2)
-      0 ids
+    let rc =
+      List.fold_left
+        (fun rc id ->
+          match List.assoc_opt id available with
+          | Some f ->
+              print_string (f ()).Dpm_core.Figures.rendered;
+              print_newline ();
+              rc
+          | None ->
+              Printf.eprintf "unknown figure %S\n" id;
+              2)
+        0 ids
+    in
+    report_metrics metrics;
+    rc
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one of the paper's tables/figures.")
-    Term.(const run $ fig_arg)
+    Term.(const run $ instrument_term $ fig_arg)
 
 let () =
   let doc =

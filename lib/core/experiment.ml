@@ -2,6 +2,7 @@ module Sim = Dpm_sim
 module Compiler = Dpm_compiler
 module Trace = Dpm_trace
 module Workloads = Dpm_workloads
+module Metrics = Dpm_util.Metrics
 
 type setup = {
   sim : Sim.Config.t;
@@ -28,7 +29,9 @@ let gen_config (setup : setup) =
     cache_blocks = setup.cache_blocks;
   }
 
-let transformed setup p plan = Compiler.Pipeline.transform setup.version p plan
+let transformed setup p plan =
+  Metrics.span Metrics.global "compile.transform" (fun () ->
+      Compiler.Pipeline.transform setup.version p plan)
 
 let compile_cm setup scheme p plan =
   let ischeme =
@@ -38,11 +41,12 @@ let compile_cm setup scheme p plan =
     | Scheme.Base | Scheme.Tpm | Scheme.Itpm | Scheme.Drpm | Scheme.Idrpm ->
         invalid_arg "Experiment.compile_cm: not a compiler-managed scheme"
   in
-  Compiler.Pipeline.compile ~scheme:ischeme ~noise:setup.noise ~seed:setup.seed
-    ~cache_blocks:setup.cache_blocks
-    ~pm_overhead:setup.sim.Sim.Config.pm_call_overhead
-    ~serve_slow:(match setup.mode with `Open -> true | `Closed -> false)
-    ~specs:setup.sim.Sim.Config.specs p plan
+  Metrics.span Metrics.global "compile.cm" (fun () ->
+      Compiler.Pipeline.compile ~scheme:ischeme ~noise:setup.noise
+        ~seed:setup.seed ~cache_blocks:setup.cache_blocks
+        ~pm_overhead:setup.sim.Sim.Config.pm_call_overhead
+        ~serve_slow:(match setup.mode with `Open -> true | `Closed -> false)
+        ~specs:setup.sim.Sim.Config.specs p plan)
 
 let run_cm setup scheme p plan =
   let compiled = compile_cm setup scheme p plan in
@@ -189,15 +193,16 @@ let misprediction_pct ?(setup = default_setup) p plan =
   else 100.0 *. float_of_int !wrong /. float_of_int !total
 
 let workload ?(setup = default_setup) spec =
-  let p = Workloads.Suite.program spec in
-  let ndisks =
-    (* The subsystem is as large as the default stripe factor. *)
-    Dpm_layout.Striping.default.Dpm_layout.Striping.stripe_factor
-  in
-  ignore setup;
-  let plan = Workloads.Suite.default_plan ~ndisks p in
-  let calibrated =
-    Workloads.Suite.calibrate ~specs:Sim.Config.default.Sim.Config.specs
-      ~target_exec:spec.Workloads.Suite.exec_time_s p plan
-  in
-  (calibrated, plan)
+  Metrics.span Metrics.global "workload.build" (fun () ->
+      let p = Workloads.Suite.program spec in
+      let ndisks =
+        (* The subsystem is as large as the default stripe factor. *)
+        Dpm_layout.Striping.default.Dpm_layout.Striping.stripe_factor
+      in
+      ignore setup;
+      let plan = Workloads.Suite.default_plan ~ndisks p in
+      let calibrated =
+        Workloads.Suite.calibrate ~specs:Sim.Config.default.Sim.Config.specs
+          ~target_exec:spec.Workloads.Suite.exec_time_s p plan
+      in
+      (calibrated, plan))

@@ -3,6 +3,12 @@ module Layout = Dpm_layout
 module Workloads = Dpm_workloads
 module Table = Dpm_util.Table
 
+(* Every benchmark×scheme / config×scheme grid below fans out through
+   [Pool.map]: each task builds its program, plan, trace and simulator
+   state from scratch (share-nothing; see the audit note in DESIGN.md
+   §2), so results are bit-identical whatever the domain count. *)
+module Pool = Dpm_util.Pool
+
 type row = { label : string; cells : (string * float) list }
 
 type figure = {
@@ -30,7 +36,7 @@ let scheme_columns = List.map Scheme.name Scheme.all
 
 (* Shared per-benchmark runs under a setup derived per spec. *)
 let suite_results ?(mode = `Open) ?(version = Dpm_compiler.Pipeline.Orig) () =
-  List.map
+  Pool.map
     (fun (spec : Workloads.Suite.spec) ->
       let p, plan = Experiment.workload spec in
       let setup =
@@ -55,7 +61,7 @@ let table1 () =
 
 let table2 () =
   let rows =
-    List.map
+    Pool.map
       (fun (spec : Workloads.Suite.spec) ->
         let p, plan = Experiment.workload spec in
         let base = Experiment.run Scheme.Base p plan in
@@ -115,7 +121,7 @@ let fig4 () =
 
 let table3 () =
   let rows =
-    List.map
+    Pool.map
       (fun (spec : Workloads.Suite.spec) ->
         let p, plan = Experiment.workload spec in
         let setup = { Experiment.default_setup with noise = spec.noise } in
@@ -135,7 +141,7 @@ let swim_sensitivity ~configs ~label_of ~metric ~id ~title =
   let spec = Workloads.Suite.find "swim" in
   let schemes = [ Scheme.Tpm; Scheme.Drpm; Scheme.Idrpm; Scheme.Cmdrpm ] in
   let rows =
-    List.map
+    Pool.map
       (fun config ->
         let striping, ndisks = config in
         let p = Workloads.Suite.program spec in
@@ -207,7 +213,7 @@ let fig13 () =
     Dpm_compiler.Pipeline.[ LF; TL; LF_DL; TL_DL ]
   in
   let rows =
-    List.map
+    Pool.map
       (fun (spec : Workloads.Suite.spec) ->
         let p, plan = Experiment.workload spec in
         let orig_base = Experiment.run Scheme.Base p plan in
@@ -241,7 +247,7 @@ let fig13 () =
 
 let extensions () =
   let rows =
-    List.map
+    Pool.map
       (fun (spec : Workloads.Suite.spec) ->
         let p, plan = Experiment.workload spec in
         let setup =
@@ -362,7 +368,7 @@ let knob_ablation () =
   in
   let default = Sim.Config.default in
   let rows =
-    List.map
+    Pool.map
       (fun (label, sim) -> { label; cells = run_with sim })
       [
         ("default", default);

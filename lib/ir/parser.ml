@@ -1,6 +1,14 @@
 exception Error of { line : int; message : string }
 
-type state = { mutable toks : (Lexer.token * int) list }
+type state = {
+  mutable toks : (Lexer.token * int) list;
+  mutable stmt_counter : int;
+      (* Fresh-label source for unlabeled statements.  Per-parse state on
+         purpose: a process-global counter would make labels depend on
+         how many programs other pool workers have parsed concurrently,
+         and every parse of the same source must yield the same labels
+         ("s1", "s2", ... in source order). *)
+}
 
 let peek st =
   match st.toks with
@@ -153,11 +161,9 @@ let skip_semi st = if peek st = Lexer.SEMI then advance st
 
 (* --- Items --- *)
 
-let stmt_counter = ref 0
-
-let fresh_label () =
-  incr stmt_counter;
-  Printf.sprintf "s%d" !stmt_counter
+let fresh_label st =
+  st.stmt_counter <- st.stmt_counter + 1;
+  Printf.sprintf "s%d" st.stmt_counter
 
 let rec parse_items st =
   match peek st with
@@ -197,14 +203,14 @@ and parse_item st =
       let reads = parse_rhs st in
       let work = parse_work st in
       skip_semi st;
-      Loop.Stmt (Stmt.make ~label:(fresh_label ()) ~work reads)
+      Loop.Stmt (Stmt.make ~label:(fresh_label st) ~work reads)
   | Lexer.IDENT _ ->
       let write = parse_ref st in
       expect st Lexer.EQUALS;
       let reads = parse_rhs st in
       let work = parse_work st in
       skip_semi st;
-      Loop.Stmt (Stmt.make ~label:(fresh_label ()) ~write ~work reads)
+      Loop.Stmt (Stmt.make ~label:(fresh_label st) ~write ~work reads)
   | t -> fail st (Printf.sprintf "expected loop or statement, found %s" (Lexer.describe t))
 
 and parse_loop st =
@@ -245,10 +251,13 @@ let parse_array_decl st =
   Array_decl.make ~name ~dims ~elem_size
 
 let program ~name src =
-  stmt_counter := 0;
   let st =
-    { toks = (try Lexer.tokenize src with Lexer.Error { line; message } ->
-                raise (Error { line; message })) }
+    {
+      toks =
+        (try Lexer.tokenize src
+         with Lexer.Error { line; message } -> raise (Error { line; message }));
+      stmt_counter = 0;
+    }
   in
   let arrays = ref [] in
   let body = ref [] in
@@ -273,7 +282,7 @@ let program ~name src =
   Program.make ~name ~arrays:(List.rev !arrays) ~body:(List.rev !body)
 
 let expr src =
-  let st = { toks = Lexer.tokenize src } in
+  let st = { toks = Lexer.tokenize src; stmt_counter = 0 } in
   let e = parse_expr st in
   expect st Lexer.EOF;
   e

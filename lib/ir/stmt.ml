@@ -5,15 +5,17 @@ type t = {
   work : int;
 }
 
-let counter = ref 0
+(* Atomic: programs are parsed/built concurrently from pool workers, and
+   a plain ref could hand two statements the same fresh label.  Labels
+   are only identifiers, so inter-run ordering does not matter — only
+   uniqueness does. *)
+let counter = Atomic.make 0
 
 let make ?label ?write ?(work = 0) reads =
   let label =
     match label with
     | Some l -> l
-    | None ->
-        incr counter;
-        Printf.sprintf "s%d" !counter
+    | None -> Printf.sprintf "s%d" (Atomic.fetch_and_add counter 1 + 1)
   in
   if work < 0 then invalid_arg "Stmt.make: negative work";
   if write = None && reads = [] then

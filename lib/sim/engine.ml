@@ -3,8 +3,7 @@ module Trace = Dpm_trace.Trace
 
 type mode = [ `Open | `Closed ]
 
-let run ?(config = Config.default) ?(mode = `Open) (policy : Policy.t)
-    (trace : Trace.t) =
+let replay ~config ~mode (policy : Policy.t) (trace : Trace.t) =
   let specs = config.Config.specs in
   let top = Dpm_disk.Rpm.max_level specs in
   let ndisks = trace.Trace.ndisks in
@@ -95,6 +94,19 @@ let run ?(config = Config.default) ?(mode = `Open) (policy : Policy.t)
     gap_choices = List.rev !gap_choices;
   }
 
+let record_replay metrics (result : Result.t) =
+  Dpm_util.Metrics.add metrics "sim.requests" (Result.requests result);
+  Dpm_util.Metrics.count metrics "sim.runs"
+
+let run ?(config = Config.default) ?(mode = `Open)
+    ?(metrics = Dpm_util.Metrics.global) policy trace =
+  let result =
+    Dpm_util.Metrics.span metrics "sim.replay" (fun () ->
+        replay ~config ~mode policy trace)
+  in
+  record_replay metrics result;
+  result
+
 (* --- Multiprogrammed replay --- *)
 
 type app = {
@@ -104,8 +116,7 @@ type app = {
   mutable done_ : bool;
 }
 
-let run_many ?(config = Config.default) ?(mode = `Open) (policy : Policy.t)
-    traces =
+let replay_many ~config ~mode (policy : Policy.t) traces =
   match traces with
   | [] -> invalid_arg "Engine.run_many: no traces"
   | first :: rest ->
@@ -225,3 +236,12 @@ let run_many ?(config = Config.default) ?(mode = `Open) (policy : Policy.t)
         disks = disk_stats;
         gap_choices = List.rev !gap_choices;
       }
+
+let run_many ?(config = Config.default) ?(mode = `Open)
+    ?(metrics = Dpm_util.Metrics.global) policy traces =
+  let result =
+    Dpm_util.Metrics.span metrics "sim.replay" (fun () ->
+        replay_many ~config ~mode policy traces)
+  in
+  record_replay metrics result;
+  result

@@ -29,14 +29,20 @@ type mode = [ `Open | `Closed ]
 val run :
   ?config:Config.t ->
   ?mode:mode ->
+  ?metrics:Dpm_util.Metrics.t ->
   Policy.t ->
   Dpm_trace.Trace.t ->
   Result.t
-(** Replays the whole trace and returns the outcome. *)
+(** Replays the whole trace and returns the outcome.  Wall time is
+    recorded under the [sim.replay] span and the served request count
+    under the [sim.requests] counter of [metrics] (default
+    {!Dpm_util.Metrics.global}, a no-op unless enabled) — together they
+    give the requests-simulated/sec throughput the harness reports. *)
 
 val run_many :
   ?config:Config.t ->
   ?mode:mode ->
+  ?metrics:Dpm_util.Metrics.t ->
   Policy.t ->
   Dpm_trace.Trace.t list ->
   Result.t

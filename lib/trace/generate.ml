@@ -2,7 +2,7 @@ type config = { cost : Dpm_ir.Cost.model; cache_blocks : int }
 
 let default_config = { cost = Dpm_ir.Cost.default; cache_blocks = 1024 }
 
-let run ?(config = default_config) (p : Dpm_ir.Program.t) plan =
+let generate ~config (p : Dpm_ir.Program.t) plan =
   let cache = Dpm_cache.Lru.create ~capacity:config.cache_blocks in
   let events = ref [] in
   let pending_cycles = ref 0 in
@@ -69,5 +69,11 @@ let run ?(config = default_config) (p : Dpm_ir.Program.t) plan =
   Trace.make ~tail_think ~program:p.Dpm_ir.Program.name
     ~ndisks:(Dpm_layout.Plan.ndisks plan)
     (List.rev !events)
+
+let run ?(config = default_config) ?(metrics = Dpm_util.Metrics.global) p plan
+    =
+  let trace = Dpm_util.Metrics.span metrics "trace.gen" (fun () -> generate ~config p plan) in
+  Dpm_util.Metrics.add metrics "trace.events" (Array.length trace.Trace.events);
+  trace
 
 let request_count ?config p plan = Trace.io_count (run ?config p plan)

@@ -20,9 +20,17 @@ val default_config : config
 (** Default cost model and a 1,024-block (64 MB at default striping)
     cache. *)
 
-val run : ?config:config -> Dpm_ir.Program.t -> Dpm_layout.Plan.t -> Trace.t
+val run :
+  ?config:config ->
+  ?metrics:Dpm_util.Metrics.t ->
+  Dpm_ir.Program.t ->
+  Dpm_layout.Plan.t ->
+  Trace.t
 (** Generates the trace for one run.  Raises [Invalid_argument] if the
-    program references arrays missing from the plan. *)
+    program references arrays missing from the plan.  Wall time is
+    recorded under the [trace.gen] span and the event count under the
+    [trace.events] counter of [metrics] (default
+    {!Dpm_util.Metrics.global}, a no-op unless enabled). *)
 
 val request_count :
   ?config:config -> Dpm_ir.Program.t -> Dpm_layout.Plan.t -> int

@@ -1,0 +1,13 @@
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+/* CLOCK_MONOTONIC as a double of seconds: immune to wall-clock steps,
+   precise enough (ns resolution) for per-stage spans. */
+CAMLprim value dpm_metrics_monotonic_s(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+}

@@ -1,0 +1,39 @@
+(* Golden-file regression tests: the rendered Table 2 and Figure 3/4
+   series are compared byte-for-byte against test/golden/*.expected on
+   every `dune runtest`, so a perf refactor that silently changes the
+   physics (energy, time, request counts) fails loudly.
+
+   To regenerate after an intentional physics change:
+     dune exec bench/main.exe -- table2 fig3 fig4
+   and paste each table (including the trailing blank line) into the
+   matching golden/<id>.expected. *)
+
+module Figures = Dpm_core.Figures
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_golden id (figure : Figures.figure) =
+  let path = Filename.concat "golden" (id ^ ".expected") in
+  if not (Sys.file_exists path) then
+    Alcotest.fail
+      (Printf.sprintf "missing golden file %s (run from test/ with dune)" path);
+  let expected = read_file path in
+  Alcotest.(check string) (id ^ " matches golden") expected figure.rendered
+
+let test_table2 () = check_golden "table2" (Figures.table2 ())
+let test_fig3 () = check_golden "fig3" (Figures.fig3 ())
+let test_fig4 () = check_golden "fig4" (Figures.fig4 ())
+
+let suite =
+  [
+    ( "golden",
+      [
+        Alcotest.test_case "table2" `Slow test_table2;
+        Alcotest.test_case "fig3" `Slow test_fig3;
+        Alcotest.test_case "fig4" `Slow test_fig4;
+      ] );
+  ]
