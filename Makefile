@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench fault-check clean
 
 all: build
 
@@ -16,6 +16,15 @@ check: build test
 # Regenerate every table/figure with metrics, fanned out over domains.
 bench: build
 	dune exec bench/main.exe -- --metrics
+
+# Fault-injection smoke: a fixed seeded fault spec on swim must
+# reproduce the checked-in golden byte-for-byte (determinism of the
+# degraded-mode replay end-to-end through the CLI).
+FAULT_SPEC = seed=7,read=0.01,bad=0.005,spinfail=0.25,fail=0@30
+fault-check: build
+	dune exec bin/dpmsim.exe -- simulate -b swim -s Base,DRPM,CMDRPM \
+	  --faults "$(FAULT_SPEC)" > _build/fault_smoke.out
+	cmp _build/fault_smoke.out test/golden/fault_smoke.expected
 
 clean:
 	dune clean

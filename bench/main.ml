@@ -32,6 +32,8 @@ let available =
     ("ext-shared", Figures.shared_subsystem);
     ("ablation-knobs", Figures.knob_ablation);
     ("ablation-closed", Figures.closed_loop_ablation);
+    ("fault-sweep", Figures.fault_sweep);
+    ("fig3-degraded", fun () -> Figures.degraded_grid ());
   ]
 
 let print_figure name f =

@@ -59,14 +59,6 @@ let mode_arg =
   let doc = "Replay model: open (the paper's trace-driven model) or closed." in
   Arg.(value & opt mode_conv `Open & info [ "mode" ] ~doc)
 
-let setup_of spec version mode =
-  {
-    Dpm_core.Experiment.default_setup with
-    noise = spec.Dpm_workloads.Suite.noise;
-    version;
-    mode;
-  }
-
 (* --- shared instrumentation flags (--domains / --metrics) --- *)
 
 let domains_arg =
@@ -129,41 +121,91 @@ let show_cmd =
 
 (* --- simulate --- *)
 
-let scheme_conv =
-  let parse s =
-    try Ok (Dpm_core.Scheme.of_name s)
-    with Not_found -> Error (`Msg "expected Base|TPM|ITPM|DRPM|IDRPM|CMTPM|CMDRPM")
-  in
-  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Dpm_core.Scheme.name s))
-
 let schemes_arg =
   let doc = "Scheme(s) to simulate (default: all seven)." in
-  Arg.(value & opt (list scheme_conv) Dpm_core.Scheme.all & info [ "s"; "scheme" ] ~doc)
+  Arg.(
+    value
+    & opt (list Dpm_core.Scheme.conv) Dpm_core.Scheme.all
+    & info [ "s"; "scheme" ] ~doc)
+
+let faults_conv =
+  let parse s =
+    match Dpm_sim.Fault.of_string s with
+    | Ok f -> Ok f
+    | Error m ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "bad fault spec: %s (format: comma-separated key=value over \
+                seed, read, bad, badlen, spinfail, retries, backoff, remap, \
+                fail=DISK@TIME;... — e.g. \
+                \"seed=7,read=0.01,bad=0.005,spinfail=0.25,fail=0@30\")"
+               m))
+  in
+  Arg.conv
+    (parse, fun ppf f -> Format.pp_print_string ppf (Dpm_sim.Fault.to_string f))
+
+let faults_arg =
+  let doc =
+    "Inject deterministic faults: transient read errors ($(b,read)), \
+     bad-sector regions ($(b,bad)/$(b,badlen)), sticking spin-ups \
+     ($(b,spinfail)) with bounded retry + exponential backoff \
+     ($(b,retries)/$(b,backoff)), remap penalties ($(b,remap)) and \
+     whole-disk failures ($(b,fail=DISK\\@TIME)), all seeded by $(b,seed)."
+  in
+  Arg.(value & opt (some faults_conv) None & info [ "faults" ] ~doc ~docv:"SPEC")
 
 let simulate_cmd =
-  let run metrics name schemes version mode =
-    let spec, p, plan = workload name in
-    let setup = setup_of spec version mode in
-    let results = Dpm_core.Experiment.run_all ~setup ~schemes p plan in
-    let base = Dpm_core.Experiment.run ~setup Dpm_core.Scheme.Base p plan in
-    Printf.printf "%-8s %12s %10s %8s %8s\n" "scheme" "energy(J)" "time(s)"
-      "E/base" "T/base";
-    List.iter
-      (fun (s, (r : Dpm_sim.Result.t)) ->
-        Printf.printf "%-8s %12.2f %10.2f %8.3f %8.3f\n"
-          (Dpm_core.Scheme.name s) r.energy r.exec_time
-          (Dpm_sim.Result.normalized_energy r ~base)
-          (Dpm_sim.Result.normalized_time r ~base))
-      results;
-    report_metrics metrics;
-    0
+  let run metrics name schemes version mode faults =
+    (* Base joins the run for normalization even when not requested. *)
+    let run_schemes =
+      if List.mem Dpm_core.Scheme.Base schemes then schemes
+      else Dpm_core.Scheme.Base :: schemes
+    in
+    let rspec =
+      Dpm_core.Run.spec ~schemes:run_schemes ~mode ~version ?faults
+        (Dpm_core.Run.Benchmark name)
+    in
+    match Dpm_core.Run.exec_all rspec with
+    | Error e ->
+        Printf.eprintf "dpmsim: %s\n" (Dpm_core.Run.error_message e);
+        2
+    | Ok results ->
+        let base = List.assoc Dpm_core.Scheme.Base results in
+        let shown =
+          List.filter (fun (s, _) -> List.mem s schemes) results
+        in
+        Printf.printf "%-8s %12s %10s %8s %8s\n" "scheme" "energy(J)" "time(s)"
+          "E/base" "T/base";
+        List.iter
+          (fun (s, (r : Dpm_sim.Result.t)) ->
+            Printf.printf "%-8s %12.2f %10.2f %8.3f %8.3f\n"
+              (Dpm_core.Scheme.name s) r.energy r.exec_time
+              (Dpm_sim.Result.normalized_energy r ~base)
+              (Dpm_sim.Result.normalized_time r ~base))
+          shown;
+        (if faults <> None then begin
+           Printf.printf "\n%-8s %8s %10s %8s %11s %10s %7s\n" "scheme"
+             "retries" "delay(s)" "remaps" "spinup-rec" "redirects" "failed";
+           List.iter
+             (fun (s, (r : Dpm_sim.Result.t)) ->
+               let f = r.Dpm_sim.Result.faults in
+               Printf.printf "%-8s %8d %10.3f %8d %11d %10d %7d\n"
+                 (Dpm_core.Scheme.name s) f.Dpm_sim.Result.read_retries
+                 f.Dpm_sim.Result.retry_delay f.Dpm_sim.Result.remaps
+                 f.Dpm_sim.Result.spin_up_recoveries
+                 f.Dpm_sim.Result.redirects f.Dpm_sim.Result.failed_disks)
+             shown
+         end);
+        report_metrics metrics;
+        0
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Simulate a benchmark under one or more power-management schemes.")
     Term.(
       const run $ instrument_term $ bench_arg $ schemes_arg $ version_arg
-      $ mode_arg)
+      $ mode_arg $ faults_arg)
 
 (* --- compile: print the instrumented program --- *)
 
@@ -287,6 +329,8 @@ let figure_cmd =
         ("ext-shared", Dpm_core.Figures.shared_subsystem);
         ("ablation-knobs", Dpm_core.Figures.knob_ablation);
         ("ablation-closed", Dpm_core.Figures.closed_loop_ablation);
+        ("fault-sweep", Dpm_core.Figures.fault_sweep);
+        ("fig3-degraded", fun () -> Dpm_core.Figures.degraded_grid ());
       ]
     in
     let rc =

@@ -14,13 +14,17 @@ let () =
     (fun (spec : Dpm_workloads.Suite.spec) ->
       let t0 = Unix.gettimeofday () in
       let p, plan = Dpm_core.Experiment.workload spec in
-      let setup =
-        {
-          Dpm_core.Experiment.default_setup with
-          Dpm_core.Experiment.noise = spec.noise;
-        }
+      let setup = Dpm_core.Experiment.make_setup ~noise:spec.noise () in
+      let results =
+        match
+          Dpm_core.Run.exec_all
+            (Dpm_core.Run.spec ~setup (Dpm_core.Run.Program (p, plan)))
+        with
+        | Ok results -> results
+        | Error e ->
+            Printf.eprintf "tune: %s\n" (Dpm_core.Run.error_message e);
+            exit 2
       in
-      let results = Dpm_core.Experiment.run_all ~setup p plan in
       let base = List.assoc Dpm_core.Scheme.Base results in
       let mb =
         Dpm_util.Units.mb_of_bytes (Dpm_ir.Program.total_data_bytes p)

@@ -11,17 +11,15 @@ type setup = {
   noise : float;
   seed : int;
   version : Compiler.Pipeline.version;
+  faults : Sim.Fault.spec;
 }
 
-let default_setup =
-  {
-    sim = Sim.Config.default;
-    mode = `Open;
-    cache_blocks = Workloads.Suite.cache_blocks;
-    noise = 0.0;
-    seed = 42;
-    version = Compiler.Pipeline.Orig;
-  }
+let make_setup ?(sim = Sim.Config.default) ?(mode = `Open)
+    ?(cache_blocks = Workloads.Suite.cache_blocks) ?(noise = 0.0) ?(seed = 42)
+    ?(version = Compiler.Pipeline.Orig) ?(faults = Sim.Fault.none) () =
+  { sim; mode; cache_blocks; noise; seed; version; faults }
+
+let default_setup = make_setup ()
 
 let gen_config (setup : setup) =
   {
@@ -61,13 +59,16 @@ let run_cm setup scheme p plan =
     | Scheme.Idrpm ->
         Sim.Policy.cm_drpm
   in
-  Sim.Engine.run ~config:setup.sim ~mode:setup.mode policy trace
+  Sim.Engine.run ~config:setup.sim ~mode:setup.mode ~faults:setup.faults policy
+    trace
 
 let run_all ?(setup = default_setup) ?(schemes = Scheme.all) p plan =
   let p, plan = transformed setup p plan in
   let trace = lazy (Trace.Generate.run ~config:(gen_config setup) p plan) in
   let base =
-    lazy (Sim.Engine.run ~config:setup.sim ~mode:setup.mode Sim.Policy.base (Lazy.force trace))
+    lazy
+      (Sim.Engine.run ~config:setup.sim ~mode:setup.mode ~faults:setup.faults
+         Sim.Policy.base (Lazy.force trace))
   in
   List.map
     (fun scheme ->
@@ -76,11 +77,13 @@ let run_all ?(setup = default_setup) ?(schemes = Scheme.all) p plan =
         | Scheme.Base -> Lazy.force base
         | Scheme.Tpm ->
             Sim.Engine.run ~config:setup.sim ~mode:setup.mode
+              ~faults:setup.faults
               (Sim.Policy.tpm setup.sim)
               (Lazy.force trace)
         | Scheme.Drpm ->
             let t = Lazy.force trace in
             Sim.Engine.run ~config:setup.sim ~mode:setup.mode
+              ~faults:setup.faults
               (Sim.Policy.drpm setup.sim ~ndisks:t.Trace.Trace.ndisks)
               t
         | Scheme.Itpm -> Sim.Oracle.itpm ~config:setup.sim (Lazy.force base)
@@ -100,7 +103,10 @@ let overlap (a0, a1) (b0, b1) = min a1 b1 -. max a0 b0
 let misprediction_pct ?(setup = default_setup) p plan =
   let p, plan = transformed setup p plan in
   let trace = Trace.Generate.run ~config:(gen_config setup) p plan in
-  let base = Sim.Engine.run ~config:setup.sim ~mode:setup.mode Sim.Policy.base trace in
+  let base =
+    Sim.Engine.run ~config:setup.sim ~mode:setup.mode ~faults:setup.faults
+      Sim.Policy.base trace
+  in
   let compiled = compile_cm setup Scheme.Cmdrpm p plan in
   let top = Dpm_disk.Rpm.max_level setup.sim.Sim.Config.specs in
   (* Decisions are anchored at code positions; place them on the actual

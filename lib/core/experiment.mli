@@ -10,11 +10,30 @@ type setup = {
   noise : float;  (** Compiler estimation error (CM schemes). *)
   seed : int;  (** Determinism seed for the estimation error. *)
   version : Dpm_compiler.Pipeline.version;  (** Code transformation. *)
+  faults : Dpm_sim.Fault.spec;
+      (** Fault injection for every replay of the experiment
+          ({!Dpm_sim.Fault.none} disables it; oracle schemes inherit the
+          faulted Base replay's counters). *)
 }
+
+val make_setup :
+  ?sim:Dpm_sim.Config.t ->
+  ?mode:Dpm_sim.Engine.mode ->
+  ?cache_blocks:int ->
+  ?noise:float ->
+  ?seed:int ->
+  ?version:Dpm_compiler.Pipeline.version ->
+  ?faults:Dpm_sim.Fault.spec ->
+  unit ->
+  setup
+(** Smart constructor: {!default_setup} with fields overridden.  Prefer
+    it over record literals so future fields (like [faults] was) don't
+    break downstream construction sites. *)
 
 val default_setup : setup
 (** Default simulator config, open-loop replay, the suite's 192-unit
-    cache, no estimation error, untransformed code. *)
+    cache, no estimation error, untransformed code, no faults
+    ([make_setup ()]). *)
 
 val run :
   ?setup:setup ->

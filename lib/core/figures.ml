@@ -35,12 +35,13 @@ let render ~id ~title ~columns rows =
 let scheme_columns = List.map Scheme.name Scheme.all
 
 (* Shared per-benchmark runs under a setup derived per spec. *)
-let suite_results ?(mode = `Open) ?(version = Dpm_compiler.Pipeline.Orig) () =
+let suite_results ?(mode = `Open) ?(version = Dpm_compiler.Pipeline.Orig)
+    ?(faults = Sim.Fault.none) () =
   Pool.map
     (fun (spec : Workloads.Suite.spec) ->
       let p, plan = Experiment.workload spec in
       let setup =
-        { Experiment.default_setup with noise = spec.noise; mode; version }
+        Experiment.make_setup ~noise:spec.noise ~mode ~version ~faults ()
       in
       (spec, Experiment.run_all ~setup p plan))
     Workloads.Suite.all
@@ -91,7 +92,7 @@ let table2 () =
       ]
     rows
 
-let grid ~id ~title ~metric ?mode () =
+let grid ~id ~title ~metric ?mode ?faults () =
   let rows =
     List.map
       (fun ((spec : Workloads.Suite.spec), results) ->
@@ -105,7 +106,7 @@ let grid ~id ~title ~metric ?mode () =
                 (Scheme.name s, metric r base))
               Scheme.all;
         })
-      (suite_results ?mode ())
+      (suite_results ?mode ?faults ())
   in
   render ~id ~title ~columns:scheme_columns rows
 
@@ -118,6 +119,74 @@ let fig4 () =
   grid ~id:"fig4" ~title:"Figure 4: Normalized execution time"
     ~metric:(fun r base -> Sim.Result.normalized_time r ~base)
     ()
+
+(* --- fault injection (beyond the paper) --- *)
+
+let degraded_storm =
+  Sim.Fault.make ~seed:1905 ~read_error_rate:0.01 ~bad_unit_rate:0.005
+    ~spin_up_failure_rate:0.2
+    ~disk_failures:[ (0, 30.0) ]
+    ()
+
+let degraded_grid ?(faults = degraded_storm) () =
+  grid ~id:"fig3-degraded"
+    ~title:
+      "Figure 3 under fault injection (normalized to each row's faulted Base)"
+    ~metric:(fun r base -> Sim.Result.normalized_energy r ~base)
+    ~faults ()
+
+let fault_sweep () =
+  let spec = Workloads.Suite.find "swim" in
+  let schemes = [ Scheme.Base; Scheme.Tpm; Scheme.Drpm; Scheme.Cmdrpm ] in
+  let half_life = spec.Workloads.Suite.exec_time_s /. 2.0 in
+  let configs =
+    [
+      ("none", Sim.Fault.none);
+      ("read-1%", Sim.Fault.make ~seed:7 ~read_error_rate:0.01 ());
+      ("bad-0.5%", Sim.Fault.make ~seed:7 ~bad_unit_rate:0.005 ());
+      ("spinfail-25%", Sim.Fault.make ~seed:7 ~spin_up_failure_rate:0.25 ());
+      ("disk0-dies", Sim.Fault.make ~seed:7 ~disk_failures:[ (0, half_life) ] ());
+      ( "storm",
+        Sim.Fault.make ~seed:7 ~read_error_rate:0.01 ~bad_unit_rate:0.005
+          ~spin_up_failure_rate:0.25
+          ~disk_failures:[ (0, half_life) ]
+          () );
+    ]
+  in
+  let rows =
+    Pool.map
+      (fun (label, faults) ->
+        let p, plan = Experiment.workload spec in
+        let setup = Experiment.make_setup ~noise:spec.noise ~faults () in
+        let results = Experiment.run_all ~setup ~schemes p plan in
+        let base = List.assoc Scheme.Base results in
+        {
+          label;
+          cells =
+            List.map
+              (fun s ->
+                ( Scheme.name s ^ "-E",
+                  Sim.Result.normalized_energy (List.assoc s results) ~base ))
+              schemes
+            @ List.map
+                (fun s ->
+                  ( Scheme.name s ^ "-T",
+                    Sim.Result.normalized_time (List.assoc s results) ~base ))
+                schemes
+            @ [
+                ( "events(Base)",
+                  float_of_int
+                    (Sim.Result.fault_events base.Sim.Result.faults) );
+              ];
+        })
+      configs
+  in
+  let columns = match rows with [] -> [] | r :: _ -> List.map fst r.cells in
+  render ~id:"fault-sweep"
+    ~title:
+      "Fault sweep: swim under fault injection (normalized to each row's \
+       faulted Base)"
+    ~columns rows
 
 let table3 () =
   let rows =
@@ -450,4 +519,5 @@ let all () =
     shared_subsystem ();
     knob_ablation ();
     closed_loop_ablation ();
+    fault_sweep ();
   ]

@@ -69,5 +69,19 @@ val closed_loop_ablation : unit -> figure
     stricter closed-loop replay model, where every service delay
     propagates into execution time. *)
 
+val fault_sweep : unit -> figure
+(** Extension (not in the paper): swim under increasing fault-injection
+    intensity (transient read errors, bad-sector regions, sticking
+    spin-ups, a mid-run disk failure and all four at once), energy and
+    time normalized to each row's equally-faulted Base, plus the Base
+    replay's injected-event count.  How do the schemes compare when
+    spin-ups occasionally fail?  Deterministic: fixed seed per row. *)
+
+val degraded_grid : ?faults:Dpm_sim.Fault.spec -> unit -> figure
+(** Extension: the full Figure 3 benchmark × scheme energy grid replayed
+    under a fault spec (default: a moderate storm — 1% read errors, 0.5%
+    bad units, 20% sticking spin-ups, disk 0 dead at 30 s). *)
+
 val all : unit -> figure list
-(** Everything above, in paper order (the ablations last). *)
+(** Everything above, in paper order (the ablations and fault sweep
+    last). *)

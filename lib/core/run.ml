@@ -1,0 +1,115 @@
+module Sim = Dpm_sim
+module Workloads = Dpm_workloads
+
+type workload =
+  | Benchmark of string
+  | Program of Dpm_ir.Program.t * Dpm_layout.Plan.t
+
+type error =
+  | Unknown_benchmark of string
+  | Unknown_scheme of string
+  | Invalid_faults of string
+  | Run_failure of string
+
+let suite_names =
+  lazy (List.map (fun (s : Workloads.Suite.spec) -> s.name) Workloads.Suite.all)
+
+let error_message = function
+  | Unknown_benchmark b ->
+      Printf.sprintf "unknown benchmark %S (expected one of: %s)" b
+        (String.concat ", " (Lazy.force suite_names))
+  | Unknown_scheme s ->
+      Printf.sprintf "unknown scheme %S (expected one of: %s)" s
+        (String.concat ", " Scheme.names)
+  | Invalid_faults m -> "invalid fault spec: " ^ m
+  | Run_failure m -> m
+
+type spec = {
+  schemes : Scheme.t list;
+  scheme_names : string list;
+  workload : workload;
+  setup : Experiment.setup option;
+  mode : Sim.Engine.mode option;
+  version : Dpm_compiler.Pipeline.version option;
+  faults : Sim.Fault.spec option;
+}
+
+let spec ?(schemes = Scheme.all) ?(scheme_names = []) ?setup ?mode ?version
+    ?faults workload =
+  { schemes; scheme_names; workload; setup; mode; version; faults }
+
+let ( let* ) = Result.bind
+
+let resolve_schemes s =
+  match s.scheme_names with
+  | [] -> Ok s.schemes
+  | names ->
+      List.fold_left
+        (fun acc name ->
+          let* acc = acc in
+          match Scheme.of_name_opt name with
+          | Some scheme -> Ok (scheme :: acc)
+          | None -> Error (Unknown_scheme name))
+        (Ok []) names
+      |> Result.map List.rev
+
+let resolve_faults s =
+  match s.faults with
+  | None -> Ok None
+  | Some f -> (
+      match Sim.Fault.validate f with
+      | Ok f -> Ok (Some f)
+      | Error m -> Error (Invalid_faults m))
+
+(* The benchmark spec (for its calibrated noise) when the workload names
+   one; the program is built later, inside the trapped section, because
+   calibration replays the workload. *)
+let resolve_bench s =
+  match s.workload with
+  | Program _ -> Ok None
+  | Benchmark name -> (
+      match
+        List.find_opt
+          (fun (b : Workloads.Suite.spec) -> String.equal b.name name)
+          Workloads.Suite.all
+      with
+      | Some bench -> Ok (Some bench)
+      | None -> Error (Unknown_benchmark name))
+
+let resolve_setup s bench faults =
+  let base =
+    match s.setup with
+    | Some setup -> setup
+    | None ->
+        Experiment.make_setup
+          ?noise:(Option.map (fun (b : Workloads.Suite.spec) -> b.noise) bench)
+          ()
+  in
+  let base = match s.mode with None -> base | Some mode -> { base with mode } in
+  let base =
+    match s.version with None -> base | Some version -> { base with version }
+  in
+  match faults with None -> base | Some faults -> { base with faults }
+
+let exec_all s =
+  let* schemes = resolve_schemes s in
+  let* faults = resolve_faults s in
+  let* bench = resolve_bench s in
+  let setup = resolve_setup s bench faults in
+  match
+    let p, plan =
+      match (s.workload, bench) with
+      | Program (p, plan), _ -> (p, plan)
+      | Benchmark _, Some bench -> Experiment.workload bench
+      | Benchmark _, None -> assert false
+    in
+    Experiment.run_all ~setup ~schemes p plan
+  with
+  | results -> Ok results
+  | exception exn -> Error (Run_failure (Printexc.to_string exn))
+
+let exec s =
+  let* results = exec_all s in
+  match results with
+  | (_, r) :: _ -> Ok r
+  | [] -> Error (Run_failure "no schemes requested")

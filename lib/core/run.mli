@@ -1,0 +1,61 @@
+(** The single non-raising entry point for running experiments.
+
+    The layers underneath grew organically and raise on misuse
+    ([Scheme.of_name], [Workloads.Suite.find], [Fault.plan], the replay
+    engine itself): fine for library code holding values it constructed,
+    wrong for drivers handling user input.  [Run] closes the gap: build a
+    {!spec} from labelled optional arguments, {!exec} it, and get either
+    results or a typed {!error} with a printable message — no exception
+    escapes.  [bin/dpmsim] and [bin/tune] go through this module.
+
+    {[
+      match Run.exec_all (Run.spec ~scheme_names:[ "Base"; "CMDRPM" ]
+                            ?faults (Run.Benchmark "swim")) with
+      | Ok results -> ...
+      | Error e -> prerr_endline (Run.error_message e)
+    ]} *)
+
+type workload =
+  | Benchmark of string  (** A suite benchmark by name (resolved here). *)
+  | Program of Dpm_ir.Program.t * Dpm_layout.Plan.t
+      (** An already-built program and layout plan. *)
+
+type error =
+  | Unknown_benchmark of string
+  | Unknown_scheme of string
+  | Invalid_faults of string
+  | Run_failure of string
+      (** An exception trapped while compiling/replaying (its printed
+          form). *)
+
+val error_message : error -> string
+(** Human-readable message, listing the valid names where relevant. *)
+
+type spec
+(** A fully described run: schemes × workload × setup. *)
+
+val spec :
+  ?schemes:Scheme.t list ->
+  ?scheme_names:string list ->
+  ?setup:Experiment.setup ->
+  ?mode:Dpm_sim.Engine.mode ->
+  ?version:Dpm_compiler.Pipeline.version ->
+  ?faults:Dpm_sim.Fault.spec ->
+  workload ->
+  spec
+(** [spec workload] runs all seven schemes under a default setup.
+    [scheme_names] (checked at {!exec} time) takes precedence over
+    [schemes]; [setup] replaces the default setup — for a [Benchmark]
+    workload the default inherits the benchmark's calibrated compiler
+    noise — and [mode]/[version]/[faults] override the corresponding
+    setup fields either way. *)
+
+val exec_all : spec -> ((Scheme.t * Dpm_sim.Result.t) list, error) result
+(** Resolve names, validate the fault spec, build the workload and run
+    every requested scheme (sharing trace generation and the Base replay
+    like [Experiment.run_all]).  Never raises: failures inside the
+    pipeline come back as [Error (Run_failure _)]. *)
+
+val exec : spec -> (Dpm_sim.Result.t, error) result
+(** [exec s] is {!exec_all} reduced to the first requested scheme's
+    result — the common single-scheme call. *)

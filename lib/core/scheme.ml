@@ -11,9 +11,26 @@ let name = function
   | Cmtpm -> "CMTPM"
   | Cmdrpm -> "CMDRPM"
 
-let of_name s =
+let names = List.map name all
+
+let of_name_opt s =
   let s = String.lowercase_ascii s in
-  List.find (fun t -> String.equal (String.lowercase_ascii (name t)) s) all
+  List.find_opt (fun t -> String.equal (String.lowercase_ascii (name t)) s) all
+
+let of_name s =
+  match of_name_opt s with Some t -> t | None -> raise Not_found
+
+let conv =
+  let parse s =
+    match of_name_opt s with
+    | Some t -> Ok t
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown scheme %S (expected one of: %s)" s
+               (String.concat ", " names)))
+  in
+  Cmdliner.Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (name t))
 
 let is_compiler_managed = function
   | Cmtpm | Cmdrpm -> true

@@ -13,8 +13,21 @@ val all : t list
 (** In the paper's presentation order. *)
 
 val name : t -> string
+
+val names : string list
+(** Canonical scheme names, in presentation order. *)
+
+val of_name_opt : string -> t option
+(** Case-insensitive lookup. *)
+
 val of_name : string -> t
-(** Case-insensitive; raises [Not_found]. *)
+  [@@ocaml.deprecated "Use of_name_opt (or Scheme.conv on the CLI)."]
+(** Case-insensitive; raises [Not_found].  Deprecated: user-facing
+    lookups should go through {!of_name_opt} or {!conv} so unknown names
+    produce a readable error. *)
+
+val conv : t Cmdliner.Arg.conv
+(** Cmdliner converter; an unknown name errors with the valid list. *)
 
 val is_compiler_managed : t -> bool
 val is_ideal : t -> bool

@@ -10,6 +10,12 @@ let idle (s : Specs.t) ~level =
 let active (s : Specs.t) ~level =
   idle s ~level +. ((s.p_active -. s.p_idle) *. speed_fraction s ~level)
 
+let spin_up_power (s : Specs.t) = s.e_spin_up /. s.t_spin_up
+
+let aborted_spin_up_energy (s : Specs.t) ~fraction =
+  let fraction = Float.max 0.0 (Float.min 1.0 fraction) in
+  fraction *. s.e_spin_up
+
 let tpm_break_even (s : Specs.t) =
   (* Solve E_down + E_up + P_standby (T - t_rt) = P_idle T for T, where
      t_rt is the down+up round trip. *)

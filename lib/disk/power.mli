@@ -15,6 +15,16 @@ val active : Specs.t -> level:int -> float
 (** Power while servicing at an RPM level; equals [p_active] at the top
     level. *)
 
+val spin_up_power : Specs.t -> float
+(** Mean power drawn while the spindle accelerates:
+    [e_spin_up / t_spin_up]. *)
+
+val aborted_spin_up_energy : Specs.t -> fraction:float -> float
+(** Energy burned by a spin-up attempt that aborts after [fraction] of
+    the full spin-up time (clamped to [\[0, 1\]]): the motor current was
+    spent but the disk falls back to standby — the cost a failed,
+    retried spin-up pays under fault injection. *)
+
 val tpm_break_even : Specs.t -> float
 (** Minimum idle-period length (seconds) for which spinning down saves
     energy, counting transition energies and times:

@@ -33,6 +33,25 @@ let disks_used t ~ndisks ~file_bytes =
   List.sort_uniq compare
     (List.init n (fun u -> disk_of_unit t ~ndisks u))
 
+let region_disk_spread t ~ndisks ~lo ~hi =
+  if hi < lo then []
+  else begin
+    (* [disk_of_unit] depends only on [u mod stripe_factor], so count the
+       units of each residue class inside [lo, hi] and fold the classes
+       onto their disks. *)
+    let counts = Array.make ndisks 0 in
+    let last = min hi (lo + t.stripe_factor - 1) in
+    for u = lo to last do
+      let d = disk_of_unit t ~ndisks u in
+      counts.(d) <- counts.(d) + 1 + ((hi - u) / t.stripe_factor)
+    done;
+    let spread = ref [] in
+    for d = ndisks - 1 downto 0 do
+      if counts.(d) > 0 then spread := (d, counts.(d)) :: !spread
+    done;
+    !spread
+  end
+
 let pp ppf t =
   Format.fprintf ppf "(%d, %d, %a)" t.start_disk t.stripe_factor
     Dpm_util.Units.pp_bytes t.stripe_size

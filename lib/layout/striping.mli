@@ -36,5 +36,15 @@ val disks_used : t -> ndisks:int -> file_bytes:int -> int list
 val units_in_file : t -> file_bytes:int -> int
 (** Number of stripe units, rounding the tail up. *)
 
+val region_disk_spread : t -> ndisks:int -> lo:int -> hi:int -> (int * int) list
+(** [region_disk_spread t ~ndisks ~lo ~hi] is how a contiguous run of
+    stripe units [lo..hi] (inclusive) spreads over the array: a sorted
+    [(disk, unit count)] list covering exactly [hi - lo + 1] units.
+    Because units are dealt round-robin, a contiguous bad region of a
+    striped file damages up to [stripe_factor] disks at once — this is
+    the geometry the fault-injection layer reports.  Empty when
+    [hi < lo]; requires [stripe_factor <= ndisks] and
+    [start_disk < ndisks] like {!disk_of_unit}. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints the paper's 3-tuple form, e.g. ["(0, 8, 64KB)"]. *)

@@ -23,6 +23,7 @@ type t = {
   mutable spin_downs : int;
   residency : float array;
   mutable standby_time : float;
+  mutable failed : bool;
 }
 
 let create specs ~id =
@@ -39,10 +40,12 @@ let create specs ~id =
     spin_downs = 0;
     residency = Array.make (Rpm.num_levels specs) 0.0;
     standby_time = 0.0;
+    failed = false;
   }
 
 let id t = t.disk_id
 let phase t = t.phase
+let is_failed t = t.failed
 
 let level t =
   match t.phase with
@@ -74,7 +77,7 @@ let note_residency t ph dt =
     | Changing _ | Spinning_down _ | Spinning_up _ -> ()
 
 let rec advance t now =
-  if now > t.last_update then
+  if (not t.failed) && now > t.last_update then
     match t.phase with
     | Ready _ | Standby ->
         let dt = now -. t.last_update in
@@ -117,6 +120,8 @@ let settle_time t =
 let rec set_level t ~now target =
   (* Operations requested in the past (e.g. a directive issued while the
      disk still drains a queue) take effect at the disk's own clock. *)
+  if t.failed then ()
+  else
   let now = max now t.last_update in
   advance t now;
   match t.phase with
@@ -138,6 +143,8 @@ let rec set_level t ~now target =
   | Standby | Spinning_down _ -> ()
 
 let rec spin_down t ~now =
+  if t.failed then ()
+  else
   let now = max now t.last_update in
   advance t now;
   match t.phase with
@@ -150,6 +157,8 @@ let rec spin_down t ~now =
       spin_down t ~now:finish
 
 let rec spin_up t ~now =
+  if t.failed then ()
+  else
   let now = max now t.last_update in
   advance t now;
   match t.phase with
@@ -163,31 +172,74 @@ let rec spin_up t ~now =
       advance t finish;
       spin_up t ~now:finish
 
+(* Resolve any in-flight or low-power state into Ready, returning the
+   time the disk is able to transfer and the level it settles at. *)
+let rec ready_at t now =
+  match t.phase with
+  | Ready l -> (now, l)
+  | Standby ->
+      spin_up t ~now;
+      ready_at t now
+  | Changing { finish; _ } | Spinning_down { finish } | Spinning_up { finish }
+    ->
+      advance t finish;
+      ready_at t finish
+
 let serve t ~now ~bytes =
-  let now = max now t.last_update in
-  advance t now;
-  (* Resolve any in-flight or low-power state into Ready. *)
-  let rec ready_at now =
+  if t.failed then max now t.last_update
+  else begin
+    let now = max now t.last_update in
+    advance t now;
+    let start, lvl = ready_at t now in
+    let service = Service.request_time t.specs ~level:lvl ~bytes in
+    let completion = start +. service in
+    charge t (Power.active t.specs ~level:lvl) service;
+    t.residency.(lvl) <- t.residency.(lvl) +. service;
+    t.last_update <- completion;
+    t.busy_rev <- (start, completion) :: t.busy_rev;
+    t.served <- t.served + 1;
+    t.idle_start <- completion;
+    completion
+  end
+
+let occupy t ~now ~seconds =
+  if t.failed || seconds <= 0.0 then max now t.last_update
+  else begin
+    let now = max now t.last_update in
+    advance t now;
+    let start, lvl = ready_at t now in
+    let finish = start +. seconds in
+    charge t (Power.active t.specs ~level:lvl) seconds;
+    t.residency.(lvl) <- t.residency.(lvl) +. seconds;
+    t.last_update <- finish;
+    t.busy_rev <- (start, finish) :: t.busy_rev;
+    t.idle_start <- finish;
+    finish
+  end
+
+let abort_spin_up t ~now ~fraction =
+  if t.failed then max now t.last_update
+  else begin
+    let now = max now t.last_update in
+    advance t now;
     match t.phase with
-    | Ready l -> (now, l)
     | Standby ->
-        spin_up t ~now;
-        ready_at now
-    | Changing { finish; _ } | Spinning_down { finish } | Spinning_up { finish }
-      ->
-        advance t finish;
-        ready_at finish
-  in
-  let start, lvl = ready_at now in
-  let service = Service.request_time t.specs ~level:lvl ~bytes in
-  let completion = start +. service in
-  charge t (Power.active t.specs ~level:lvl) service;
-  t.residency.(lvl) <- t.residency.(lvl) +. service;
-  t.last_update <- completion;
-  t.busy_rev <- (start, completion) :: t.busy_rev;
-  t.served <- t.served + 1;
-  t.idle_start <- completion;
-  completion
+        let fraction = Float.max 0.0 (Float.min 1.0 fraction) in
+        let dt = fraction *. t.specs.Specs.t_spin_up in
+        if dt > 0.0 then begin
+          t.total_energy <-
+            t.total_energy +. Power.aborted_spin_up_energy t.specs ~fraction;
+          t.last_update <- now +. dt
+        end;
+        now +. dt
+    | Ready _ | Changing _ | Spinning_down _ | Spinning_up _ -> now
+  end
+
+let fail t ~at =
+  if not t.failed then begin
+    advance t (max at t.last_update);
+    t.failed <- true
+  end
 
 let finalize t ~at = advance t (max at (settle_time t))
 

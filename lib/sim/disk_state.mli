@@ -57,6 +57,31 @@ val serve : t -> now:float -> bytes:int -> float
     charges active energy, records the busy interval, and returns the
     completion time. *)
 
+val occupy : t -> now:float -> seconds:float -> float
+(** Hold the disk busy for a fixed duration at active power (resolving
+    any transition first, like {!serve}) without counting a served
+    request — the cost of a bad-sector remap under fault injection.
+    Returns the time the disk frees up; a non-positive duration is a
+    no-op. *)
+
+val abort_spin_up : t -> now:float -> fraction:float -> float
+(** A spin-up attempt that sticks: from [Standby], charges
+    [fraction × e_spin_up] ({!Dpm_disk.Power.aborted_spin_up_energy}) over
+    [fraction × t_spin_up] seconds, leaves the disk in [Standby], and
+    returns when the failed attempt settles.  In any other phase it is a
+    no-op returning [now]. *)
+
+(** {2 Hard failure} *)
+
+val fail : t -> at:float -> unit
+(** Take the disk offline: integrates energy up to [at], then freezes the
+    state machine — every later operation ({!advance}, {!serve},
+    {!set_level}, {!spin_down}, {!spin_up}, {!occupy}) becomes a no-op,
+    so a dead disk stops drawing power and serving requests.  The replay
+    engine redirects its load to the surviving disks. *)
+
+val is_failed : t -> bool
+
 val finalize : t -> at:float -> unit
 (** Integrate up to the end of the run. *)
 

@@ -3,7 +3,31 @@ module Trace = Dpm_trace.Trace
 
 type mode = [ `Open | `Closed ]
 
-let replay ~config ~mode (policy : Policy.t) (trace : Trace.t) =
+(* Highest IO block number + 1 — the stripe-unit address space the
+   fault plan's bad regions are drawn over.  Pure in the traces. *)
+let nblocks_of traces =
+  List.fold_left
+    (fun acc (t : Trace.t) ->
+      Array.fold_left
+        (fun acc event ->
+          match event with
+          | Request.Io io -> max acc (io.Request.block + 1)
+          | Request.Pm _ -> acc)
+        acc t.Trace.events)
+    0 traces
+
+(* [None] takes the exact fault-free code path (no extra draws, no float
+   perturbation), keeping zero-fault replays byte-identical. *)
+let fault_state faults ~ndisks ~nblocks =
+  if Fault.is_zero faults then None
+  else begin
+    (match Fault.validate faults with
+    | Ok _ -> ()
+    | Error m -> invalid_arg ("Engine: invalid fault spec: " ^ m));
+    Some (Fault.start (Fault.plan faults ~ndisks ~nblocks))
+  end
+
+let replay ~config ~mode ~fault (policy : Policy.t) (trace : Trace.t) =
   let specs = config.Config.specs in
   let top = Dpm_disk.Rpm.max_level specs in
   let ndisks = trace.Trace.ndisks in
@@ -20,11 +44,20 @@ let replay ~config ~mode (policy : Policy.t) (trace : Trace.t) =
   let recent = Array.init ndisks (fun _ -> Array.make depth 0.0) in
   let recent_pos = Array.make ndisks 0 in
   let makespan = ref 0.0 in
+  let sweep_failures now =
+    match fault with
+    | None -> ()
+    | Some fs ->
+        Fault.sweep fs ~now ~kill:(fun d at -> Disk_state.fail disks.(d) ~at)
+  in
   let apply_directive directive =
     clock := !clock +. config.Config.pm_call_overhead;
     match directive with
     | Request.Spin_down d -> Disk_state.spin_down disks.(d) ~now:!clock
-    | Request.Spin_up d -> Disk_state.spin_up disks.(d) ~now:!clock
+    | Request.Spin_up d -> (
+        match fault with
+        | None -> Disk_state.spin_up disks.(d) ~now:!clock
+        | Some fs -> Fault.spin_up fs disks.(d) ~now:!clock)
     | Request.Set_rpm { level; disk } ->
         if level < top then gap_choices := (disk, !clock, level) :: !gap_choices;
         Disk_state.set_level disks.(disk) ~now:!clock level
@@ -32,22 +65,34 @@ let replay ~config ~mode (policy : Policy.t) (trace : Trace.t) =
   Array.iter
     (fun event ->
       clock := !clock +. Request.think event;
+      sweep_failures !clock;
       match event with
       | Request.Pm { directive; _ } ->
           if policy.Policy.accepts_directives then apply_directive directive
       | Request.Io io ->
-          let st = disks.(io.disk) in
+          (* A failed disk sheds its load onto the next survivor. *)
+          let d =
+            match fault with
+            | None -> io.disk
+            | Some fs -> Fault.serving_disk fs ~disk:io.disk ~now:!clock
+          in
+          let st = disks.(d) in
           (* Bounded queue: wait until the oldest of the last [depth]
              requests on this disk has completed. *)
-          let oldest = recent.(io.disk).(recent_pos.(io.disk)) in
+          let oldest = recent.(d).(recent_pos.(d)) in
           if oldest > !clock then clock := oldest;
           let arrival = !clock in
-          let issue = max arrival backlog.(io.disk) in
+          let issue = max arrival backlog.(d) in
           policy.Policy.catch_up st ~now:issue;
-          let completion = Disk_state.serve st ~now:issue ~bytes:io.bytes in
-          backlog.(io.disk) <- completion;
-          recent.(io.disk).(recent_pos.(io.disk)) <- completion;
-          recent_pos.(io.disk) <- (recent_pos.(io.disk) + 1) mod depth;
+          let completion =
+            match fault with
+            | None -> Disk_state.serve st ~now:issue ~bytes:io.bytes
+            | Some fs ->
+                Fault.serve fs st ~now:issue ~bytes:io.bytes ~block:io.block
+          in
+          backlog.(d) <- completion;
+          recent.(d).(recent_pos.(d)) <- completion;
+          recent_pos.(d) <- (recent_pos.(d) + 1) mod depth;
           if completion > !makespan then makespan := completion;
           let response = completion -. arrival in
           let nominal =
@@ -63,6 +108,7 @@ let replay ~config ~mode (policy : Policy.t) (trace : Trace.t) =
     trace.Trace.events;
   clock := !clock +. trace.Trace.tail_think;
   let exec_time = max !clock !makespan in
+  sweep_failures exec_time;
   Array.iter
     (fun st ->
       policy.Policy.catch_up st ~now:exec_time;
@@ -92,17 +138,34 @@ let replay ~config ~mode (policy : Policy.t) (trace : Trace.t) =
         0.0 disk_stats;
     disks = disk_stats;
     gap_choices = List.rev !gap_choices;
+    faults =
+      (match fault with
+      | None -> Result.no_faults
+      | Some fs -> Fault.stats fs ~exec_time);
   }
 
 let record_replay metrics (result : Result.t) =
   Dpm_util.Metrics.add metrics "sim.requests" (Result.requests result);
-  Dpm_util.Metrics.count metrics "sim.runs"
+  Dpm_util.Metrics.count metrics "sim.runs";
+  let f = result.Result.faults in
+  if f.Result.read_retries > 0 then
+    Dpm_util.Metrics.add metrics "sim.fault.retries" f.Result.read_retries;
+  if f.Result.remaps > 0 then
+    Dpm_util.Metrics.add metrics "sim.fault.remaps" f.Result.remaps;
+  if f.Result.spin_up_recoveries > 0 then
+    Dpm_util.Metrics.add metrics "sim.fault.spinup_recoveries"
+      f.Result.spin_up_recoveries;
+  if f.Result.redirects > 0 then
+    Dpm_util.Metrics.add metrics "sim.fault.redirects" f.Result.redirects
 
 let run ?(config = Config.default) ?(mode = `Open)
-    ?(metrics = Dpm_util.Metrics.global) policy trace =
+    ?(metrics = Dpm_util.Metrics.global) ?(faults = Fault.none) policy trace =
+  let fault =
+    fault_state faults ~ndisks:trace.Trace.ndisks ~nblocks:(nblocks_of [ trace ])
+  in
   let result =
     Dpm_util.Metrics.span metrics "sim.replay" (fun () ->
-        replay ~config ~mode policy trace)
+        replay ~config ~mode ~fault policy trace)
   in
   record_replay metrics result;
   result
@@ -116,7 +179,7 @@ type app = {
   mutable done_ : bool;
 }
 
-let replay_many ~config ~mode (policy : Policy.t) traces =
+let replay_many ~config ~mode ~fault (policy : Policy.t) traces =
   match traces with
   | [] -> invalid_arg "Engine.run_many: no traces"
   | first :: rest ->
@@ -145,10 +208,18 @@ let replay_many ~config ~mode (policy : Policy.t) traces =
         if app.cursor >= Array.length app.trace.Trace.events then infinity
         else app.clock +. Request.think app.trace.Trace.events.(app.cursor)
       in
+      let sweep_failures now =
+        match fault with
+        | None -> ()
+        | Some fs ->
+            Fault.sweep fs ~now ~kill:(fun d at ->
+                Disk_state.fail disks.(d) ~at)
+      in
       let step app =
         let event = app.trace.Trace.events.(app.cursor) in
         app.cursor <- app.cursor + 1;
         app.clock <- app.clock +. Request.think event;
+        sweep_failures app.clock;
         (match event with
         | Request.Pm { directive; _ } ->
             if policy.Policy.accepts_directives then begin
@@ -156,20 +227,33 @@ let replay_many ~config ~mode (policy : Policy.t) traces =
               match directive with
               | Request.Spin_down d ->
                   Disk_state.spin_down disks.(d) ~now:app.clock
-              | Request.Spin_up d -> Disk_state.spin_up disks.(d) ~now:app.clock
+              | Request.Spin_up d -> (
+                  match fault with
+                  | None -> Disk_state.spin_up disks.(d) ~now:app.clock
+                  | Some fs -> Fault.spin_up fs disks.(d) ~now:app.clock)
               | Request.Set_rpm { level; disk } ->
                   if level < top then
                     gap_choices := (disk, app.clock, level) :: !gap_choices;
                   Disk_state.set_level disks.(disk) ~now:app.clock level
             end
         | Request.Io io ->
-            let d = io.disk in
+            let d =
+              match fault with
+              | None -> io.disk
+              | Some fs -> Fault.serving_disk fs ~disk:io.disk ~now:app.clock
+            in
             let oldest = recent.(d).(recent_pos.(d)) in
             if oldest > app.clock then app.clock <- oldest;
             let arrival = app.clock in
             let issue = max arrival backlog.(d) in
             policy.Policy.catch_up disks.(d) ~now:issue;
-            let completion = Disk_state.serve disks.(d) ~now:issue ~bytes:io.bytes in
+            let completion =
+              match fault with
+              | None -> Disk_state.serve disks.(d) ~now:issue ~bytes:io.bytes
+              | Some fs ->
+                  Fault.serve fs disks.(d) ~now:issue ~bytes:io.bytes
+                    ~block:io.block
+            in
             backlog.(d) <- completion;
             recent.(d).(recent_pos.(d)) <- completion;
             recent_pos.(d) <- (recent_pos.(d) + 1) mod depth;
@@ -204,6 +288,7 @@ let replay_many ~config ~mode (policy : Policy.t) traces =
       let exec_time =
         List.fold_left (fun acc a -> Float.max acc a.clock) !makespan apps
       in
+      sweep_failures exec_time;
       Array.iter
         (fun st ->
           policy.Policy.catch_up st ~now:exec_time;
@@ -235,13 +320,23 @@ let replay_many ~config ~mode (policy : Policy.t) traces =
             0.0 disk_stats;
         disks = disk_stats;
         gap_choices = List.rev !gap_choices;
+        faults =
+          (match fault with
+          | None -> Result.no_faults
+          | Some fs -> Fault.stats fs ~exec_time);
       }
 
 let run_many ?(config = Config.default) ?(mode = `Open)
-    ?(metrics = Dpm_util.Metrics.global) policy traces =
+    ?(metrics = Dpm_util.Metrics.global) ?(faults = Fault.none) policy traces =
+  let ndisks =
+    match traces with
+    | [] -> invalid_arg "Engine.run_many: no traces"
+    | t :: _ -> t.Trace.ndisks
+  in
+  let fault = fault_state faults ~ndisks ~nblocks:(nblocks_of traces) in
   let result =
     Dpm_util.Metrics.span metrics "sim.replay" (fun () ->
-        replay_many ~config ~mode policy traces)
+        replay_many ~config ~mode ~fault policy traces)
   in
   record_replay metrics result;
   result

@@ -30,6 +30,7 @@ val run :
   ?config:Config.t ->
   ?mode:mode ->
   ?metrics:Dpm_util.Metrics.t ->
+  ?faults:Fault.spec ->
   Policy.t ->
   Dpm_trace.Trace.t ->
   Result.t
@@ -37,12 +38,23 @@ val run :
     recorded under the [sim.replay] span and the served request count
     under the [sim.requests] counter of [metrics] (default
     {!Dpm_util.Metrics.global}, a no-op unless enabled) — together they
-    give the requests-simulated/sec throughput the harness reports. *)
+    give the requests-simulated/sec throughput the harness reports.
+
+    [faults] (default {!Fault.none}) injects deterministic faults at
+    service time: transient read errors retry with exponential backoff,
+    bad-sector hits pay a remap penalty, spin-ups from standby can stick
+    and re-attempt (burning aborted spin-up energy), and whole-disk
+    failures redirect load to the surviving disks.  The counters land in
+    [Result.faults] and under the [sim.fault.*] metrics counters; a spec
+    for which {!Fault.is_zero} holds takes the exact fault-free code
+    path, so results are byte-identical to omitting it.  Raises
+    [Invalid_argument] on a spec {!Fault.validate} rejects. *)
 
 val run_many :
   ?config:Config.t ->
   ?mode:mode ->
   ?metrics:Dpm_util.Metrics.t ->
+  ?faults:Fault.spec ->
   Policy.t ->
   Dpm_trace.Trace.t list ->
   Result.t

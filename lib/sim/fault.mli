@@ -1,0 +1,166 @@
+(** Seeded, deterministic fault injection for the replay engine.
+
+    Real disk subsystems are not the perfect devices the paper simulates:
+    reads fail transiently and are retried, media grows bad-sector
+    regions that cost a remap on every access, spin-ups occasionally
+    stick and must be re-attempted, and whole disks die.  This module
+    models all four as a declarative {!spec} expanded by a splittable
+    PRNG ({!Dpm_util.Rng}) into a {!plan} — a pure function of
+    [(spec, geometry)] — plus per-replay mutable {!state} consulted by
+    [Engine.run]/[run_many] at service time.
+
+    Everything is deterministic: the same spec, seed and trace produce
+    bit-identical results at any domain count, because each replay owns
+    its own [state] (share-nothing) and every random stream is derived
+    by value from the spec's seed.
+
+    Faults cost time {e and} energy through the ordinary power model: a
+    retried read is re-served for real (active power, busy interval,
+    completion delay with exponential backoff), a bad-sector hit holds
+    the disk at active power for the remap penalty, an aborted spin-up
+    burns [fraction × e_spin_up] ({!Dpm_disk.Power.aborted_spin_up_energy})
+    and leaves the disk in standby, and a dead disk stops drawing power
+    while its load lands on the surviving disks. *)
+
+(** {1 Declarative spec} *)
+
+type spec = {
+  seed : int;  (** Root of every random stream below. *)
+  read_error_rate : float;
+      (** Probability in [\[0, 1\]] that a service attempt fails
+          transiently and is retried. *)
+  bad_unit_rate : float;
+      (** Target fraction of the trace's stripe-unit address space
+          covered by bad-sector regions. *)
+  bad_region_len : int;
+      (** Mean length (stripe units) of one contiguous bad region. *)
+  spin_up_failure_rate : float;
+      (** Probability that a spin-up attempt from standby sticks and must
+          be retried. *)
+  max_retries : int;  (** Retry bound for reads and spin-ups alike. *)
+  backoff : float;
+      (** Base backoff in seconds; attempt [k] waits [backoff × 2^k]. *)
+  remap_penalty : float;
+      (** Seconds of active-power occupancy a bad-sector hit adds. *)
+  disk_failures : (int * float) list;
+      (** [(disk, time)]: the disk dies outright at [time] seconds. *)
+}
+
+val none : spec
+(** All rates zero — replaying with it is byte-identical to replaying
+    without fault injection. *)
+
+val make :
+  ?seed:int ->
+  ?read_error_rate:float ->
+  ?bad_unit_rate:float ->
+  ?bad_region_len:int ->
+  ?spin_up_failure_rate:float ->
+  ?max_retries:int ->
+  ?backoff:float ->
+  ?remap_penalty:float ->
+  ?disk_failures:(int * float) list ->
+  unit ->
+  spec
+(** {!none} with fields overridden. *)
+
+val is_zero : spec -> bool
+(** True when the spec can never produce a fault (all rates zero, no
+    disk failures) — the engine then takes the exact fault-free path. *)
+
+val validate : spec -> (spec, string) result
+(** Checks ranges (rates in [\[0,1\]], non-negative times and counts,
+    positive region length) and returns a human-readable message
+    otherwise. *)
+
+val of_string : string -> (spec, string) result
+(** Parses the CLI format: comma-separated [key=value] pairs over
+    {!none}, e.g.
+    ["seed=7,read=0.01,bad=0.005,spinfail=0.25,fail=0@30;2@45"].
+    Keys: [seed], [read], [bad], [badlen], [spinfail], [retries],
+    [backoff], [remap], and [fail=DISK@TIME] ([;]-separated for several
+    disks).  Validates the result. *)
+
+val to_string : spec -> string
+(** Canonical [of_string] input reproducing the spec exactly
+    (round-trips bit-for-bit, including floats). *)
+
+val backoff_delay : spec -> attempt:int -> float
+(** [backoff × 2^attempt] — the wait after failed attempt [attempt]. *)
+
+(** {1 Expanded plan} *)
+
+type plan
+(** The spec expanded against a concrete geometry: sorted disjoint
+    bad-sector intervals over the global stripe-unit space and a
+    per-disk failure time.  A pure function of [(spec, ndisks,
+    nblocks)]: no hidden state, no clock. *)
+
+val plan : spec -> ndisks:int -> nblocks:int -> plan
+(** [plan spec ~ndisks ~nblocks] expands the spec over an address space
+    of [nblocks] stripe units and [ndisks] disks.  Raises
+    [Invalid_argument] on an invalid spec or non-positive [ndisks]. *)
+
+val spec_of : plan -> spec
+
+val bad_block : plan -> block:int -> bool
+(** Whether a global stripe-unit number falls in a bad region (binary
+    search).  Block numbers are the trace's [io.block] values, i.e.
+    {!Dpm_layout.Plan.unit_global_block} coordinates, so which disk pays
+    each remap is decided by the striped layout itself. *)
+
+val bad_unit_count : plan -> int
+(** Total stripe units covered by bad regions. *)
+
+val bad_regions : plan -> (int * int) list
+(** Sorted disjoint inclusive [(lo, hi)] unit intervals. *)
+
+val bad_disk_spread : plan -> striping:Dpm_layout.Striping.t -> int array
+(** Per-disk count of bad stripe units under a striping
+    (via {!Dpm_layout.Striping.region_disk_spread}, with the stripe
+    factor clamped to the plan's disk count): how the regions' damage is
+    dealt round-robin over the array. *)
+
+val fail_time : plan -> disk:int -> float
+(** When the disk dies ([infinity] if never). *)
+
+(** {1 Per-replay state} *)
+
+type state
+(** Mutable per-replay fault state: per-disk random streams (derived by
+    value from the spec seed, so draw order across disks cannot perturb
+    them) and the fault counters.  Create one per replay — never share
+    across runs. *)
+
+val start : plan -> state
+
+val sweep : state -> now:float -> kill:(int -> float -> unit) -> unit
+(** Marks every disk whose failure time has passed and calls [kill disk
+    time] exactly once for each, in failure-time order. *)
+
+val serving_disk : state -> disk:int -> now:float -> int
+(** The disk that actually serves a request addressed to [disk] at
+    [now]: the disk itself while alive, else the next surviving disk
+    (scanning [(disk + k) mod ndisks]), counting a redirect.  When every
+    disk is dead the original disk is returned (the request is lost on a
+    frozen state machine). *)
+
+val is_failed : state -> disk:int -> now:float -> bool
+
+val serve :
+  state -> Disk_state.t -> now:float -> bytes:int -> block:int -> float
+(** Fault-aware version of {!Disk_state.serve}: runs the bounded
+    spin-up-retry loop if the disk is in standby, pays the remap penalty
+    on a bad-sector hit, serves the transfer, then re-serves with
+    exponential backoff while the transient-read draw fails (bounded by
+    [max_retries]).  Returns the final completion time and updates the
+    counters. *)
+
+val spin_up : state -> Disk_state.t -> now:float -> unit
+(** Fault-aware version of {!Disk_state.spin_up} for explicit [spin_up]
+    directives: failed attempts abort, back off and retry before the
+    real spin-up starts. *)
+
+val stats : state -> exec_time:float -> Result.fault_stats
+(** Counter snapshot; [failed_disks] counts failure times within
+    [exec_time]. *)

@@ -233,6 +233,7 @@ let idrpm ?(config = Config.default) (base : Result.t) =
       List.sort
         (fun (d1, t1, _) (d2, t2, _) -> compare (d1, t1) (d2, t2))
         !gap_choices;
+    faults = base.Result.faults;
   }
 
 (* ITPM: full-speed service, oracle spin-down decisions per gap. *)
@@ -283,4 +284,5 @@ let itpm ?(config = Config.default) (base : Result.t) =
         0.0 disks;
     disks;
     gap_choices = [];
+    faults = base.Result.faults;
   }

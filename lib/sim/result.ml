@@ -8,6 +8,33 @@ type disk_stats = {
   standby_time : float;
 }
 
+type fault_stats = {
+  read_retries : int;
+  retry_delay : float;
+  remaps : int;
+  spin_up_recoveries : int;
+  redirects : int;
+  failed_disks : int;
+}
+
+let no_faults =
+  {
+    read_retries = 0;
+    retry_delay = 0.0;
+    remaps = 0;
+    spin_up_recoveries = 0;
+    redirects = 0;
+    failed_disks = 0;
+  }
+
+let fault_events f = f.read_retries + f.remaps + f.spin_up_recoveries + f.redirects
+
+let faults_summary f =
+  Printf.sprintf
+    "retries %d (+%.3f s), remaps %d, spin-up recoveries %d, redirects %d, failed disks %d"
+    f.read_retries f.retry_delay f.remaps f.spin_up_recoveries f.redirects
+    f.failed_disks
+
 type t = {
   scheme : string;
   program : string;
@@ -15,6 +42,7 @@ type t = {
   energy : float;
   disks : disk_stats array;
   gap_choices : (int * float * int) list;
+  faults : fault_stats;
 }
 
 let requests t = Array.fold_left (fun n d -> n + d.requests) 0 t.disks

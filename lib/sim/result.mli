@@ -13,6 +13,26 @@ type disk_stats = {
   standby_time : float;
 }
 
+(** What fault injection did to the run (all zero without it). *)
+type fault_stats = {
+  read_retries : int;  (** Transient read errors that forced a re-service. *)
+  retry_delay : float;  (** Seconds of completion delay those retries added. *)
+  remaps : int;  (** Requests that hit a bad-sector region. *)
+  spin_up_recoveries : int;
+      (** Spin-up attempts that failed and were retried successfully. *)
+  redirects : int;  (** Requests shed from a failed disk onto a survivor. *)
+  failed_disks : int;  (** Disks dead by the end of the run. *)
+}
+
+val no_faults : fault_stats
+
+val fault_events : fault_stats -> int
+(** Total injected-fault events (retries + remaps + recoveries +
+    redirects); 0 iff the run was fault-free. *)
+
+val faults_summary : fault_stats -> string
+(** One-line human-readable counter summary. *)
+
 type t = {
   scheme : string;
   program : string;
@@ -22,6 +42,10 @@ type t = {
   gap_choices : (int * float * int) list;
       (** (disk, time, target level) for every down-modulation decision
           taken; used for the Table 3 misprediction comparison. *)
+  faults : fault_stats;
+      (** Fault-injection counters ({!no_faults} when replayed without a
+          fault spec).  Retried requests re-serve for real, so
+          [requests] counts every attempt. *)
 }
 
 val requests : t -> int

@@ -25,10 +25,12 @@ let test_scheme_names () =
   List.iter
     (fun s ->
       Alcotest.(check bool) "name round-trip" true
-        (Scheme.of_name (Scheme.name s) = s))
+        (Scheme.of_name_opt (Scheme.name s) = Some s))
     Scheme.all;
   Alcotest.(check bool) "case-insensitive" true
-    (Scheme.of_name "cmdrpm" = Scheme.Cmdrpm);
+    (Scheme.of_name_opt "cmdrpm" = Some Scheme.Cmdrpm);
+  Alcotest.(check bool) "unknown name is None" true
+    (Scheme.of_name_opt "nosuch" = None);
   Alcotest.(check bool) "cm flags" true
     (Scheme.is_compiler_managed Scheme.Cmtpm
     && not (Scheme.is_compiler_managed Scheme.Drpm));

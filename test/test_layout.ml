@@ -38,6 +38,38 @@ let test_striping_units_in_file () =
     (Striping.units_in_file s ~file_bytes:(kib 128 + 1));
   Alcotest.(check int) "empty" 0 (Striping.units_in_file s ~file_bytes:0)
 
+let test_striping_region_disk_spread () =
+  let s = Striping.make ~start_disk:2 ~stripe_factor:3 ~stripe_size:(kib 64) in
+  let ndisks = 8 in
+  let check ~lo ~hi =
+    let spread = Striping.region_disk_spread s ~ndisks ~lo ~hi in
+    (* Matches a brute-force walk over the units. *)
+    let counts = Array.make ndisks 0 in
+    for u = lo to hi do
+      let d = Striping.disk_of_unit s ~ndisks u in
+      counts.(d) <- counts.(d) + 1
+    done;
+    let expected =
+      List.filter
+        (fun (_, n) -> n > 0)
+        (List.init ndisks (fun d -> (d, counts.(d))))
+    in
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "spread [%d,%d]" lo hi)
+      expected spread;
+    Alcotest.(check int)
+      "accounts for every unit"
+      (max 0 (hi - lo + 1))
+      (List.fold_left (fun acc (_, n) -> acc + n) 0 spread)
+  in
+  check ~lo:0 ~hi:0;
+  check ~lo:0 ~hi:2;
+  check ~lo:1 ~hi:13;
+  check ~lo:5 ~hi:100;
+  Alcotest.(check (list (pair int int)))
+    "empty region" []
+    (Striping.region_disk_spread s ~ndisks ~lo:4 ~hi:3)
+
 let test_striping_disks_used () =
   let s = Striping.make ~start_disk:0 ~stripe_factor:4 ~stripe_size:(kib 64) in
   Alcotest.(check (list int)) "small file" [ 0; 1 ]
@@ -215,6 +247,8 @@ let suite =
         Alcotest.test_case "wrap modulo" `Quick test_striping_wrap_modulo_ndisks;
         Alcotest.test_case "unit of offset" `Quick test_striping_unit_of_offset;
         Alcotest.test_case "units in file" `Quick test_striping_units_in_file;
+        Alcotest.test_case "region disk spread" `Quick
+          test_striping_region_disk_spread;
         Alcotest.test_case "disks used" `Quick test_striping_disks_used;
         Alcotest.test_case "validation" `Quick test_striping_validation;
       ] );
