@@ -1,4 +1,4 @@
-.PHONY: all build test check bench fault-check clean
+.PHONY: all build test check bench fault-check timeline-check clean
 
 all: build
 
@@ -25,6 +25,22 @@ fault-check: build
 	dune exec bin/dpmsim.exe -- simulate -b swim -s Base,DRPM,CMDRPM \
 	  --faults "$(FAULT_SPEC)" > _build/fault_smoke.out
 	cmp _build/fault_smoke.out test/golden/fault_smoke.expected
+
+# Timeline smoke: the per-scheme event-log summary of a fixed run must
+# reproduce the checked-in golden byte-for-byte; recording must not
+# change the results table (the observer-effect guarantee, end-to-end
+# through the CLI); and the JSONL export must read back cleanly with
+# zero invariant violations.
+timeline-check: build
+	dune exec bin/dpmsim.exe -- simulate -b galgel -s Base,CMDRPM \
+	  --timeline - > _build/timeline_smoke.out
+	cmp _build/timeline_smoke.out test/golden/timeline_smoke.expected
+	dune exec bin/dpmsim.exe -- simulate -b galgel -s CMDRPM \
+	  --timeline _build/timeline_smoke.jsonl > _build/timeline_on.out
+	dune exec bin/dpmsim.exe -- simulate -b galgel -s CMDRPM \
+	  > _build/timeline_off.out
+	cmp _build/timeline_on.out _build/timeline_off.out
+	dune exec bin/dpmsim.exe -- timeline _build/timeline_smoke.jsonl > /dev/null
 
 clean:
 	dune clean

@@ -155,15 +155,37 @@ let faults_arg =
   in
   Arg.(value & opt (some faults_conv) None & info [ "faults" ] ~doc ~docv:"SPEC")
 
+let timeline_arg =
+  let doc =
+    "Record per-disk event timelines while simulating.  $(b,-) prints a \
+     per-scheme summary (residency table, Gantt lanes, independently \
+     re-integrated energy and the invariant-check verdict) after the \
+     results table; any other value is a file to write, as JSONL (one \
+     labelled section per scheme) or as CSV when the name ends in \
+     $(b,.csv).  Recording is observational: the results table is \
+     byte-identical with or without this flag."
+  in
+  Arg.(value & opt (some string) None & info [ "timeline" ] ~doc ~docv:"FILE")
+
 let simulate_cmd =
-  let run metrics name schemes version mode faults =
+  let run metrics name schemes version mode faults timeline =
     (* Base joins the run for normalization even when not requested. *)
     let run_schemes =
       if List.mem Dpm_core.Scheme.Base schemes then schemes
       else Dpm_core.Scheme.Base :: schemes
     in
+    let sinks =
+      match timeline with
+      | None -> []
+      | Some _ ->
+          List.map (fun s -> (s, Dpm_sim.Timeline.sink ())) run_schemes
+    in
     let rspec =
       Dpm_core.Run.spec ~schemes:run_schemes ~mode ~version ?faults
+        ?timeline:
+          (match sinks with
+          | [] -> None
+          | _ -> Some (fun s -> List.assoc_opt s sinks))
         (Dpm_core.Run.Benchmark name)
     in
     match Dpm_core.Run.exec_all rspec with
@@ -197,6 +219,33 @@ let simulate_cmd =
                  f.Dpm_sim.Result.redirects f.Dpm_sim.Result.failed_disks)
              shown
          end);
+        (match timeline with
+        | None -> ()
+        | Some dest ->
+            let logs =
+              List.filter_map
+                (fun (s, _) ->
+                  Option.map Dpm_sim.Timeline.contents (List.assoc_opt s sinks))
+                shown
+            in
+            if dest = "-" then
+              List.iter
+                (fun tl ->
+                  print_newline ();
+                  print_string (Dpm_sim.Timeline.summary tl))
+                logs
+            else begin
+              let oc = open_out dest in
+              let write =
+                if Filename.check_suffix dest ".csv" then
+                  Dpm_sim.Timeline.write_csv
+                else Dpm_sim.Timeline.write_jsonl
+              in
+              List.iter (fun tl -> write tl oc) logs;
+              close_out oc;
+              Printf.eprintf "dpmsim: wrote %d timeline section(s) to %s\n%!"
+                (List.length logs) dest
+            end);
         report_metrics metrics;
         0
   in
@@ -205,7 +254,54 @@ let simulate_cmd =
        ~doc:"Simulate a benchmark under one or more power-management schemes.")
     Term.(
       const run $ instrument_term $ bench_arg $ schemes_arg $ version_arg
-      $ mode_arg $ faults_arg)
+      $ mode_arg $ faults_arg $ timeline_arg)
+
+(* --- timeline: summarize a recorded event log --- *)
+
+let timeline_cmd =
+  let file_arg =
+    let doc =
+      "JSONL timeline file written by $(b,simulate --timeline) ($(b,-) \
+       reads standard input)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"FILE")
+  in
+  let run file =
+    match
+      let ic = if file = "-" then stdin else open_in file in
+      Fun.protect
+        ~finally:(fun () -> if ic != stdin then close_in_noerr ic)
+        (fun () -> Dpm_sim.Timeline.read_jsonl ic)
+    with
+    | exception Sys_error m ->
+        Printf.eprintf "dpmsim: %s\n" m;
+        2
+    | exception Failure m ->
+        Printf.eprintf "dpmsim: %s\n" m;
+        2
+    | [] ->
+        Printf.eprintf "dpmsim: no timeline sections in %s\n" file;
+        2
+    | logs ->
+        List.iteri
+          (fun i tl ->
+            if i > 0 then print_newline ();
+            print_string (Dpm_sim.Timeline.summary tl))
+          logs;
+        if
+          List.for_all
+            (fun tl -> Dpm_sim.Timeline.check tl = Ok ())
+            logs
+        then 0
+        else 1
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Summarize recorded event timelines: per-disk residencies, Gantt \
+          lanes, independently re-integrated energy and the state-machine \
+          invariant check (exit 1 on violations).")
+    Term.(const run $ file_arg)
 
 (* --- compile: print the instrumented program --- *)
 
@@ -369,5 +465,6 @@ let () =
             dap_cmd;
             transform_cmd;
             trace_cmd;
+            timeline_cmd;
             figure_cmd;
           ]))

@@ -46,7 +46,7 @@ let compile_cm setup scheme p plan =
         ~serve_slow:(match setup.mode with `Open -> true | `Closed -> false)
         ~specs:setup.sim.Sim.Config.specs p plan)
 
-let run_cm setup scheme p plan =
+let run_cm ?timeline setup scheme p plan =
   let compiled = compile_cm setup scheme p plan in
   let trace =
     Trace.Generate.run ~config:(gen_config setup)
@@ -59,16 +59,19 @@ let run_cm setup scheme p plan =
     | Scheme.Idrpm ->
         Sim.Policy.cm_drpm
   in
-  Sim.Engine.run ~config:setup.sim ~mode:setup.mode ~faults:setup.faults policy
-    trace
+  Sim.Engine.run ~config:setup.sim ~mode:setup.mode ~faults:setup.faults
+    ?timeline policy trace
 
-let run_all ?(setup = default_setup) ?(schemes = Scheme.all) p plan =
+let run_all ?(setup = default_setup) ?timeline ?(schemes = Scheme.all) p plan =
+  let sink_for scheme =
+    match timeline with None -> None | Some f -> f scheme
+  in
   let p, plan = transformed setup p plan in
   let trace = lazy (Trace.Generate.run ~config:(gen_config setup) p plan) in
   let base =
     lazy
       (Sim.Engine.run ~config:setup.sim ~mode:setup.mode ~faults:setup.faults
-         Sim.Policy.base (Lazy.force trace))
+         ?timeline:(sink_for Scheme.Base) Sim.Policy.base (Lazy.force trace))
   in
   List.map
     (fun scheme ->
@@ -77,24 +80,30 @@ let run_all ?(setup = default_setup) ?(schemes = Scheme.all) p plan =
         | Scheme.Base -> Lazy.force base
         | Scheme.Tpm ->
             Sim.Engine.run ~config:setup.sim ~mode:setup.mode
-              ~faults:setup.faults
+              ~faults:setup.faults ?timeline:(sink_for scheme)
               (Sim.Policy.tpm setup.sim)
               (Lazy.force trace)
         | Scheme.Drpm ->
             let t = Lazy.force trace in
             Sim.Engine.run ~config:setup.sim ~mode:setup.mode
-              ~faults:setup.faults
+              ~faults:setup.faults ?timeline:(sink_for scheme)
               (Sim.Policy.drpm setup.sim ~ndisks:t.Trace.Trace.ndisks)
               t
-        | Scheme.Itpm -> Sim.Oracle.itpm ~config:setup.sim (Lazy.force base)
-        | Scheme.Idrpm -> Sim.Oracle.idrpm ~config:setup.sim (Lazy.force base)
-        | Scheme.Cmtpm | Scheme.Cmdrpm -> run_cm setup scheme p plan
+        | Scheme.Itpm ->
+            Sim.Oracle.itpm ~config:setup.sim ?timeline:(sink_for scheme)
+              (Lazy.force base)
+        | Scheme.Idrpm ->
+            Sim.Oracle.idrpm ~config:setup.sim ?timeline:(sink_for scheme)
+              (Lazy.force base)
+        | Scheme.Cmtpm | Scheme.Cmdrpm ->
+            run_cm ?timeline:(sink_for scheme) setup scheme p plan
       in
       (scheme, result))
     schemes
 
-let run ?setup scheme p plan =
-  match run_all ?setup ~schemes:[ scheme ] p plan with
+let run ?setup ?timeline scheme p plan =
+  let timeline = Option.map (fun sink _scheme -> Some sink) timeline in
+  match run_all ?setup ?timeline ~schemes:[ scheme ] p plan with
   | [ (_, r) ] -> r
   | _ -> assert false
 

@@ -37,20 +37,29 @@ val default_setup : setup
 
 val run :
   ?setup:setup ->
+  ?timeline:Dpm_sim.Timeline.sink ->
   Scheme.t ->
   Dpm_ir.Program.t ->
   Dpm_layout.Plan.t ->
   Dpm_sim.Result.t
 (** Run one scheme.  Ideal schemes are derived from an internal Base
-    replay; compiler-managed schemes run the full compilation first. *)
+    replay; compiler-managed schemes run the full compilation first.
+    [timeline] records the scheme's event log (engine events for replayed
+    schemes, an analytic reconstruction for the ideal ones). *)
 
 val run_all :
   ?setup:setup ->
+  ?timeline:(Scheme.t -> Dpm_sim.Timeline.sink option) ->
   ?schemes:Scheme.t list ->
   Dpm_ir.Program.t ->
   Dpm_layout.Plan.t ->
   (Scheme.t * Dpm_sim.Result.t) list
-(** Run several schemes, sharing the trace generation and Base replay. *)
+(** Run several schemes, sharing the trace generation and Base replay.
+    [timeline] supplies one sink per scheme (or [None] to skip one); the
+    caller owns the sinks, so results and logs are read back
+    independently.  Note the shared Base replay runs at most once: its
+    sink fills on first force even when Base itself is not in
+    [schemes]. *)
 
 val misprediction_pct :
   ?setup:setup -> Dpm_ir.Program.t -> Dpm_layout.Plan.t -> float

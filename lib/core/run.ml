@@ -32,11 +32,12 @@ type spec = {
   mode : Sim.Engine.mode option;
   version : Dpm_compiler.Pipeline.version option;
   faults : Sim.Fault.spec option;
+  timeline : (Scheme.t -> Sim.Timeline.sink option) option;
 }
 
 let spec ?(schemes = Scheme.all) ?(scheme_names = []) ?setup ?mode ?version
-    ?faults workload =
-  { schemes; scheme_names; workload; setup; mode; version; faults }
+    ?faults ?timeline workload =
+  { schemes; scheme_names; workload; setup; mode; version; faults; timeline }
 
 let ( let* ) = Result.bind
 
@@ -103,7 +104,7 @@ let exec_all s =
       | Benchmark _, Some bench -> Experiment.workload bench
       | Benchmark _, None -> assert false
     in
-    Experiment.run_all ~setup ~schemes p plan
+    Experiment.run_all ~setup ?timeline:s.timeline ~schemes p plan
   with
   | results -> Ok results
   | exception exn -> Error (Run_failure (Printexc.to_string exn))

@@ -41,6 +41,7 @@ val spec :
   ?mode:Dpm_sim.Engine.mode ->
   ?version:Dpm_compiler.Pipeline.version ->
   ?faults:Dpm_sim.Fault.spec ->
+  ?timeline:(Scheme.t -> Dpm_sim.Timeline.sink option) ->
   workload ->
   spec
 (** [spec workload] runs all seven schemes under a default setup.
@@ -48,7 +49,9 @@ val spec :
     [schemes]; [setup] replaces the default setup — for a [Benchmark]
     workload the default inherits the benchmark's calibrated compiler
     noise — and [mode]/[version]/[faults] override the corresponding
-    setup fields either way. *)
+    setup fields either way.  [timeline] supplies a per-scheme
+    {!Dpm_sim.Timeline.sink} (as in [Experiment.run_all]); the caller
+    keeps the sinks and reads the logs back after {!exec_all}. *)
 
 val exec_all : spec -> ((Scheme.t * Dpm_sim.Result.t) list, error) result
 (** Resolve names, validate the fault spec, build the workload and run

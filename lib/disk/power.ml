@@ -11,6 +11,7 @@ let active (s : Specs.t) ~level =
   idle s ~level +. ((s.p_active -. s.p_idle) *. speed_fraction s ~level)
 
 let spin_up_power (s : Specs.t) = s.e_spin_up /. s.t_spin_up
+let spin_down_power (s : Specs.t) = s.e_spin_down /. s.t_spin_down
 
 let aborted_spin_up_energy (s : Specs.t) ~fraction =
   let fraction = Float.max 0.0 (Float.min 1.0 fraction) in

@@ -19,6 +19,10 @@ val spin_up_power : Specs.t -> float
 (** Mean power drawn while the spindle accelerates:
     [e_spin_up / t_spin_up]. *)
 
+val spin_down_power : Specs.t -> float
+(** Mean power drawn while the spindle brakes:
+    [e_spin_down / t_spin_down]. *)
+
 val aborted_spin_up_energy : Specs.t -> fraction:float -> float
 (** Energy burned by a spin-up attempt that aborts after [fraction] of
     the full spin-up time (clamped to [\[0, 1\]]): the motor current was

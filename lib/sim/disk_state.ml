@@ -13,6 +13,7 @@ type phase =
 type t = {
   specs : Specs.t;
   disk_id : int;
+  recorder : Timeline.sink option;
   mutable phase : phase;
   mutable last_update : float;
   mutable total_energy : float;
@@ -23,13 +24,15 @@ type t = {
   mutable spin_downs : int;
   residency : float array;
   mutable standby_time : float;
+  mutable trans_time : float;
   mutable failed : bool;
 }
 
-let create specs ~id =
+let create ?recorder specs ~id =
   {
     specs;
     disk_id = id;
+    recorder;
     phase = Ready (Rpm.max_level specs);
     last_update = 0.0;
     total_energy = 0.0;
@@ -40,6 +43,7 @@ let create specs ~id =
     spin_downs = 0;
     residency = Array.make (Rpm.num_levels specs) 0.0;
     standby_time = 0.0;
+    trans_time = 0.0;
     failed = false;
   }
 
@@ -74,7 +78,30 @@ let note_residency t ph dt =
     match ph with
     | Ready l -> t.residency.(l) <- t.residency.(l) +. dt
     | Standby -> t.standby_time <- t.standby_time +. dt
-    | Changing _ | Spinning_down _ | Spinning_up _ -> ()
+    | Changing _ | Spinning_down _ | Spinning_up _ ->
+        t.trans_time <- t.trans_time +. dt
+
+(* Timeline recording.  Purely observational: emission never feeds back
+   into the accounting above, so a run with a sink installed produces
+   the exact same [Result] as one without. *)
+
+let state_of_phase = function
+  | Ready l -> Timeline.Ready l
+  | Changing { from_level; to_level; _ } ->
+      Timeline.Changing { from_level; to_level }
+  | Spinning_down _ -> Timeline.Spinning_down
+  | Standby -> Timeline.Standby
+  | Spinning_up _ -> Timeline.Spinning_up
+
+let emit t ev =
+  match t.recorder with Some s -> Timeline.emit s ev | None -> ()
+
+let emit_span t ph t0 t1 =
+  if t1 > t0 then
+    emit t
+      (Timeline.Span { disk = t.disk_id; state = state_of_phase ph; t0; t1 })
+
+let record t ~at mark = emit t (Timeline.Mark { disk = t.disk_id; t = at; mark })
 
 let rec advance t now =
   if (not t.failed) && now > t.last_update then
@@ -83,29 +110,38 @@ let rec advance t now =
         let dt = now -. t.last_update in
         charge t (phase_power t t.phase) dt;
         note_residency t t.phase dt;
+        emit_span t t.phase t.last_update now;
         t.last_update <- now
     | Changing { to_level; finish; _ }
       when now >= finish ->
         let dt = finish -. t.last_update in
         charge t (phase_power t t.phase) dt;
+        note_residency t t.phase dt;
+        emit_span t t.phase t.last_update finish;
         t.last_update <- finish;
         t.phase <- Ready to_level;
         advance t now
     | Spinning_down { finish } when now >= finish ->
         let dt = finish -. t.last_update in
         charge t (phase_power t t.phase) dt;
+        note_residency t t.phase dt;
+        emit_span t t.phase t.last_update finish;
         t.last_update <- finish;
         t.phase <- Standby;
         advance t now
     | Spinning_up { finish } when now >= finish ->
         let dt = finish -. t.last_update in
         charge t (phase_power t t.phase) dt;
+        note_residency t t.phase dt;
+        emit_span t t.phase t.last_update finish;
         t.last_update <- finish;
         t.phase <- Ready (Rpm.max_level t.specs);
         advance t now
     | Changing _ | Spinning_down _ | Spinning_up _ ->
         let dt = now -. t.last_update in
         charge t (phase_power t t.phase) dt;
+        note_residency t t.phase dt;
+        emit_span t t.phase t.last_update now;
         t.last_update <- now
 
 (* Time at which the disk will next be [Ready] with no further
@@ -195,6 +231,16 @@ let serve t ~now ~bytes =
     let completion = start +. service in
     charge t (Power.active t.specs ~level:lvl) service;
     t.residency.(lvl) <- t.residency.(lvl) +. service;
+    emit t
+      (Timeline.Service
+         {
+           disk = t.disk_id;
+           level = lvl;
+           arrival = now;
+           t0 = start;
+           t1 = completion;
+           bytes;
+         });
     t.last_update <- completion;
     t.busy_rev <- (start, completion) :: t.busy_rev;
     t.served <- t.served + 1;
@@ -211,6 +257,9 @@ let occupy t ~now ~seconds =
     let finish = start +. seconds in
     charge t (Power.active t.specs ~level:lvl) seconds;
     t.residency.(lvl) <- t.residency.(lvl) +. seconds;
+    emit t
+      (Timeline.Occupy
+         { disk = t.disk_id; level = lvl; t0 = start; t1 = finish });
     t.last_update <- finish;
     t.busy_rev <- (start, finish) :: t.busy_rev;
     t.idle_start <- finish;
@@ -231,6 +280,9 @@ let abort_spin_up t ~now ~fraction =
             t.total_energy +. Power.aborted_spin_up_energy t.specs ~fraction;
           t.last_update <- now +. dt
         end;
+        emit t
+          (Timeline.Aborted
+             { disk = t.disk_id; t0 = now; t1 = now +. dt; fraction });
         now +. dt
     | Ready _ | Changing _ | Spinning_down _ | Spinning_up _ -> now
   end
@@ -238,6 +290,7 @@ let abort_spin_up t ~now ~fraction =
 let fail t ~at =
   if not t.failed then begin
     advance t (max at t.last_update);
+    record t ~at:t.last_update Timeline.Killed;
     t.failed <- true
   end
 
@@ -254,3 +307,4 @@ let transition_count t = t.transitions
 let spin_down_count t = t.spin_downs
 let level_residency t = Array.copy t.residency
 let standby_residency t = t.standby_time
+let transition_residency t = t.trans_time

@@ -21,8 +21,11 @@ type phase =
 
 type t
 
-val create : Dpm_disk.Specs.t -> id:int -> t
-(** A disk starts ready at full speed at time 0. *)
+val create : ?recorder:Timeline.sink -> Dpm_disk.Specs.t -> id:int -> t
+(** A disk starts ready at full speed at time 0.  With a [recorder],
+    every charged residency span, service interval and aborted spin-up
+    is also emitted as a {!Timeline} event; recording is strictly
+    observational and never alters the accounting. *)
 
 val id : t -> int
 val phase : t -> phase
@@ -82,6 +85,10 @@ val fail : t -> at:float -> unit
 
 val is_failed : t -> bool
 
+val record : t -> at:float -> Timeline.mark -> unit
+(** Append a point event (fault signature, applied directive) to this
+    disk's timeline, if any.  No-op without a recorder. *)
+
 val finalize : t -> at:float -> unit
 (** Integrate up to the end of the run. *)
 
@@ -101,3 +108,6 @@ val level_residency : t -> float array
 (** Seconds spent ready at each level (index = level). *)
 
 val standby_residency : t -> float
+
+val transition_residency : t -> float
+(** Seconds spent modulating, spinning down or spinning up. *)

@@ -27,11 +27,14 @@ let fault_state faults ~ndisks ~nblocks =
     Some (Fault.start (Fault.plan faults ~ndisks ~nblocks))
   end
 
-let replay ~config ~mode ~fault (policy : Policy.t) (trace : Trace.t) =
+let replay ~config ~mode ~fault ~timeline (policy : Policy.t) (trace : Trace.t)
+    =
   let specs = config.Config.specs in
   let top = Dpm_disk.Rpm.max_level specs in
   let ndisks = trace.Trace.ndisks in
-  let disks = Array.init ndisks (fun id -> Disk_state.create specs ~id) in
+  let disks =
+    Array.init ndisks (fun id -> Disk_state.create ?recorder:timeline specs ~id)
+  in
   let gap_choices = ref [] in
   (* Application clock: in open mode it advances along the traced (base)
      timeline; in closed mode it advances to each actual completion. *)
@@ -53,13 +56,18 @@ let replay ~config ~mode ~fault (policy : Policy.t) (trace : Trace.t) =
   let apply_directive directive =
     clock := !clock +. config.Config.pm_call_overhead;
     match directive with
-    | Request.Spin_down d -> Disk_state.spin_down disks.(d) ~now:!clock
+    | Request.Spin_down d ->
+        Disk_state.record disks.(d) ~at:!clock Timeline.Directive_spin_down;
+        Disk_state.spin_down disks.(d) ~now:!clock
     | Request.Spin_up d -> (
+        Disk_state.record disks.(d) ~at:!clock Timeline.Directive_spin_up;
         match fault with
         | None -> Disk_state.spin_up disks.(d) ~now:!clock
         | Some fs -> Fault.spin_up fs disks.(d) ~now:!clock)
     | Request.Set_rpm { level; disk } ->
         if level < top then gap_choices := (disk, !clock, level) :: !gap_choices;
+        Disk_state.record disks.(disk) ~at:!clock
+          (Timeline.Directive_set_rpm level);
         Disk_state.set_level disks.(disk) ~now:!clock level
   in
   Array.iter
@@ -76,6 +84,8 @@ let replay ~config ~mode ~fault (policy : Policy.t) (trace : Trace.t) =
             | None -> io.disk
             | Some fs -> Fault.serving_disk fs ~disk:io.disk ~now:!clock
           in
+          if d <> io.disk then
+            Disk_state.record disks.(d) ~at:!clock (Timeline.Redirect io.disk);
           let st = disks.(d) in
           (* Bounded queue: wait until the oldest of the last [depth]
              requests on this disk has completed. *)
@@ -114,6 +124,12 @@ let replay ~config ~mode ~fault (policy : Policy.t) (trace : Trace.t) =
       policy.Policy.catch_up st ~now:exec_time;
       Disk_state.finalize st ~at:exec_time)
     disks;
+  (match timeline with
+  | None -> ()
+  | Some sink ->
+      Timeline.set_label sink ~scheme:policy.Policy.name
+        ~program:trace.Trace.program;
+      Timeline.emit sink (Timeline.Sim_end exec_time));
   let disk_stats =
     Array.map
       (fun st ->
@@ -125,6 +141,7 @@ let replay ~config ~mode ~fault (policy : Policy.t) (trace : Trace.t) =
           spin_downs = Disk_state.spin_down_count st;
           level_residency = Disk_state.level_residency st;
           standby_time = Disk_state.standby_residency st;
+          transition_time = Disk_state.transition_residency st;
         })
       disks
   in
@@ -159,13 +176,14 @@ let record_replay metrics (result : Result.t) =
     Dpm_util.Metrics.add metrics "sim.fault.redirects" f.Result.redirects
 
 let run ?(config = Config.default) ?(mode = `Open)
-    ?(metrics = Dpm_util.Metrics.global) ?(faults = Fault.none) policy trace =
+    ?(metrics = Dpm_util.Metrics.global) ?(faults = Fault.none) ?timeline
+    policy trace =
   let fault =
     fault_state faults ~ndisks:trace.Trace.ndisks ~nblocks:(nblocks_of [ trace ])
   in
   let result =
     Dpm_util.Metrics.span metrics "sim.replay" (fun () ->
-        replay ~config ~mode ~fault policy trace)
+        replay ~config ~mode ~fault ~timeline policy trace)
   in
   record_replay metrics result;
   result
@@ -179,7 +197,7 @@ type app = {
   mutable done_ : bool;
 }
 
-let replay_many ~config ~mode ~fault (policy : Policy.t) traces =
+let replay_many ~config ~mode ~fault ~timeline (policy : Policy.t) traces =
   match traces with
   | [] -> invalid_arg "Engine.run_many: no traces"
   | first :: rest ->
@@ -191,7 +209,10 @@ let replay_many ~config ~mode ~fault (policy : Policy.t) traces =
         rest;
       let specs = config.Config.specs in
       let top = Dpm_disk.Rpm.max_level specs in
-      let disks = Array.init ndisks (fun id -> Disk_state.create specs ~id) in
+      let disks =
+        Array.init ndisks (fun id ->
+            Disk_state.create ?recorder:timeline specs ~id)
+      in
       let gap_choices = ref [] in
       let backlog = Array.make ndisks 0.0 in
       let depth = max 1 config.Config.queue_depth in
@@ -226,14 +247,20 @@ let replay_many ~config ~mode ~fault (policy : Policy.t) traces =
               app.clock <- app.clock +. config.Config.pm_call_overhead;
               match directive with
               | Request.Spin_down d ->
+                  Disk_state.record disks.(d) ~at:app.clock
+                    Timeline.Directive_spin_down;
                   Disk_state.spin_down disks.(d) ~now:app.clock
               | Request.Spin_up d -> (
+                  Disk_state.record disks.(d) ~at:app.clock
+                    Timeline.Directive_spin_up;
                   match fault with
                   | None -> Disk_state.spin_up disks.(d) ~now:app.clock
                   | Some fs -> Fault.spin_up fs disks.(d) ~now:app.clock)
               | Request.Set_rpm { level; disk } ->
                   if level < top then
                     gap_choices := (disk, app.clock, level) :: !gap_choices;
+                  Disk_state.record disks.(disk) ~at:app.clock
+                    (Timeline.Directive_set_rpm level);
                   Disk_state.set_level disks.(disk) ~now:app.clock level
             end
         | Request.Io io ->
@@ -242,6 +269,9 @@ let replay_many ~config ~mode ~fault (policy : Policy.t) traces =
               | None -> io.disk
               | Some fs -> Fault.serving_disk fs ~disk:io.disk ~now:app.clock
             in
+            if d <> io.disk then
+              Disk_state.record disks.(d) ~at:app.clock
+                (Timeline.Redirect io.disk);
             let oldest = recent.(d).(recent_pos.(d)) in
             if oldest > app.clock then app.clock <- oldest;
             let arrival = app.clock in
@@ -294,6 +324,15 @@ let replay_many ~config ~mode ~fault (policy : Policy.t) traces =
           policy.Policy.catch_up st ~now:exec_time;
           Disk_state.finalize st ~at:exec_time)
         disks;
+      let program =
+        String.concat "+"
+          (List.map (fun (t : Trace.t) -> t.Trace.program) traces)
+      in
+      (match timeline with
+      | None -> ()
+      | Some sink ->
+          Timeline.set_label sink ~scheme:policy.Policy.name ~program;
+          Timeline.emit sink (Timeline.Sim_end exec_time));
       let disk_stats =
         Array.map
           (fun st ->
@@ -305,14 +344,13 @@ let replay_many ~config ~mode ~fault (policy : Policy.t) traces =
               spin_downs = Disk_state.spin_down_count st;
               level_residency = Disk_state.level_residency st;
               standby_time = Disk_state.standby_residency st;
+              transition_time = Disk_state.transition_residency st;
             })
           disks
       in
       {
         Result.scheme = policy.Policy.name;
-        program =
-          String.concat "+"
-            (List.map (fun (t : Trace.t) -> t.Trace.program) traces);
+        program;
         exec_time;
         energy =
           Array.fold_left
@@ -327,7 +365,8 @@ let replay_many ~config ~mode ~fault (policy : Policy.t) traces =
       }
 
 let run_many ?(config = Config.default) ?(mode = `Open)
-    ?(metrics = Dpm_util.Metrics.global) ?(faults = Fault.none) policy traces =
+    ?(metrics = Dpm_util.Metrics.global) ?(faults = Fault.none) ?timeline
+    policy traces =
   let ndisks =
     match traces with
     | [] -> invalid_arg "Engine.run_many: no traces"
@@ -336,7 +375,7 @@ let run_many ?(config = Config.default) ?(mode = `Open)
   let fault = fault_state faults ~ndisks ~nblocks:(nblocks_of traces) in
   let result =
     Dpm_util.Metrics.span metrics "sim.replay" (fun () ->
-        replay_many ~config ~mode ~fault policy traces)
+        replay_many ~config ~mode ~fault ~timeline policy traces)
   in
   record_replay metrics result;
   result

@@ -31,6 +31,7 @@ val run :
   ?mode:mode ->
   ?metrics:Dpm_util.Metrics.t ->
   ?faults:Fault.spec ->
+  ?timeline:Timeline.sink ->
   Policy.t ->
   Dpm_trace.Trace.t ->
   Result.t
@@ -48,13 +49,22 @@ val run :
     [Result.faults] and under the [sim.fault.*] metrics counters; a spec
     for which {!Fault.is_zero} holds takes the exact fault-free code
     path, so results are byte-identical to omitting it.  Raises
-    [Invalid_argument] on a spec {!Fault.validate} rejects. *)
+    [Invalid_argument] on a spec {!Fault.validate} rejects.
+
+    [timeline] installs a {!Timeline.sink}: every power-state residency,
+    service interval, aborted spin-up, applied directive and fault
+    signature is recorded as a typed event (plus a final
+    [Timeline.Sim_end]), and the sink is labelled with the scheme and
+    program.  Recording is strictly observational — with no sink the
+    replay takes the exact same code path and produces byte-identical
+    results. *)
 
 val run_many :
   ?config:Config.t ->
   ?mode:mode ->
   ?metrics:Dpm_util.Metrics.t ->
   ?faults:Fault.spec ->
+  ?timeline:Timeline.sink ->
   Policy.t ->
   Dpm_trace.Trace.t list ->
   Result.t

@@ -366,6 +366,7 @@ let serve state st ~now ~bytes ~block =
   let now =
     if Array.length state.plan.bad > 0 && bad_block state.plan ~block then begin
       state.remaps <- state.remaps + 1;
+      Disk_state.record st ~at:now (Timeline.Remap block);
       Disk_state.occupy st ~now ~seconds:spec.remap_penalty
     end
     else now
@@ -379,6 +380,7 @@ let serve state st ~now ~bytes ~block =
       else if Rng.float state.read_rng.(disk) 1.0 < spec.read_error_rate then begin
         state.read_retries <- state.read_retries + 1;
         let resume = completion +. backoff_delay spec ~attempt:k in
+        Disk_state.record st ~at:resume (Timeline.Retry (k + 1));
         let completion' = Disk_state.serve st ~now:resume ~bytes in
         state.retry_delay <- state.retry_delay +. (completion' -. completion);
         retry (k + 1) completion'

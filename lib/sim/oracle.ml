@@ -6,7 +6,12 @@ let burst_threshold = 0.5
 
 type phase =
   | Burst of { span : float * float; level : int; service : float }
-  | Gap of { span : float * float; plan : Power.gap_plan }
+  | Gap of {
+      span : float * float;
+      from_level : int;
+      to_level : int;
+      plan : Power.gap_plan;
+    }
 
 (* Group a disk's (start, completion) service intervals into bursts
    separated by at least [burst_threshold] of idleness. *)
@@ -161,6 +166,8 @@ let phases ?(config = Config.default) (base : Result.t) ~disk =
         Gap
           {
             span = (lo, hi);
+            from_level;
+            to_level;
             plan =
               Power.best_gap_plan specs ~from_level ~to_level (hi -. lo);
           }
@@ -172,11 +179,17 @@ let phases ?(config = Config.default) (base : Result.t) ~disk =
 let gap_plans ?config base ~disk =
   List.filter_map
     (function
-      | Gap { span; plan } -> Some (span, plan)
+      | Gap { span; plan; _ } -> Some (span, plan)
       | Burst _ -> None)
     (phases ?config base ~disk)
 
-let idrpm ?(config = Config.default) (base : Result.t) =
+let emit_opt timeline ev =
+  match timeline with Some sink -> Timeline.emit sink ev | None -> ()
+
+let emit_span timeline ~disk state t0 t1 =
+  if t1 > t0 then emit_opt timeline (Timeline.Span { disk; state; t0; t1 })
+
+let idrpm ?(config = Config.default) ?timeline (base : Result.t) =
   let specs = config.Config.specs in
   let top = Rpm.max_level specs in
   let nlevels = Rpm.num_levels specs in
@@ -187,6 +200,7 @@ let idrpm ?(config = Config.default) (base : Result.t) =
         let residency = Array.make nlevels 0.0 in
         let energy = ref 0.0 in
         let transitions = ref 0 in
+        let trans_time = ref 0.0 in
         List.iter
           (fun phase ->
             match phase with
@@ -196,8 +210,21 @@ let idrpm ?(config = Config.default) (base : Result.t) =
                   +. (Power.active specs ~level *. service)
                   +. (Power.idle specs ~level
                      *. max 0.0 (hi -. lo -. service));
-                residency.(level) <- residency.(level) +. (hi -. lo)
-            | Gap { span = lo, hi; plan } ->
+                residency.(level) <- residency.(level) +. (hi -. lo);
+                emit_opt timeline
+                  (Timeline.Service
+                     {
+                       disk = disk_id;
+                       level;
+                       arrival = lo;
+                       t0 = lo;
+                       t1 = lo +. service;
+                       bytes = 0;
+                     });
+                emit_span timeline ~disk:disk_id (Timeline.Ready level)
+                  (lo +. service) hi
+            | Gap { span = lo, hi; from_level; to_level; plan } ->
+                let gap = hi -. lo in
                 energy := !energy +. plan.Power.energy;
                 let inner =
                   hi -. lo -. plan.Power.down_time -. plan.Power.up_time
@@ -206,8 +233,49 @@ let idrpm ?(config = Config.default) (base : Result.t) =
                   residency.(plan.Power.level) +. max 0.0 inner;
                 if plan.Power.down_time > 0.0 then transitions := !transitions + 1;
                 if plan.Power.up_time > 0.0 then transitions := !transitions + 1;
+                trans_time :=
+                  !trans_time +. plan.Power.down_time +. plan.Power.up_time;
                 if plan.Power.level < top then
-                  gap_choices := (disk_id, lo, plan.Power.level) :: !gap_choices)
+                  gap_choices := (disk_id, lo, plan.Power.level) :: !gap_choices;
+                emit_opt timeline
+                  (Timeline.Mark
+                     {
+                       disk = disk_id;
+                       t = lo;
+                       mark =
+                         Timeline.Gap_decision
+                           {
+                             predicted = gap;
+                             level = plan.Power.level;
+                             spin_down = plan.Power.spin_down;
+                           };
+                     });
+                if plan.Power.down_time +. plan.Power.up_time > gap then begin
+                  (* Non-physical fallback: hold the higher endpoint for
+                     the whole gap, with the direct modulation charged on
+                     top (it overlaps the tail — analytic logs only). *)
+                  emit_span timeline ~disk:disk_id
+                    (Timeline.Ready plan.Power.level) lo hi;
+                  emit_span timeline ~disk:disk_id
+                    (Timeline.Changing { from_level; to_level })
+                    (hi -. plan.Power.up_time) hi
+                end
+                else begin
+                  emit_span timeline ~disk:disk_id
+                    (Timeline.Changing
+                       { from_level; to_level = plan.Power.level })
+                    lo
+                    (lo +. plan.Power.down_time);
+                  emit_span timeline ~disk:disk_id
+                    (Timeline.Ready plan.Power.level)
+                    (lo +. plan.Power.down_time)
+                    (hi -. plan.Power.up_time);
+                  emit_span timeline ~disk:disk_id
+                    (Timeline.Changing
+                       { from_level = plan.Power.level; to_level })
+                    (hi -. plan.Power.up_time)
+                    hi
+                end)
           (phases ~config base ~disk:disk_id);
         {
           Result.energy = !energy;
@@ -217,9 +285,16 @@ let idrpm ?(config = Config.default) (base : Result.t) =
           spin_downs = 0;
           level_residency = residency;
           standby_time = 0.0;
+          transition_time = !trans_time;
         })
       base.Result.disks
   in
+  (match timeline with
+  | None -> ()
+  | Some sink ->
+      Timeline.set_analytic sink;
+      Timeline.set_label sink ~scheme:"IDRPM" ~program:base.Result.program;
+      Timeline.emit sink (Timeline.Sim_end base.Result.exec_time));
   {
     Result.scheme = "IDRPM";
     program = base.Result.program;
@@ -237,7 +312,7 @@ let idrpm ?(config = Config.default) (base : Result.t) =
   }
 
 (* ITPM: full-speed service, oracle spin-down decisions per gap. *)
-let itpm ?(config = Config.default) (base : Result.t) =
+let itpm ?(config = Config.default) ?timeline (base : Result.t) =
   let specs = config.Config.specs in
   let top = Rpm.max_level specs in
   let disks =
@@ -252,17 +327,78 @@ let itpm ?(config = Config.default) (base : Result.t) =
         let gap_energy = ref 0.0 in
         let spin_downs = ref 0 in
         let standby_time = ref 0.0 in
+        let trans_time = ref 0.0 in
+        (* Collect the disk's events, then emit them chronologically:
+           the pre-activation scan over the log is order-sensitive (a
+           spin-up must precede the service that claims its wake-up). *)
+        let pending = ref [] in
+        let record ev = pending := ev :: !pending in
+        let record_span state t0 t1 =
+          if t1 > t0 then record (Timeline.Span { disk = disk_id; state; t0; t1 })
+        in
+        List.iter
+          (fun (a, b) ->
+            record
+              (Timeline.Service
+                 {
+                   disk = disk_id;
+                   level = top;
+                   arrival = a;
+                   t0 = a;
+                   t1 = b;
+                   bytes = 0;
+                 }))
+          d.Result.busy;
         List.iter
           (fun (lo, hi) ->
             let plan = Power.best_tpm_plan specs (hi -. lo) in
             gap_energy := !gap_energy +. plan.Power.energy;
             let inner = hi -. lo -. plan.Power.down_time -. plan.Power.up_time in
+            record
+              (Timeline.Mark
+                 {
+                   disk = disk_id;
+                   t = lo;
+                   mark =
+                     Timeline.Gap_decision
+                       {
+                         predicted = hi -. lo;
+                         level = top;
+                         spin_down = plan.Power.spin_down;
+                       };
+                 });
             if plan.Power.spin_down then begin
               incr spin_downs;
-              standby_time := !standby_time +. inner
+              standby_time := !standby_time +. inner;
+              trans_time :=
+                !trans_time +. plan.Power.down_time +. plan.Power.up_time;
+              record_span Timeline.Spinning_down lo (lo +. plan.Power.down_time);
+              record_span Timeline.Standby
+                (lo +. plan.Power.down_time)
+                (hi -. plan.Power.up_time);
+              record_span Timeline.Spinning_up (hi -. plan.Power.up_time) hi
             end
-            else residency.(top) <- residency.(top) +. (hi -. lo))
+            else begin
+              residency.(top) <- residency.(top) +. (hi -. lo);
+              record_span (Timeline.Ready top) lo hi
+            end)
           (Result.idle_gaps base ~disk:disk_id);
+        (match timeline with
+        | None -> ()
+        | Some sink ->
+            let start = function
+              | Timeline.Span { t0; _ }
+              | Timeline.Service { t0; _ }
+              | Timeline.Occupy { t0; _ }
+              | Timeline.Aborted { t0; _ } ->
+                  t0
+              | Timeline.Mark { t; _ } -> t
+              | Timeline.Sim_end t -> t
+            in
+            List.iter (Timeline.emit sink)
+              (List.stable_sort
+                 (fun a b -> compare (start a) (start b))
+                 (List.rev !pending)));
         {
           Result.energy = active_energy +. !gap_energy;
           busy = d.Result.busy;
@@ -271,9 +407,16 @@ let itpm ?(config = Config.default) (base : Result.t) =
           spin_downs = !spin_downs;
           level_residency = residency;
           standby_time = !standby_time;
+          transition_time = !trans_time;
         })
       base.Result.disks
   in
+  (match timeline with
+  | None -> ()
+  | Some sink ->
+      Timeline.set_analytic sink;
+      Timeline.set_label sink ~scheme:"ITPM" ~program:base.Result.program;
+      Timeline.emit sink (Timeline.Sim_end base.Result.exec_time));
   {
     Result.scheme = "ITPM";
     program = base.Result.program;

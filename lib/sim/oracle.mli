@@ -22,19 +22,38 @@ type phase =
   | Burst of { span : float * float; level : int; service : float }
       (** A request cluster: its base-time extent, the serving level the
           oracle picked, and the total service time at that level. *)
-  | Gap of { span : float * float; plan : Dpm_disk.Power.gap_plan }
+  | Gap of {
+      span : float * float;
+      from_level : int;  (** The level the preceding burst was served at. *)
+      to_level : int;  (** The level the next burst needs on entry. *)
+      plan : Dpm_disk.Power.gap_plan;
+    }
 
 val phases : ?config:Config.t -> Result.t -> disk:int -> phase list
 (** The oracle's per-disk DRPM schedule (exposed for tests and the
     Table 3 comparison). *)
 
-val itpm : ?config:Config.t -> Result.t -> Result.t
-(** [itpm base] derives the Ideal TPM outcome from a Base result. *)
+val itpm : ?config:Config.t -> ?timeline:Timeline.sink -> Result.t -> Result.t
+(** [itpm base] derives the Ideal TPM outcome from a Base result.
 
-val idrpm : ?config:Config.t -> Result.t -> Result.t
+    With [timeline], the closed-form schedule is also emitted as a
+    synthetic event log (marked {!Timeline.set_analytic}): every busy
+    interval as a full-speed service, every gap as either a ready
+    residency or a spin-down/standby/spin-up triple, plus a
+    [Gap_decision] mark per gap; {!Timeline.reintegrate} over it matches
+    the returned energy. *)
+
+val idrpm :
+  ?config:Config.t -> ?timeline:Timeline.sink -> Result.t -> Result.t
 (** [idrpm base] derives the Ideal DRPM outcome from a Base result; its
     [gap_choices] hold the oracle's per-gap RPM levels (only gaps the
-    oracle exploits, i.e. level below full speed). *)
+    oracle exploits, i.e. level below full speed).
+
+    With [timeline], emits the analytic schedule as events: each burst
+    as one service interval at its level (the oracle lets a burst's
+    service spill into its tail slack, so analytic logs are checked for
+    coverage rather than strict contiguity), each gap as its modulation
+    spans around the held level, plus per-gap [Gap_decision] marks. *)
 
 val gap_plans :
   ?config:Config.t ->

@@ -6,6 +6,7 @@ type disk_stats = {
   spin_downs : int;
   level_residency : float array;
   standby_time : float;
+  transition_time : float;
 }
 
 type fault_stats = {

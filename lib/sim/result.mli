@@ -11,6 +11,8 @@ type disk_stats = {
   spin_downs : int;
   level_residency : float array;
   standby_time : float;
+  transition_time : float;
+      (** Seconds spent modulating, spinning down or spinning up. *)
 }
 
 (** What fault injection did to the run (all zero without it). *)

@@ -1,0 +1,962 @@
+module Power = Dpm_disk.Power
+module Rpm = Dpm_disk.Rpm
+module Specs = Dpm_disk.Specs
+
+type state =
+  | Ready of int
+  | Changing of { from_level : int; to_level : int }
+  | Spinning_down
+  | Standby
+  | Spinning_up
+
+type mark =
+  | Retry of int
+  | Remap of int
+  | Redirect of int
+  | Killed
+  | Directive_spin_down
+  | Directive_spin_up
+  | Directive_set_rpm of int
+  | Gap_decision of { predicted : float; level : int; spin_down : bool }
+
+type event =
+  | Span of { disk : int; state : state; t0 : float; t1 : float }
+  | Service of {
+      disk : int;
+      level : int;
+      arrival : float;
+      t0 : float;
+      t1 : float;
+      bytes : int;
+    }
+  | Occupy of { disk : int; level : int; t0 : float; t1 : float }
+  | Aborted of { disk : int; t0 : float; t1 : float; fraction : float }
+  | Mark of { disk : int; t : float; mark : mark }
+  | Sim_end of float
+
+(* --- recording --- *)
+
+type sink = {
+  mutable rev : event list;
+  mutable s_scheme : string;
+  mutable s_program : string;
+  mutable s_analytic : bool;
+}
+
+let sink () = { rev = []; s_scheme = ""; s_program = ""; s_analytic = false }
+let emit s ev = s.rev <- ev :: s.rev
+
+let set_label s ~scheme ~program =
+  s.s_scheme <- scheme;
+  s.s_program <- program
+
+let set_analytic s = s.s_analytic <- true
+
+type t = {
+  t_scheme : string;
+  t_program : string;
+  t_analytic : bool;
+  t_events : event list; (* emission order *)
+}
+
+let contents s =
+  {
+    t_scheme = s.s_scheme;
+    t_program = s.s_program;
+    t_analytic = s.s_analytic;
+    t_events = List.rev s.rev;
+  }
+
+let events t = t.t_events
+let scheme t = t.t_scheme
+let program t = t.t_program
+let is_analytic t = t.t_analytic
+
+let event_disk = function
+  | Span { disk; _ }
+  | Service { disk; _ }
+  | Occupy { disk; _ }
+  | Aborted { disk; _ }
+  | Mark { disk; _ } ->
+      Some disk
+  | Sim_end _ -> None
+
+let ndisks t =
+  List.fold_left
+    (fun acc ev ->
+      match event_disk ev with Some d -> max acc (d + 1) | None -> acc)
+    0 t.t_events
+
+let sim_end t =
+  let explicit =
+    List.fold_left
+      (fun acc ev -> match ev with Sim_end s -> Some s | _ -> acc)
+      None t.t_events
+  in
+  match explicit with
+  | Some s -> s
+  | None ->
+      List.fold_left
+        (fun acc ev ->
+          match ev with
+          | Span { t1; _ } | Service { t1; _ } | Occupy { t1; _ }
+          | Aborted { t1; _ } ->
+              Float.max acc t1
+          | Mark { t; _ } -> Float.max acc t
+          | Sim_end s -> Float.max acc s)
+        0.0 t.t_events
+
+(* --- re-integration: energy from the event log and the Power tables
+   alone.  The engine's own accounting lives in Disk_state; nothing here
+   reads it. --- *)
+
+type energy = { per_disk : float array; total : float }
+
+let span_power specs = function
+  | Ready l -> Power.idle specs ~level:l
+  | Changing { from_level; to_level } ->
+      Power.idle specs ~level:(max from_level to_level)
+  | Spinning_down -> Power.spin_down_power specs
+  | Standby -> Power.standby specs
+  | Spinning_up -> Power.spin_up_power specs
+
+let reintegrate ?(specs = Config.default.Config.specs) t =
+  let nd = ndisks t in
+  let per_disk = Array.make nd 0.0 in
+  let add d e = per_disk.(d) <- per_disk.(d) +. e in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Span { disk; state; t0; t1 } ->
+          add disk (span_power specs state *. (t1 -. t0))
+      | Service { disk; level; t0; t1; _ } | Occupy { disk; level; t0; t1 } ->
+          add disk (Power.active specs ~level *. (t1 -. t0))
+      | Aborted { disk; fraction; _ } ->
+          add disk (Power.aborted_spin_up_energy specs ~fraction)
+      | Mark _ | Sim_end _ -> ())
+    t.t_events;
+  { per_disk; total = Array.fold_left ( +. ) 0.0 per_disk }
+
+(* --- invariant checking --- *)
+
+(* A residency-like item: spans, busy intervals and aborted spin-ups all
+   occupy wall time on one disk. *)
+type item = I_state of state | I_busy of int | I_abort
+
+let item_of = function
+  | Span { state; _ } -> Some (I_state state)
+  | Service { level; _ } | Occupy { level; _ } -> Some (I_busy level)
+  | Aborted _ -> Some I_abort
+  | Mark _ | Sim_end _ -> None
+
+let item_name = function
+  | I_state (Ready l) -> Printf.sprintf "ready(%d)" l
+  | I_state (Changing { from_level; to_level }) ->
+      Printf.sprintf "changing(%d->%d)" from_level to_level
+  | I_state Spinning_down -> "spin_down"
+  | I_state Standby -> "standby"
+  | I_state Spinning_up -> "spin_up"
+  | I_busy l -> Printf.sprintf "busy(%d)" l
+  | I_abort -> "aborted"
+
+(* Whether [next] may immediately follow a disk that has settled in
+   [Ready l].  Chained operations may elide zero-length residencies, so
+   a new modulation or a spin-down may start in the same instant. *)
+let from_ready l next =
+  match next with
+  | I_state (Ready l') | I_busy l' -> l' = l
+  | I_state (Changing { from_level; _ }) -> from_level = l
+  | I_state Spinning_down -> true
+  | I_state Standby | I_state Spinning_up | I_abort -> false
+
+let from_standby next =
+  match next with
+  | I_state Standby | I_state Spinning_up | I_abort -> true
+  | I_state (Ready _) | I_state (Changing _) | I_state Spinning_down
+  | I_busy _ ->
+      false
+
+let admissible ~top prev next =
+  match prev with
+  | I_state (Ready l) | I_busy l -> from_ready l next
+  | I_state (Changing { from_level = f; to_level = tl }) -> (
+      match next with
+      | I_state (Changing { from_level = f2; to_level = t2 })
+        when f2 = f && t2 = tl ->
+          true (* the same modulation, charged in pieces *)
+      | _ -> from_ready tl next)
+  | I_state Spinning_down -> (
+      match next with I_state Spinning_down -> true | _ -> from_standby next)
+  | I_state Spinning_up -> (
+      match next with I_state Spinning_up -> true | _ -> from_ready top next)
+  | I_state Standby -> from_standby next
+  | I_abort -> from_standby next
+
+let level_ok ~top l = l >= 0 && l <= top
+
+let item_levels_ok ~top = function
+  | I_state (Ready l) | I_busy l -> level_ok ~top l
+  | I_state (Changing { from_level; to_level }) ->
+      level_ok ~top from_level && level_ok ~top to_level
+  | I_state Spinning_down | I_state Standby | I_state Spinning_up | I_abort ->
+      true
+
+let check ?(specs = Config.default.Config.specs) t =
+  let top = Rpm.max_level specs in
+  let nd = ndisks t in
+  let s_end = sim_end t in
+  let tol = 1e-9 *. Float.max 1.0 s_end in
+  let errors = ref [] in
+  let err disk fmt =
+    Printf.ksprintf (fun m -> errors := Printf.sprintf "disk %d: %s" disk m :: !errors) fmt
+  in
+  let killed = Array.make (max 1 nd) None in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Mark { disk; t; mark = Killed } -> killed.(disk) <- Some t
+      | Aborted { disk; fraction; _ } ->
+          if fraction < 0.0 || fraction > 1.0 then
+            err disk "aborted spin-up fraction %g outside [0, 1]" fraction
+      | _ -> ())
+    t.t_events;
+  for disk = 0 to nd - 1 do
+    let items =
+      List.filter_map
+        (fun ev ->
+          match event_disk ev with
+          | Some d when d = disk -> (
+              match item_of ev with
+              | Some it -> (
+                  match ev with
+                  | Span { t0; t1; _ }
+                  | Service { t0; t1; _ }
+                  | Occupy { t0; t1; _ }
+                  | Aborted { t0; t1; _ } ->
+                      Some (it, t0, t1)
+                  | _ -> None)
+              | None -> None)
+          | _ -> None)
+        t.t_events
+    in
+    (* Well-formedness, shared by both modes. *)
+    List.iter
+      (fun (it, t0, t1) ->
+        if t1 < t0 then
+          err disk "%s: negative duration [%g, %g]" (item_name it) t0 t1;
+        if not (item_levels_ok ~top it) then
+          err disk "%s: level out of range (top %d)" (item_name it) top)
+      items;
+    if t.t_analytic then begin
+      (* Oracle-reconstructed logs: monotone starts and full coverage of
+         [0, sim_end]; service may overlap the tail slack, and a direct
+         modulation charged on top of a too-short gap at the head of the
+         run may be back-dated before t = 0. *)
+      let sorted =
+        List.stable_sort (fun (_, a, _) (_, b, _) -> compare a b) items
+      in
+      ignore
+        (List.fold_left
+           (fun prev (_, t0, _) ->
+             if t0 < prev -. tol then err disk "starts not monotone at %g" t0;
+             Float.max prev t0)
+           Float.neg_infinity sorted);
+      let covered =
+        List.fold_left
+          (fun edge (_, t0, t1) ->
+            if t0 > edge +. tol then err disk "coverage gap [%g, %g]" edge t0;
+            Float.max edge t1)
+          0.0 sorted
+      in
+      if covered < s_end -. tol && items <> [] then
+        err disk "coverage ends at %g, before sim end %g" covered s_end
+    end
+    else begin
+      (* Engine logs: spans are exactly contiguous from 0 and every
+         adjacency is an automaton edge. *)
+      (match items with
+      | [] ->
+          if s_end > tol && killed.(disk) = None then
+            err disk "no residency recorded over [0, %g]" s_end
+      | (first, t0, _) :: _ ->
+          if t0 <> 0.0 then err disk "first residency starts at %g, not 0" t0;
+          if not (from_ready top first) then
+            err disk "illegal initial state %s (disks start ready at top)"
+              (item_name first));
+      let rec walk = function
+        | (p, _, p1) :: ((n, n0, _) :: _ as rest) ->
+            if n0 <> p1 then
+              err disk "%s..%s: gap or overlap (%.17g -> %.17g)" (item_name p)
+                (item_name n) p1 n0;
+            if not (admissible ~top p n) then
+              err disk "illegal transition %s -> %s at %g" (item_name p)
+                (item_name n) n0;
+            walk rest
+        | _ -> ()
+      in
+      walk items;
+      let last_end =
+        List.fold_left (fun _ (_, _, t1) -> t1) 0.0 items
+      in
+      match killed.(disk) with
+      | Some k ->
+          if Float.abs (last_end -. k) > tol && items <> [] then
+            err disk "residency ends at %g but the disk was killed at %g"
+              last_end k
+      | None ->
+          if last_end < s_end -. tol then
+            err disk "residency ends at %g, before sim end %g" last_end s_end
+    end
+  done;
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+(* --- derived statistics --- *)
+
+type disk_summary = {
+  disk : int;
+  busy : float;
+  ready : float;
+  ready_low : float;
+  changing : float;
+  spin_down_time : float;
+  standby : float;
+  spin_up_time : float;
+  aborted_time : float;
+  services : int;
+  modulations : int;
+  spin_downs : int;
+  spin_ups : int;
+  aborted : int;
+  retries : int;
+  remaps : int;
+  redirects : int;
+  killed_at : float option;
+  missed_preactivations : int;
+  early_preactivations : int;
+  early_margin : float;
+  wait : float;
+}
+
+let empty_summary disk =
+  {
+    disk;
+    busy = 0.0;
+    ready = 0.0;
+    ready_low = 0.0;
+    changing = 0.0;
+    spin_down_time = 0.0;
+    standby = 0.0;
+    spin_up_time = 0.0;
+    aborted_time = 0.0;
+    services = 0;
+    modulations = 0;
+    spin_downs = 0;
+    spin_ups = 0;
+    aborted = 0;
+    retries = 0;
+    remaps = 0;
+    redirects = 0;
+    killed_at = None;
+    missed_preactivations = 0;
+    early_preactivations = 0;
+    early_margin = 0.0;
+    wait = 0.0;
+  }
+
+(* Per-disk fold state for run counting and pre-activation analysis. *)
+type scan = {
+  mutable sum : disk_summary;
+  mutable prev : item option;
+  mutable rising_until : float option;
+      (* completion time of a spin-up run whose wake-up has not been
+         claimed by a service or written off yet *)
+}
+
+let disk_summaries t =
+  let top_guess =
+    (* Highest level seen anywhere; only used to split ready_low. *)
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Span { state = Ready l; _ } | Service { level = l; _ }
+        | Occupy { level = l; _ } ->
+            max acc l
+        | Span { state = Changing { from_level; to_level }; _ } ->
+            max acc (max from_level to_level)
+        | _ -> acc)
+      0 t.t_events
+  in
+  let nd = ndisks t in
+  let s_end = sim_end t in
+  let scans =
+    Array.init nd (fun d ->
+        { sum = empty_summary d; prev = None; rising_until = None })
+  in
+  (* Run before accounting for each timed item: detect the end of a
+     spin-up run (spans are contiguous, so it ended at this item's t0)
+     and write the pending wake-up off as early if the disk heads back
+     down without serving anything. *)
+  let pre_item sc it t0 =
+    (match (sc.prev, it) with
+    | Some (I_state Spinning_up), n when n <> I_state Spinning_up ->
+        sc.rising_until <- Some t0
+    | _ -> ());
+    match (sc.rising_until, it) with
+    | Some b, I_state Spinning_down ->
+        sc.sum <-
+          {
+            sc.sum with
+            early_preactivations = sc.sum.early_preactivations + 1;
+            early_margin = sc.sum.early_margin +. Float.max 0.0 (t0 -. b);
+          };
+        sc.rising_until <- None
+    | _ -> ()
+  in
+  let account sc it t0 t1 =
+    let dt = t1 -. t0 in
+    let s = sc.sum in
+    let new_run state =
+      match (sc.prev, state) with
+      | Some (I_state p), _ when p = state -> false
+      | _ -> true
+    in
+    (match it with
+    | I_state (Ready l) ->
+        sc.sum <-
+          {
+            s with
+            ready = s.ready +. dt;
+            ready_low = (s.ready_low +. if l < top_guess then dt else 0.0);
+          }
+    | I_state (Changing _ as st) ->
+        sc.sum <-
+          {
+            s with
+            changing = s.changing +. dt;
+            modulations = (s.modulations + if new_run st then 1 else 0);
+          }
+    | I_state Spinning_down ->
+        sc.sum <-
+          {
+            s with
+            spin_down_time = s.spin_down_time +. dt;
+            spin_downs = (s.spin_downs + if new_run Spinning_down then 1 else 0);
+          }
+    | I_state Standby -> sc.sum <- { s with standby = s.standby +. dt }
+    | I_state Spinning_up ->
+        sc.sum <-
+          {
+            s with
+            spin_up_time = s.spin_up_time +. dt;
+            spin_ups = (s.spin_ups + if new_run Spinning_up then 1 else 0);
+          }
+    | I_busy _ -> sc.sum <- { s with busy = s.busy +. dt }
+    | I_abort ->
+        sc.sum <-
+          { s with aborted_time = s.aborted_time +. dt; aborted = s.aborted + 1 });
+    sc.prev <- Some it
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Span { disk; state; t0; t1 } ->
+          let sc = scans.(disk) in
+          pre_item sc (I_state state) t0;
+          account sc (I_state state) t0 t1
+      | Occupy { disk; level; t0; t1 } ->
+          let sc = scans.(disk) in
+          pre_item sc (I_busy level) t0;
+          account sc (I_busy level) t0 t1
+      | Aborted { disk; t0; t1; _ } ->
+          let sc = scans.(disk) in
+          pre_item sc I_abort t0;
+          account sc I_abort t0 t1
+      | Service { disk; level; arrival; t0; t1; _ } ->
+          let sc = scans.(disk) in
+          pre_item sc (I_busy level) t0;
+          let s = sc.sum in
+          let waited = t0 -. arrival in
+          let missed, early, margin =
+            match sc.rising_until with
+            | Some b ->
+                sc.rising_until <- None;
+                if waited > 0.0 then (1, 0, 0.0)
+                else if arrival > b then (0, 1, arrival -. b)
+                else (0, 0, 0.0)
+            | None -> (0, 0, 0.0)
+          in
+          sc.sum <-
+            {
+              s with
+              services = s.services + 1;
+              wait = s.wait +. waited;
+              missed_preactivations = s.missed_preactivations + missed;
+              early_preactivations = s.early_preactivations + early;
+              early_margin = s.early_margin +. margin;
+            };
+          account sc (I_busy level) t0 t1
+      | Mark { disk; t; mark } -> (
+          let sc = scans.(disk) in
+          let s = sc.sum in
+          match mark with
+          | Retry _ -> sc.sum <- { s with retries = s.retries + 1 }
+          | Remap _ -> sc.sum <- { s with remaps = s.remaps + 1 }
+          | Redirect _ -> sc.sum <- { s with redirects = s.redirects + 1 }
+          | Killed -> sc.sum <- { s with killed_at = Some t }
+          | Directive_spin_down | Directive_spin_up | Directive_set_rpm _
+          | Gap_decision _ ->
+              ())
+      | Sim_end _ -> ())
+    t.t_events;
+  Array.map
+    (fun sc ->
+      (match sc.rising_until with
+      | Some b ->
+          sc.sum <-
+            {
+              sc.sum with
+              early_preactivations = sc.sum.early_preactivations + 1;
+              early_margin = sc.sum.early_margin +. Float.max 0.0 (s_end -. b);
+            }
+      | None -> ());
+      sc.sum)
+    scans
+
+let pre_activation_totals t =
+  Array.fold_left
+    (fun (m, e) s ->
+      (m + s.missed_preactivations, e + s.early_preactivations))
+    (0, 0) (disk_summaries t)
+
+(* --- rendering --- *)
+
+let gantt ?(width = 64) t =
+  let nd = ndisks t in
+  let s_end = sim_end t in
+  if nd = 0 || s_end <= 0.0 then ""
+  else begin
+    let top_guess =
+      List.fold_left
+        (fun acc ev ->
+          match ev with
+          | Span { state = Ready l; _ } | Service { level = l; _ }
+          | Occupy { level = l; _ } ->
+              max acc l
+          | _ -> acc)
+        0 t.t_events
+    in
+    (* Category indices: 0 busy, 1 abort, 2 spin-up, 3 spin-down,
+       4 changing, 5 low-rpm idle, 6 standby, 7 full-speed idle. *)
+    let chars = [| '#'; '!'; '^'; 'v'; '-'; '~'; '.'; '=' |] in
+    let weight = Array.init nd (fun _ -> Array.make_matrix width 8 0.0) in
+    let bucket_w = s_end /. float_of_int width in
+    let spread disk cat t0 t1 =
+      if t1 > t0 then begin
+        let b0 = max 0 (int_of_float (t0 /. bucket_w)) in
+        let b1 = min (width - 1) (int_of_float (t1 /. bucket_w)) in
+        for b = b0 to b1 do
+          let lo = Float.max t0 (float_of_int b *. bucket_w) in
+          let hi = Float.min t1 (float_of_int (b + 1) *. bucket_w) in
+          if hi > lo then weight.(disk).(b).(cat) <- weight.(disk).(b).(cat) +. (hi -. lo)
+        done
+      end
+    in
+    let killed = Array.make nd None in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Span { disk; state; t0; t1 } ->
+            let cat =
+              match state with
+              | Ready l -> if l < top_guess then 5 else 7
+              | Changing _ -> 4
+              | Spinning_down -> 3
+              | Standby -> 6
+              | Spinning_up -> 2
+            in
+            spread disk cat t0 t1
+        | Service { disk; t0; t1; _ } | Occupy { disk; t0; t1; _ } ->
+            spread disk 0 t0 t1
+        | Aborted { disk; t0; t1; _ } -> spread disk 1 t0 t1
+        | Mark { disk; t; mark = Killed } -> killed.(disk) <- Some t
+        | Mark _ | Sim_end _ -> ())
+      t.t_events;
+    let buf = Buffer.create ((width + 16) * nd) in
+    for d = 0 to nd - 1 do
+      Buffer.add_string buf (Printf.sprintf "disk %-2d |" d);
+      for b = 0 to width - 1 do
+        let best = ref (-1) and best_w = ref 0.0 in
+        for c = 0 to 7 do
+          if weight.(d).(b).(c) > !best_w then begin
+            best := c;
+            best_w := weight.(d).(b).(c)
+          end
+        done;
+        let ch =
+          if !best >= 0 then chars.(!best)
+          else
+            match killed.(d) with
+            | Some k when float_of_int b *. bucket_w >= k -. (bucket_w /. 2.0) ->
+                'X'
+            | _ -> ' '
+        in
+        Buffer.add_char buf ch
+      done;
+      Buffer.add_string buf "|\n"
+    done;
+    Buffer.contents buf
+  end
+
+let summary ?(specs = Config.default.Config.specs) t =
+  let buf = Buffer.create 1024 in
+  let sums = disk_summaries t in
+  let e = reintegrate ~specs t in
+  let table =
+    Dpm_util.Table.create
+      ~title:
+        (Printf.sprintf "timeline %s/%s"
+           (if t.t_program = "" then "?" else t.t_program)
+           (if t.t_scheme = "" then "?" else t.t_scheme))
+      ~columns:
+        [
+          ("disk", Dpm_util.Table.Left);
+          ("busy(s)", Dpm_util.Table.Right);
+          ("idle(s)", Dpm_util.Table.Right);
+          ("low-rpm(s)", Dpm_util.Table.Right);
+          ("chg(s)", Dpm_util.Table.Right);
+          ("down(s)", Dpm_util.Table.Right);
+          ("stby(s)", Dpm_util.Table.Right);
+          ("up(s)", Dpm_util.Table.Right);
+          ("serves", Dpm_util.Table.Right);
+          ("mods", Dpm_util.Table.Right);
+          ("spdn", Dpm_util.Table.Right);
+          ("miss", Dpm_util.Table.Right);
+          ("early", Dpm_util.Table.Right);
+          ("wait(s)", Dpm_util.Table.Right);
+          ("energy(J)", Dpm_util.Table.Right);
+        ]
+  in
+  Array.iter
+    (fun s ->
+      Dpm_util.Table.add_row table
+        [
+          (string_of_int s.disk
+          ^ match s.killed_at with Some _ -> "*" | None -> "");
+          Dpm_util.Table.cell_f s.busy;
+          Dpm_util.Table.cell_f s.ready;
+          Dpm_util.Table.cell_f s.ready_low;
+          Dpm_util.Table.cell_f s.changing;
+          Dpm_util.Table.cell_f s.spin_down_time;
+          Dpm_util.Table.cell_f s.standby;
+          Dpm_util.Table.cell_f s.spin_up_time;
+          Dpm_util.Table.cell_int s.services;
+          Dpm_util.Table.cell_int s.modulations;
+          Dpm_util.Table.cell_int s.spin_downs;
+          Dpm_util.Table.cell_int s.missed_preactivations;
+          Dpm_util.Table.cell_int s.early_preactivations;
+          Dpm_util.Table.cell_f s.wait;
+          Dpm_util.Table.cell_f e.per_disk.(s.disk);
+        ])
+    sums;
+  Buffer.add_string buf (Dpm_util.Table.render table);
+  let lanes = gantt t in
+  if lanes <> "" then begin
+    Buffer.add_string buf
+      (Printf.sprintf
+         "gantt over [0, %.2f s] (#busy =idle ~low-rpm -chg vdown .stby ^up \
+          !abort Xdead)\n"
+         (sim_end t));
+    Buffer.add_string buf lanes
+  end;
+  Buffer.add_string buf
+    (Printf.sprintf "reintegrated energy: %.2f J over %d event(s)\n" e.total
+       (List.length t.t_events));
+  (match check ~specs t with
+  | Ok () -> Buffer.add_string buf "invariants: ok\n"
+  | Error es ->
+      Buffer.add_string buf
+        (Printf.sprintf "invariants: %d violation(s)\n" (List.length es));
+      List.iter
+        (fun m -> Buffer.add_string buf (Printf.sprintf "  %s\n" m))
+        es);
+  Buffer.contents buf
+
+(* --- JSONL / CSV export --- *)
+
+let fstr x = Printf.sprintf "%.17g" x
+
+let state_fields = function
+  | Ready l -> Printf.sprintf {|"state":"ready","level":%d|} l
+  | Changing { from_level; to_level } ->
+      Printf.sprintf {|"state":"changing","from":%d,"to":%d|} from_level
+        to_level
+  | Spinning_down -> {|"state":"spin_down"|}
+  | Standby -> {|"state":"standby"|}
+  | Spinning_up -> {|"state":"spin_up"|}
+
+let mark_fields = function
+  | Retry k -> Printf.sprintf {|"mark":"retry","arg":%d|} k
+  | Remap b -> Printf.sprintf {|"mark":"remap","arg":%d|} b
+  | Redirect d -> Printf.sprintf {|"mark":"redirect","arg":%d|} d
+  | Killed -> {|"mark":"killed"|}
+  | Directive_spin_down -> {|"mark":"spin_down"|}
+  | Directive_spin_up -> {|"mark":"spin_up"|}
+  | Directive_set_rpm l -> Printf.sprintf {|"mark":"set_rpm","arg":%d|} l
+  | Gap_decision { predicted; level; spin_down } ->
+      Printf.sprintf {|"mark":"gap","predicted":%s,"level":%d,"spin_down":%b|}
+        (fstr predicted) level spin_down
+
+let event_json = function
+  | Span { disk; state; t0; t1 } ->
+      Printf.sprintf {|{"ev":"span","disk":%d,%s,"t0":%s,"t1":%s}|} disk
+        (state_fields state) (fstr t0) (fstr t1)
+  | Service { disk; level; arrival; t0; t1; bytes } ->
+      Printf.sprintf
+        {|{"ev":"serve","disk":%d,"level":%d,"arrival":%s,"t0":%s,"t1":%s,"bytes":%d}|}
+        disk level (fstr arrival) (fstr t0) (fstr t1) bytes
+  | Occupy { disk; level; t0; t1 } ->
+      Printf.sprintf {|{"ev":"occupy","disk":%d,"level":%d,"t0":%s,"t1":%s}|}
+        disk level (fstr t0) (fstr t1)
+  | Aborted { disk; t0; t1; fraction } ->
+      Printf.sprintf
+        {|{"ev":"abort","disk":%d,"t0":%s,"t1":%s,"fraction":%s}|} disk
+        (fstr t0) (fstr t1) (fstr fraction)
+  | Mark { disk; t; mark } ->
+      Printf.sprintf {|{"ev":"mark","disk":%d,"t":%s,%s}|} disk (fstr t)
+        (mark_fields mark)
+  | Sim_end t -> Printf.sprintf {|{"ev":"end","t":%s}|} (fstr t)
+
+let write_jsonl t oc =
+  Printf.fprintf oc
+    {|{"ev":"meta","scheme":"%s","program":"%s","analytic":%b}|} t.t_scheme
+    t.t_program t.t_analytic;
+  output_char oc '\n';
+  List.iter
+    (fun ev ->
+      output_string oc (event_json ev);
+      output_char oc '\n')
+    t.t_events
+
+let write_csv t oc =
+  output_string oc
+    "ev,disk,state,level,from,to,arrival,t0,t1,bytes,fraction,mark,arg,predicted,spin_down,t\n";
+  let row ~ev ?(disk = "") ?(state = "") ?(level = "") ?(from = "") ?(to_ = "")
+      ?(arrival = "") ?(t0 = "") ?(t1 = "") ?(bytes = "") ?(fraction = "")
+      ?(mark = "") ?(arg = "") ?(predicted = "") ?(spin_down = "") ?(t = "") ()
+      =
+    Printf.fprintf oc "%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n" ev
+      disk state level from to_ arrival t0 t1 bytes fraction mark arg predicted
+      spin_down t
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Span { disk; state; t0; t1 } ->
+          let st, level, from, to_ =
+            match state with
+            | Ready l -> ("ready", string_of_int l, "", "")
+            | Changing { from_level; to_level } ->
+                ("changing", "", string_of_int from_level,
+                 string_of_int to_level)
+            | Spinning_down -> ("spin_down", "", "", "")
+            | Standby -> ("standby", "", "", "")
+            | Spinning_up -> ("spin_up", "", "", "")
+          in
+          row ~ev:"span" ~disk:(string_of_int disk) ~state:st ~level ~from ~to_
+            ~t0:(fstr t0) ~t1:(fstr t1) ()
+      | Service { disk; level; arrival; t0; t1; bytes } ->
+          row ~ev:"serve" ~disk:(string_of_int disk)
+            ~level:(string_of_int level) ~arrival:(fstr arrival) ~t0:(fstr t0)
+            ~t1:(fstr t1) ~bytes:(string_of_int bytes) ()
+      | Occupy { disk; level; t0; t1 } ->
+          row ~ev:"occupy" ~disk:(string_of_int disk)
+            ~level:(string_of_int level) ~t0:(fstr t0) ~t1:(fstr t1) ()
+      | Aborted { disk; t0; t1; fraction } ->
+          row ~ev:"abort" ~disk:(string_of_int disk) ~t0:(fstr t0)
+            ~t1:(fstr t1) ~fraction:(fstr fraction) ()
+      | Mark { disk; t; mark } -> (
+          let base = row ~ev:"mark" ~disk:(string_of_int disk) ~t:(fstr t) in
+          match mark with
+          | Retry k -> base ~mark:"retry" ~arg:(string_of_int k) ()
+          | Remap b -> base ~mark:"remap" ~arg:(string_of_int b) ()
+          | Redirect d -> base ~mark:"redirect" ~arg:(string_of_int d) ()
+          | Killed -> base ~mark:"killed" ()
+          | Directive_spin_down -> base ~mark:"spin_down" ()
+          | Directive_spin_up -> base ~mark:"spin_up" ()
+          | Directive_set_rpm l -> base ~mark:"set_rpm" ~arg:(string_of_int l) ()
+          | Gap_decision { predicted; level; spin_down } ->
+              base ~mark:"gap" ~predicted:(fstr predicted)
+                ~level:(string_of_int level)
+                ~spin_down:(string_of_bool spin_down) ())
+      | Sim_end t -> row ~ev:"end" ~t:(fstr t) ())
+    t.t_events
+
+(* --- JSONL parsing (only what write_jsonl emits: one flat object per
+   line, string/number/bool values, no escapes) --- *)
+
+let parse_flat line =
+  let n = String.length line in
+  let fields = ref [] in
+  let i = ref 0 in
+  let fail m = failwith (Printf.sprintf "Timeline.read_jsonl: %s in %S" m line) in
+  let skip_ws () = while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do incr i done in
+  skip_ws ();
+  if !i >= n || line.[!i] <> '{' then fail "expected '{'";
+  incr i;
+  let read_string () =
+    if !i >= n || line.[!i] <> '"' then fail "expected '\"'";
+    incr i;
+    let start = !i in
+    while !i < n && line.[!i] <> '"' do incr i done;
+    if !i >= n then fail "unterminated string";
+    let s = String.sub line start (!i - start) in
+    incr i;
+    s
+  in
+  let rec entries () =
+    skip_ws ();
+    if !i < n && line.[!i] = '}' then ()
+    else begin
+      let key = read_string () in
+      skip_ws ();
+      if !i >= n || line.[!i] <> ':' then fail "expected ':'";
+      incr i;
+      skip_ws ();
+      let value =
+        if !i < n && line.[!i] = '"' then read_string ()
+        else begin
+          let start = !i in
+          while !i < n && line.[!i] <> ',' && line.[!i] <> '}' do incr i done;
+          String.trim (String.sub line start (!i - start))
+        end
+      in
+      fields := (key, value) :: !fields;
+      skip_ws ();
+      if !i < n && line.[!i] = ',' then begin
+        incr i;
+        entries ()
+      end
+    end
+  in
+  entries ();
+  List.rev !fields
+
+let get fields key =
+  match List.assoc_opt key fields with
+  | Some v -> v
+  | None -> failwith ("Timeline.read_jsonl: missing field " ^ key)
+
+let geti fields key = int_of_string (get fields key)
+let getf fields key = float_of_string (get fields key)
+
+let event_of_fields fields =
+  match get fields "ev" with
+  | "span" ->
+      let state =
+        match get fields "state" with
+        | "ready" -> Ready (geti fields "level")
+        | "changing" ->
+            Changing
+              { from_level = geti fields "from"; to_level = geti fields "to" }
+        | "spin_down" -> Spinning_down
+        | "standby" -> Standby
+        | "spin_up" -> Spinning_up
+        | s -> failwith ("Timeline.read_jsonl: unknown state " ^ s)
+      in
+      Span
+        {
+          disk = geti fields "disk";
+          state;
+          t0 = getf fields "t0";
+          t1 = getf fields "t1";
+        }
+  | "serve" ->
+      Service
+        {
+          disk = geti fields "disk";
+          level = geti fields "level";
+          arrival = getf fields "arrival";
+          t0 = getf fields "t0";
+          t1 = getf fields "t1";
+          bytes = geti fields "bytes";
+        }
+  | "occupy" ->
+      Occupy
+        {
+          disk = geti fields "disk";
+          level = geti fields "level";
+          t0 = getf fields "t0";
+          t1 = getf fields "t1";
+        }
+  | "abort" ->
+      Aborted
+        {
+          disk = geti fields "disk";
+          t0 = getf fields "t0";
+          t1 = getf fields "t1";
+          fraction = getf fields "fraction";
+        }
+  | "mark" ->
+      let mark =
+        match get fields "mark" with
+        | "retry" -> Retry (geti fields "arg")
+        | "remap" -> Remap (geti fields "arg")
+        | "redirect" -> Redirect (geti fields "arg")
+        | "killed" -> Killed
+        | "spin_down" -> Directive_spin_down
+        | "spin_up" -> Directive_spin_up
+        | "set_rpm" -> Directive_set_rpm (geti fields "arg")
+        | "gap" ->
+            Gap_decision
+              {
+                predicted = getf fields "predicted";
+                level = geti fields "level";
+                spin_down = bool_of_string (get fields "spin_down");
+              }
+        | m -> failwith ("Timeline.read_jsonl: unknown mark " ^ m)
+      in
+      Mark { disk = geti fields "disk"; t = getf fields "t"; mark }
+  | "end" -> Sim_end (getf fields "t")
+  | ev -> failwith ("Timeline.read_jsonl: unknown event " ^ ev)
+
+let read_jsonl ic =
+  let sections = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | None -> ()
+    | Some (scheme, program, analytic, rev) ->
+        sections :=
+          {
+            t_scheme = scheme;
+            t_program = program;
+            t_analytic = analytic;
+            t_events = List.rev rev;
+          }
+          :: !sections;
+        current := None
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         let fields = parse_flat line in
+         match get fields "ev" with
+         | "meta" ->
+             flush ();
+             current :=
+               Some
+                 ( get fields "scheme",
+                   get fields "program",
+                   bool_of_string (get fields "analytic"),
+                   [] )
+         | _ ->
+             let ev = event_of_fields fields in
+             (match !current with
+             | Some (s, p, a, rev) -> current := Some (s, p, a, ev :: rev)
+             | None -> current := Some ("", "", false, [ ev ]))
+       end
+     done
+   with End_of_file -> ());
+  flush ();
+  List.rev !sections

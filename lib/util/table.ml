@@ -72,6 +72,7 @@ let print t =
   print_string (render t);
   print_newline ()
 
+let cell_int n = string_of_int n
 let cell_f x = Printf.sprintf "%.2f" x
 let cell_f3 x = Printf.sprintf "%.3f" x
 let cell_pct x = Printf.sprintf "%.1f%%" x

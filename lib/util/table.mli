@@ -30,6 +30,9 @@ v} *)
 val print : t -> unit
 (** [render] followed by [print_string] and a newline flush. *)
 
+val cell_int : int -> string
+(** Integer cell. *)
+
 val cell_f : float -> string
 (** Numeric cell with two decimals. *)
 

@@ -295,6 +295,122 @@ let test_domain_determinism () =
         (Result.fault_events r.Result.faults > 0)
   | [] -> Alcotest.fail "Pool.map dropped results"
 
+(* --- timeline signatures: each fault class leaves its events --- *)
+
+module Timeline = Dpm_sim.Timeline
+
+let run_logged ?faults policy trace =
+  let sink = Timeline.sink () in
+  let r = Engine.run ?faults ~timeline:sink policy trace in
+  (r, Timeline.contents sink)
+
+let close a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs b)
+
+(* A faulted log must still be a legal, energy-exact execution. *)
+let assert_faulted_log_sound label (r : Result.t) tl =
+  let e = Timeline.reintegrate tl in
+  Alcotest.(check bool)
+    (label ^ ": faulted log reintegrates")
+    true
+    (close e.Timeline.total r.Result.energy);
+  match Timeline.check tl with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (label ^ ": " ^ String.concat "; " es)
+
+let count_events tl pred =
+  List.length (List.filter pred (Timeline.events tl))
+
+let test_timeline_retry_signature () =
+  let trace = busy_trace ~n:300 ~ndisks:2 () in
+  let spec = Fault.make ~seed:3 ~read_error_rate:0.3 () in
+  let r, tl = run_logged ~faults:spec Policy.base trace in
+  assert_faulted_log_sound "retries" r tl;
+  Alcotest.(check int) "one Retry mark per counted retry"
+    r.Result.faults.Result.read_retries
+    (count_events tl (function
+      | Timeline.Mark { mark = Timeline.Retry _; _ } -> true
+      | _ -> false));
+  let sums = Timeline.disk_summaries tl in
+  Alcotest.(check int) "summaries agree" r.Result.faults.Result.read_retries
+    (Array.fold_left (fun acc s -> acc + s.Timeline.retries) 0 sums)
+
+let test_timeline_remap_signature () =
+  let trace = busy_trace ~n:300 ~ndisks:2 () in
+  let spec = Fault.make ~seed:11 ~bad_unit_rate:0.2 ~bad_region_len:4 () in
+  let r, tl = run_logged ~faults:spec Policy.base trace in
+  assert_faulted_log_sound "remaps" r tl;
+  let remaps = r.Result.faults.Result.remaps in
+  Alcotest.(check bool) "remaps fired" true (remaps > 0);
+  Alcotest.(check int) "one Remap mark per remap" remaps
+    (count_events tl (function
+      | Timeline.Mark { mark = Timeline.Remap _; _ } -> true
+      | _ -> false));
+  Alcotest.(check int) "one occupancy interval per remap" remaps
+    (count_events tl (function Timeline.Occupy _ -> true | _ -> false))
+
+let test_timeline_stuck_spin_up_signature () =
+  (* The certain-failure recovery scenario from test_spin_up_recovery:
+     exactly two aborted attempts before the bounded retry succeeds. *)
+  let events =
+    [
+      io ~think:0.0 ~disk:0 ();
+      Request.Pm { think = 0.0; directive = Request.Spin_down 0 };
+      io ~think:30.0 ~disk:0 ~block:1 ();
+    ]
+  in
+  let trace = Trace.make ~program:"fault-t" ~ndisks:1 events in
+  let spec =
+    Fault.make ~seed:1 ~spin_up_failure_rate:1.0 ~max_retries:2 ()
+  in
+  let r, tl = run_logged ~faults:spec Policy.cm_tpm trace in
+  assert_faulted_log_sound "stuck spin-up" r tl;
+  let aborts =
+    List.filter_map
+      (function
+        | Timeline.Aborted { fraction; t0; t1; _ } -> Some (fraction, t1 -. t0)
+        | _ -> None)
+      (Timeline.events tl)
+  in
+  Alcotest.(check int) "one Aborted event per recovery"
+    r.Result.faults.Result.spin_up_recoveries (List.length aborts);
+  List.iter
+    (fun (fraction, dt) ->
+      Alcotest.(check bool) "fraction in (0, 1]" true
+        (fraction > 0.0 && fraction <= 1.0);
+      Alcotest.(check bool) "burns wall time" true (dt > 0.0))
+    aborts;
+  let sums = Timeline.disk_summaries tl in
+  Alcotest.(check int) "summaries count the aborts" (List.length aborts)
+    sums.(0).Timeline.aborted
+
+let test_timeline_disk_failure_signature () =
+  let trace = busy_trace ~think:0.5 ~n:100 ~ndisks:2 () in
+  let spec = Fault.make ~disk_failures:[ (0, 10.0) ] () in
+  let r, tl = run_logged ~faults:spec Policy.base trace in
+  assert_faulted_log_sound "disk failure" r tl;
+  let sums = Timeline.disk_summaries tl in
+  (match sums.(0).Timeline.killed_at with
+  | None -> Alcotest.fail "disk 0 has no Killed mark"
+  | Some k ->
+      Alcotest.(check bool) "killed at/after the scheduled time" true
+        (k >= 10.0));
+  Alcotest.(check bool) "survivor has no Killed mark" true
+    (sums.(1).Timeline.killed_at = None);
+  Alcotest.(check int) "one Redirect mark per redirect"
+    r.Result.faults.Result.redirects
+    (count_events tl (function
+      | Timeline.Mark { mark = Timeline.Redirect _; _ } -> true
+      | _ -> false));
+  (* Redirect marks land on the surviving disk and name the dead one. *)
+  List.iter
+    (fun ev ->
+      match ev with
+      | Timeline.Mark { disk; mark = Timeline.Redirect orig; _ } ->
+          Alcotest.(check int) "recorded on the survivor" 1 disk;
+          Alcotest.(check int) "names the dead disk" 0 orig
+      | _ -> ())
+    (Timeline.events tl)
+
 (* --- the Run facade --- *)
 
 let test_run_errors () =
@@ -354,6 +470,17 @@ let suite =
           test_disk_failure_redirect;
         Alcotest.test_case "run_many degraded" `Quick test_run_many_degraded;
         Alcotest.test_case "domain determinism" `Quick test_domain_determinism;
+      ] );
+    ( "fault.timeline",
+      [
+        Alcotest.test_case "retry signature" `Quick
+          test_timeline_retry_signature;
+        Alcotest.test_case "remap signature" `Quick
+          test_timeline_remap_signature;
+        Alcotest.test_case "stuck spin-up signature" `Quick
+          test_timeline_stuck_spin_up_signature;
+        Alcotest.test_case "disk failure signature" `Quick
+          test_timeline_disk_failure_signature;
       ] );
     ( "run-facade",
       [
