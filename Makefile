@@ -1,4 +1,4 @@
-.PHONY: all build test check bench fault-check timeline-check clean
+.PHONY: all build test check bench fault-check timeline-check report-check clean
 
 all: build
 
@@ -41,6 +41,19 @@ timeline-check: build
 	  > _build/timeline_off.out
 	cmp _build/timeline_on.out _build/timeline_off.out
 	dune exec bin/dpmsim.exe -- timeline _build/timeline_smoke.jsonl > /dev/null
+
+# Observability smoke: generate a full run report (JSON + markdown) and
+# a Chrome trace, validate both (schema fields, invariant verdicts,
+# balanced B/E events), and pin the report's schema outline against the
+# golden — values may drift, the shape may not.  Also snapshots the
+# benchmark harness's dpm-bench/1 JSON.
+report-check: build
+	dune exec bin/dpmsim.exe -- report -b swim --faults "$(FAULT_SPEC)" \
+	  -o _build/report.json --md _build/report.md --trace _build/report_trace.json
+	dune exec bin/dpmsim.exe -- report-check _build/report.json \
+	  --trace _build/report_trace.json --schema > _build/report_schema.out
+	cmp _build/report_schema.out test/golden/report_schema.expected
+	dune exec bench/main.exe -- table1 --json _build/bench.json > /dev/null
 
 clean:
 	dune clean

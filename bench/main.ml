@@ -36,10 +36,16 @@ let available =
     ("fig3-degraded", fun () -> Figures.degraded_grid ());
   ]
 
+(* Per-figure wall times, in run order — the BENCH snapshot's payload. *)
+let timings : (string * float) list ref = ref []
+
 let print_figure name f =
-  let figure =
-    Metrics.span Metrics.global ("figure." ^ name) (fun () -> f ())
-  in
+  let t0 = Metrics.now () in
+  let figure = Figures.traced name f in
+  let dt = Metrics.now () -. t0 in
+  timings := (name, dt) :: !timings;
+  if Metrics.enabled Metrics.global then
+    Metrics.record_span Metrics.global ("figure." ^ name) dt;
   print_string figure.Figures.rendered;
   print_newline ()
 
@@ -121,9 +127,41 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "m"; "metrics" ] ~doc)
 
-let run names domains metrics =
+let json_arg =
+  let doc =
+    "Write a machine-readable benchmark snapshot (schema dpm-bench/1): \
+     per-figure wall times plus the stage/counter tables — the repo's \
+     perf-trajectory artifact, uploaded by CI."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+
+let trace_arg =
+  let doc =
+    "Record hierarchical spans (each figure, its pool tasks, every \
+     compile/generate/replay underneath) and write Chrome trace_event \
+     JSON for Perfetto or chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let log_level_arg =
+  let doc = "Structured-log threshold: error, warn, info or debug." in
+  let level_conv =
+    Arg.conv
+      ( (fun s ->
+          match Dpm_util.Log.level_of_string s with
+          | Ok l -> Ok l
+          | Error m -> Error (`Msg m)),
+        fun ppf l -> Format.pp_print_string ppf (Dpm_util.Log.level_name l) )
+  in
+  Arg.(
+    value & opt (some level_conv) None & info [ "log-level" ] ~doc ~docv:"LEVEL")
+
+let run names domains metrics json trace log_level =
   Option.iter Pool.set_default_domains domains;
-  if metrics then Metrics.set_enabled Metrics.global true;
+  Option.iter Dpm_util.Log.set_level log_level;
+  (* The snapshot embeds the stage table, so --json implies --metrics. *)
+  if metrics || json <> None then Metrics.set_enabled Metrics.global true;
+  if trace <> None then Dpm_util.Telemetry.(set_tracing global true);
   let total0 = Metrics.now () in
   let rc =
     match names with
@@ -144,9 +182,15 @@ let run names domains metrics =
                   print_figure name f;
                   rc
               | None ->
-                  Printf.eprintf "unknown figure %S; available: %s micro\n"
-                    name
-                    (String.concat " " (List.map fst available));
+                  Dpm_util.Log.error ~scope:"bench"
+                    ~kv:
+                      [
+                        ("figure", name);
+                        ( "available",
+                          String.concat " " (List.map fst available) ^ " micro"
+                        );
+                      ]
+                    "unknown figure";
                   2)
           0 names
   in
@@ -156,12 +200,44 @@ let run names domains metrics =
       (Pool.default_domains ());
     print_string (Metrics.report Metrics.global)
   end;
+  (match json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Dpm_core.Report.bench_snapshot ~figures:(List.rev !timings) ()
+      in
+      (match Dpm_core.Report.validate_bench doc with
+      | Ok () -> ()
+      | Error msgs ->
+          List.iter (fun m -> Dpm_util.Log.error ~scope:"bench" m) msgs);
+      let oc = open_out path in
+      Dpm_util.Json.to_channel ~indent:1 oc doc;
+      output_char oc '\n';
+      close_out oc;
+      Dpm_util.Log.info ~scope:"bench"
+        ~kv:[ ("file", path) ]
+        "wrote benchmark snapshot");
+  (match trace with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Dpm_util.Telemetry.(write_chrome_trace global) oc;
+      close_out oc;
+      Dpm_util.Log.info ~scope:"bench"
+        ~kv:[ ("file", path) ]
+        "wrote Chrome trace");
   rc
 
 let () =
   let doc =
     "Regenerate the paper's tables and figures, with optional \
-     multi-domain fan-out and per-stage metrics."
+     multi-domain fan-out, per-stage metrics, Chrome traces and \
+     machine-readable snapshots."
   in
   let info = Cmd.info "dpm-bench" ~doc in
-  exit (Cmd.eval' (Cmd.v info Term.(const run $ figures_arg $ domains_arg $ metrics_arg)))
+  exit
+    (Cmd.eval'
+       (Cmd.v info
+          Term.(
+            const run $ figures_arg $ domains_arg $ metrics_arg $ json_arg
+            $ trace_arg $ log_level_arg)))

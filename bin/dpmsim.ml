@@ -9,7 +9,9 @@ open Cmdliner
 let spec_of_name name =
   try Dpm_workloads.Suite.find name
   with Not_found ->
-    Printf.eprintf "unknown benchmark %S (try `dpmsim list`)\n" name;
+    Dpm_util.Log.error ~scope:"dpmsim"
+      ~kv:[ ("benchmark", name) ]
+      "unknown benchmark (try `dpmsim list`)";
     exit 2
 
 let workload name =
@@ -59,7 +61,8 @@ let mode_arg =
   let doc = "Replay model: open (the paper's trace-driven model) or closed." in
   Arg.(value & opt mode_conv `Open & info [ "mode" ] ~doc)
 
-(* --- shared instrumentation flags (--domains / --metrics) --- *)
+(* --- shared instrumentation flags
+       (--domains / --metrics / --trace / --log-level) --- *)
 
 let domains_arg =
   let doc =
@@ -76,19 +79,69 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
-(* Evaluates before the command body: applies the domain override,
-   enables the global collector, and returns whether to print the report
-   afterwards. *)
+let trace_arg =
+  let doc =
+    "Record hierarchical spans for every pipeline stage (compile passes, \
+     trace generation, each replay, every pool worker's tasks) and write \
+     them as Chrome trace_event JSON, loadable in Perfetto or \
+     chrome://tracing.  Recording is observational: results are \
+     byte-identical with or without this flag."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let log_level_conv =
+  let parse s =
+    match Dpm_util.Log.level_of_string s with
+    | Ok l -> Ok l
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Dpm_util.Log.level_name l))
+
+let log_level_arg =
+  let doc = "Structured-log threshold: error, warn, info or debug." in
+  Arg.(
+    value
+    & opt (some log_level_conv) None
+    & info [ "log-level" ] ~doc ~docv:"LEVEL")
+
+type instrument = { metrics : bool; trace : string option }
+
+(* Evaluates before the command body: applies the domain override and
+   switches the global collectors on; [finish_instrumentation] drains
+   them after the command. *)
 let instrument_term =
-  let apply domains metrics =
+  let apply domains metrics trace log_level =
     Option.iter Dpm_util.Pool.set_default_domains domains;
     if metrics then Dpm_util.Metrics.(set_enabled global true);
-    metrics
+    if trace <> None then Dpm_util.Telemetry.(set_tracing global true);
+    Option.iter Dpm_util.Log.set_level log_level;
+    { metrics; trace }
   in
-  Term.(const apply $ domains_arg $ metrics_arg)
+  Term.(const apply $ domains_arg $ metrics_arg $ trace_arg $ log_level_arg)
 
-let report_metrics metrics =
-  if metrics then print_string Dpm_util.Metrics.(report global)
+let finish_instrumentation inst =
+  if inst.metrics then print_string Dpm_util.Metrics.(report global);
+  match inst.trace with
+  | None -> ()
+  | Some path -> (
+      let spans = Dpm_util.Telemetry.(spans global) in
+      match
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> Dpm_util.Telemetry.(write_chrome_trace global) oc)
+      with
+      | () ->
+          Dpm_util.Log.info ~scope:"dpmsim"
+            ~kv:
+              [
+                ("file", path); ("spans", string_of_int (List.length spans));
+              ]
+            "wrote Chrome trace"
+      | exception Sys_error m ->
+          Dpm_util.Log.error ~scope:"dpmsim" ~kv:[ ("file", path) ] m)
+
+let report_metrics inst = finish_instrumentation inst
 
 (* --- list --- *)
 
@@ -167,8 +220,17 @@ let timeline_arg =
   in
   Arg.(value & opt (some string) None & info [ "timeline" ] ~doc ~docv:"FILE")
 
+let histograms_arg =
+  let doc =
+    "Collect and print latency / queue-depth / idle-gap histograms \
+     (p50/p90/p99/max) over the replay.  Observational: the results \
+     table is unchanged."
+  in
+  Arg.(value & flag & info [ "histograms" ] ~doc)
+
 let simulate_cmd =
-  let run metrics name schemes version mode faults timeline =
+  let run inst name schemes version mode faults timeline histograms =
+    if histograms then Dpm_util.Telemetry.(set_histograms global true);
     (* Base joins the run for normalization even when not requested. *)
     let run_schemes =
       if List.mem Dpm_core.Scheme.Base schemes then schemes
@@ -190,7 +252,7 @@ let simulate_cmd =
     in
     match Dpm_core.Run.exec_all rspec with
     | Error e ->
-        Printf.eprintf "dpmsim: %s\n" (Dpm_core.Run.error_message e);
+        Dpm_util.Log.error ~scope:"dpmsim" (Dpm_core.Run.error_message e);
         2
     | Ok results ->
         let base = List.assoc Dpm_core.Scheme.Base results in
@@ -243,10 +305,23 @@ let simulate_cmd =
               in
               List.iter (fun tl -> write tl oc) logs;
               close_out oc;
-              Printf.eprintf "dpmsim: wrote %d timeline section(s) to %s\n%!"
-                (List.length logs) dest
+              Dpm_util.Log.info ~scope:"dpmsim"
+                ~kv:
+                  [
+                    ("sections", string_of_int (List.length logs));
+                    ("file", dest);
+                  ]
+                "wrote timeline"
             end);
-        report_metrics metrics;
+        (if histograms then
+           let rendered =
+             Dpm_util.Telemetry.(histogram_report global)
+           in
+           if rendered <> "" then begin
+             print_newline ();
+             print_string rendered
+           end);
+        report_metrics inst;
         0
   in
   Cmd.v
@@ -254,7 +329,7 @@ let simulate_cmd =
        ~doc:"Simulate a benchmark under one or more power-management schemes.")
     Term.(
       const run $ instrument_term $ bench_arg $ schemes_arg $ version_arg
-      $ mode_arg $ faults_arg $ timeline_arg)
+      $ mode_arg $ faults_arg $ timeline_arg $ histograms_arg)
 
 (* --- timeline: summarize a recorded event log --- *)
 
@@ -274,13 +349,15 @@ let timeline_cmd =
         (fun () -> Dpm_sim.Timeline.read_jsonl ic)
     with
     | exception Sys_error m ->
-        Printf.eprintf "dpmsim: %s\n" m;
+        Dpm_util.Log.error ~scope:"dpmsim" m;
         2
     | exception Failure m ->
-        Printf.eprintf "dpmsim: %s\n" m;
+        Dpm_util.Log.error ~scope:"dpmsim" m;
         2
     | [] ->
-        Printf.eprintf "dpmsim: no timeline sections in %s\n" file;
+        Dpm_util.Log.error ~scope:"dpmsim"
+          ~kv:[ ("file", file) ]
+          "no timeline sections";
         2
     | logs ->
         List.iteri
@@ -408,7 +485,7 @@ let figure_cmd =
     let doc = "Figure/table id (table1 table2 table3 fig3..fig8 fig13 ablation-closed)." in
     Arg.(non_empty & pos_all string [] & info [] ~doc ~docv:"ID")
   in
-  let run metrics ids =
+  let run inst ids =
     let available =
       [
         ("table1", Dpm_core.Figures.table1);
@@ -434,20 +511,147 @@ let figure_cmd =
         (fun rc id ->
           match List.assoc_opt id available with
           | Some f ->
-              print_string (f ()).Dpm_core.Figures.rendered;
+              print_string (Dpm_core.Figures.traced id f).Dpm_core.Figures.rendered;
               print_newline ();
               rc
           | None ->
-              Printf.eprintf "unknown figure %S\n" id;
+              Dpm_util.Log.error ~scope:"dpmsim"
+                ~kv:[ ("figure", id) ]
+                "unknown figure";
               2)
         0 ids
     in
-    report_metrics metrics;
+    report_metrics inst;
     rc
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one of the paper's tables/figures.")
     Term.(const run $ instrument_term $ fig_arg)
+
+(* --- report: machine-readable run report --- *)
+
+let report_cmd =
+  let out_arg =
+    let doc = "File to write the JSON report to ($(b,-) for stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~doc ~docv:"FILE")
+  in
+  let md_arg =
+    let doc = "Also render the report as a markdown digest to this file." in
+    Arg.(value & opt (some string) None & info [ "md" ] ~doc ~docv:"FILE")
+  in
+  let run inst name schemes version mode faults out md =
+    match
+      Dpm_core.Report.run ~schemes ~mode ~version
+        ?faults
+        name
+    with
+    | Error e ->
+        Dpm_util.Log.error ~scope:"dpmsim" (Dpm_core.Run.error_message e);
+        2
+    | Ok doc -> (
+        match Dpm_core.Report.validate doc with
+        | Error msgs ->
+            List.iter
+              (fun m -> Dpm_util.Log.error ~scope:"report" m)
+              msgs;
+            1
+        | Ok () ->
+            let text = Dpm_util.Json.to_string ~indent:1 doc ^ "\n" in
+            (if out = "-" then print_string text
+             else begin
+               let oc = open_out out in
+               output_string oc text;
+               close_out oc;
+               Dpm_util.Log.info ~scope:"dpmsim"
+                 ~kv:[ ("file", out) ]
+                 "wrote run report"
+             end);
+            (match md with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (Dpm_core.Report.markdown doc);
+                close_out oc;
+                Dpm_util.Log.info ~scope:"dpmsim"
+                  ~kv:[ ("file", path) ]
+                  "wrote markdown digest");
+            report_metrics inst;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run a benchmark under every scheme and emit one machine-readable \
+          JSON report: energies, normalized ratios, fault counters, per-disk \
+          timeline summaries with re-integrated energy and invariant \
+          verdicts, latency/queue/idle-gap histograms and stage timings.")
+    Term.(
+      const run $ instrument_term $ bench_arg $ schemes_arg $ version_arg
+      $ mode_arg $ faults_arg $ out_arg $ md_arg)
+
+(* --- report-check: validate report and trace artifacts --- *)
+
+let report_check_cmd =
+  let report_arg =
+    let doc = "Run-report JSON file to validate." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"REPORT")
+  in
+  let trace_file_arg =
+    let doc = "Chrome trace file to check for balanced B/E events." in
+    Arg.(
+      value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+  in
+  let schema_arg =
+    let doc =
+      "Print the report's schema outline (sorted key paths with type \
+       tags) to stdout — compared against the golden outline by $(b,make \
+       report-check)."
+    in
+    Arg.(value & flag & info [ "schema" ] ~doc)
+  in
+  let load path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Dpm_util.Json.parse_string s
+  in
+  let run report trace schema =
+    let fail scope msgs =
+      List.iter (fun m -> Dpm_util.Log.error ~scope m) msgs;
+      1
+    in
+    match load report with
+    | Error m -> fail "report-check" [ report ^ ": " ^ m ]
+    | exception Sys_error m -> fail "report-check" [ m ]
+    | Ok doc -> (
+        match Dpm_core.Report.validate doc with
+        | Error msgs -> fail "report-check" msgs
+        | Ok () -> (
+            if schema then
+              List.iter print_endline (Dpm_util.Json.schema_outline doc);
+            match trace with
+            | None -> 0
+            | Some path -> (
+                match load path with
+                | Error m -> fail "trace-check" [ path ^ ": " ^ m ]
+                | exception Sys_error m -> fail "trace-check" [ m ]
+                | Ok tdoc -> (
+                    match Dpm_util.Telemetry.validate_chrome tdoc with
+                    | Error msgs -> fail "trace-check" msgs
+                    | Ok () ->
+                        Dpm_util.Log.info ~scope:"report-check"
+                          ~kv:[ ("report", report); ("trace", path) ]
+                          "artifacts ok";
+                        0))))
+  in
+  Cmd.v
+    (Cmd.info "report-check"
+       ~doc:
+         "Validate a run report (schema, required fields, invariant \
+          verdicts) and optionally a Chrome trace (parseable, non-empty, \
+          balanced B/E events).  Exit 1 on any violation.")
+    Term.(const run $ report_arg $ trace_file_arg $ schema_arg)
 
 let () =
   let doc =
@@ -467,4 +671,6 @@ let () =
             trace_cmd;
             timeline_cmd;
             figure_cmd;
+            report_cmd;
+            report_check_cmd;
           ]))

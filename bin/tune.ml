@@ -22,7 +22,7 @@ let () =
         with
         | Ok results -> results
         | Error e ->
-            Printf.eprintf "tune: %s\n" (Dpm_core.Run.error_message e);
+            Dpm_util.Log.error ~scope:"tune" (Dpm_core.Run.error_message e);
             exit 2
       in
       let base = List.assoc Dpm_core.Scheme.Base results in

@@ -37,13 +37,33 @@ type compiled = {
 
 let compile ~scheme ?(noise = 0.0) ?(seed = 42) ?cost ?cache_blocks
     ?pm_overhead ?serve_slow ~specs (p : Dpm_ir.Program.t) plan =
-  let activities = Access.of_program_cached ?cache_blocks p plan in
-  let exact = Estimate.profile ?cost ?cache_blocks ~specs p plan in
-  let estimate =
-    if noise = 0.0 then exact else Estimate.perturb ~noise ~seed exact
-  in
-  let dap = Dap.build activities estimate in
-  let program, decisions =
-    Insertion.insert ~specs ?pm_overhead ?serve_slow scheme p dap estimate
-  in
-  { program; decisions; dap; estimate; profile = exact }
+  let tele = Dpm_util.Telemetry.global in
+  let span name f = Dpm_util.Telemetry.span tele name f in
+  Dpm_util.Telemetry.span
+    ~args:(fun () -> [ ("program", p.Dpm_ir.Program.name) ])
+    tele "compile.pipeline"
+    (fun () ->
+      let activities =
+        span "compile.access" (fun () ->
+            Access.of_program_cached ?cache_blocks p plan)
+      in
+      let exact =
+        span "compile.estimate" (fun () ->
+            Estimate.profile ?cost ?cache_blocks ~specs p plan)
+      in
+      let estimate =
+        if noise = 0.0 then exact else Estimate.perturb ~noise ~seed exact
+      in
+      let dap = span "compile.dap" (fun () -> Dap.build activities estimate) in
+      let program, decisions =
+        span "compile.insert" (fun () ->
+            Insertion.insert ~specs ?pm_overhead ?serve_slow scheme p dap
+              estimate)
+      in
+      if Dpm_util.Telemetry.histograms_enabled tele then
+        List.iter
+          (fun (d : Insertion.decision) ->
+            Dpm_util.Telemetry.observe tele "compile.idle_gap.predicted_s"
+              (d.window.Dap.t_end -. d.window.Dap.t_start))
+          decisions;
+      { program; decisions; dap; estimate; profile = exact })

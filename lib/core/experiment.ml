@@ -3,6 +3,7 @@ module Compiler = Dpm_compiler
 module Trace = Dpm_trace
 module Workloads = Dpm_workloads
 module Metrics = Dpm_util.Metrics
+module Telemetry = Dpm_util.Telemetry
 
 type setup = {
   sim : Sim.Config.t;
@@ -28,8 +29,14 @@ let gen_config (setup : setup) =
   }
 
 let transformed setup p plan =
-  Metrics.span Metrics.global "compile.transform" (fun () ->
-      Compiler.Pipeline.transform setup.version p plan)
+  Telemetry.span
+    ~args:(fun () ->
+      [
+        ("program", p.Dpm_ir.Program.name);
+        ("version", Compiler.Pipeline.version_name setup.version);
+      ])
+    Telemetry.global "compile.transform"
+    (fun () -> Compiler.Pipeline.transform setup.version p plan)
 
 let compile_cm setup scheme p plan =
   let ischeme =
@@ -39,7 +46,11 @@ let compile_cm setup scheme p plan =
     | Scheme.Base | Scheme.Tpm | Scheme.Itpm | Scheme.Drpm | Scheme.Idrpm ->
         invalid_arg "Experiment.compile_cm: not a compiler-managed scheme"
   in
-  Metrics.span Metrics.global "compile.cm" (fun () ->
+  Telemetry.span
+    ~args:(fun () ->
+      [ ("program", p.Dpm_ir.Program.name); ("scheme", Scheme.name scheme) ])
+    Telemetry.global "compile.cm"
+    (fun () ->
       Compiler.Pipeline.compile ~scheme:ischeme ~noise:setup.noise
         ~seed:setup.seed ~cache_blocks:setup.cache_blocks
         ~pm_overhead:setup.sim.Sim.Config.pm_call_overhead
@@ -76,6 +87,14 @@ let run_all ?(setup = default_setup) ?timeline ?(schemes = Scheme.all) p plan =
   List.map
     (fun scheme ->
       let result =
+        Telemetry.span
+          ~args:(fun () ->
+            [
+              ("scheme", Scheme.name scheme);
+              ("program", p.Dpm_ir.Program.name);
+            ])
+          Telemetry.global "experiment.scheme"
+        @@ fun () ->
         match scheme with
         | Scheme.Base -> Lazy.force base
         | Scheme.Tpm ->
@@ -208,7 +227,9 @@ let misprediction_pct ?(setup = default_setup) p plan =
   else 100.0 *. float_of_int !wrong /. float_of_int !total
 
 let workload ?(setup = default_setup) spec =
-  Metrics.span Metrics.global "workload.build" (fun () ->
+  Telemetry.span
+    ~args:(fun () -> [ ("workload", spec.Workloads.Suite.name) ])
+    Telemetry.global "workload.build" (fun () ->
       let p = Workloads.Suite.program spec in
       let ndisks =
         (* The subsystem is as large as the default stripe factor. *)

@@ -39,6 +39,10 @@ let suite_results ?(mode = `Open) ?(version = Dpm_compiler.Pipeline.Orig)
     ?(faults = Sim.Fault.none) () =
   Pool.map
     (fun (spec : Workloads.Suite.spec) ->
+      Dpm_util.Telemetry.span
+        ~args:(fun () -> [ ("bench", spec.Workloads.Suite.name) ])
+        Dpm_util.Telemetry.global "figure.bench"
+      @@ fun () ->
       let p, plan = Experiment.workload spec in
       let setup =
         Experiment.make_setup ~noise:spec.noise ~mode ~version ~faults ()
@@ -503,21 +507,30 @@ let closed_loop_ablation () =
       "Ablation: closed-loop replay (every delay propagates; /E energy, /T time)"
     ~columns:scheme_columns rows
 
+(* One top-level span per figure: the trace shows each figure as a
+   parent with its grid's [pool.task] jobs fanned out underneath. *)
+let traced id f =
+  Dpm_util.Telemetry.span
+    ~args:(fun () -> [ ("figure", id) ])
+    Dpm_util.Telemetry.global "figure.build" f
+
 let all () =
-  [
-    table1 ();
-    table2 ();
-    fig3 ();
-    fig4 ();
-    table3 ();
-    fig5 ();
-    fig6 ();
-    fig7 ();
-    fig8 ();
-    fig13 ();
-    extensions ();
-    shared_subsystem ();
-    knob_ablation ();
-    closed_loop_ablation ();
-    fault_sweep ();
-  ]
+  List.map
+    (fun (id, f) -> traced id f)
+    [
+      ("table1", table1);
+      ("table2", table2);
+      ("fig3", fig3);
+      ("fig4", fig4);
+      ("table3", table3);
+      ("fig5", fig5);
+      ("fig6", fig6);
+      ("fig7", fig7);
+      ("fig8", fig8);
+      ("fig13", fig13);
+      ("extensions", extensions);
+      ("shared", shared_subsystem);
+      ("knobs", knob_ablation);
+      ("closed-loop", closed_loop_ablation);
+      ("faults", fault_sweep);
+    ]

@@ -82,6 +82,12 @@ val degraded_grid : ?faults:Dpm_sim.Fault.spec -> unit -> figure
     under a fault spec (default: a moderate storm — 1% read errors, 0.5%
     bad units, 20% sticking spin-ups, disk 0 dead at 30 s). *)
 
+val traced : string -> (unit -> figure) -> figure
+(** [traced id f] builds [f ()] under a [figure.build] telemetry span
+    annotated with [id] — one parent per figure in a [--trace] export,
+    with the grid's pool tasks underneath.  {!all} and the drivers
+    ([dpmsim figure], the benchmark harness) route through it. *)
+
 val all : unit -> figure list
 (** Everything above, in paper order (the ablations and fault sweep
     last). *)

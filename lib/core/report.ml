@@ -1,0 +1,381 @@
+module Json = Dpm_util.Json
+module Metrics = Dpm_util.Metrics
+module Telemetry = Dpm_util.Telemetry
+module Sim = Dpm_sim
+
+let schema_version = "dpm-report/1"
+let bench_schema_version = "dpm-bench/1"
+
+(* Every field below is emitted unconditionally (zero-valued when the
+   run had nothing to report), so the document's schema outline is a
+   constant of the code, not of the workload — the golden check in
+   [make report-check] depends on this. *)
+
+let fault_json (f : Sim.Result.fault_stats) =
+  Json.Obj
+    [
+      ("read_retries", Json.Int f.Sim.Result.read_retries);
+      ("retry_delay_s", Json.Float f.Sim.Result.retry_delay);
+      ("remaps", Json.Int f.Sim.Result.remaps);
+      ("spin_up_recoveries", Json.Int f.Sim.Result.spin_up_recoveries);
+      ("redirects", Json.Int f.Sim.Result.redirects);
+      ("failed_disks", Json.Int f.Sim.Result.failed_disks);
+    ]
+
+let disk_json (d : Sim.Timeline.disk_summary) =
+  Json.Obj
+    [
+      ("disk", Json.Int d.Sim.Timeline.disk);
+      ("busy_s", Json.Float d.Sim.Timeline.busy);
+      ("ready_s", Json.Float d.Sim.Timeline.ready);
+      ("ready_low_s", Json.Float d.Sim.Timeline.ready_low);
+      ("changing_s", Json.Float d.Sim.Timeline.changing);
+      ("standby_s", Json.Float d.Sim.Timeline.standby);
+      ("services", Json.Int d.Sim.Timeline.services);
+      ("modulations", Json.Int d.Sim.Timeline.modulations);
+      ("spin_downs", Json.Int d.Sim.Timeline.spin_downs);
+    ]
+
+let timeline_json (tl : Sim.Timeline.t) (r : Sim.Result.t) =
+  let energy = Sim.Timeline.reintegrate tl in
+  let rel =
+    if r.Sim.Result.energy = 0.0 then abs_float energy.Sim.Timeline.total
+    else
+      abs_float (energy.Sim.Timeline.total -. r.Sim.Result.energy)
+      /. abs_float r.Sim.Result.energy
+  in
+  let invariants =
+    match Sim.Timeline.check tl with
+    | Ok () -> []
+    | Error msgs -> msgs
+  in
+  Json.Obj
+    [
+      ("sim_end_s", Json.Float (Sim.Timeline.sim_end tl));
+      ("reintegrated_energy_j", Json.Float energy.Sim.Timeline.total);
+      ("energy_match", Json.Bool (rel <= 1e-6));
+      ("invariants_ok", Json.Bool (invariants = []));
+      ("invariant_errors", Json.Arr (List.map (fun m -> Json.Str m) invariants));
+      ( "disks",
+        Json.Arr
+          (Array.to_list (Array.map disk_json (Sim.Timeline.disk_summaries tl)))
+      );
+    ]
+
+let scheme_json ~base (scheme, (r : Sim.Result.t)) tl =
+  Json.Obj
+    [
+      ("scheme", Json.Str (Scheme.name scheme));
+      ("energy_j", Json.Float r.Sim.Result.energy);
+      ("exec_time_s", Json.Float r.Sim.Result.exec_time);
+      ("energy_norm", Json.Float (Sim.Result.normalized_energy r ~base));
+      ("time_norm", Json.Float (Sim.Result.normalized_time r ~base));
+      ("requests", Json.Int (Sim.Result.requests r));
+      ("faults", fault_json r.Sim.Result.faults);
+      ("timeline", timeline_json tl r);
+    ]
+
+let stages_json metrics =
+  Json.Arr
+    (List.map
+       (fun (name, total, calls) ->
+         Json.Obj
+           [
+             ("stage", Json.Str name);
+             ("calls", Json.Int calls);
+             ("total_s", Json.Float total);
+           ])
+       (Metrics.spans metrics))
+
+let counters_json metrics =
+  Json.Arr
+    (List.map
+       (fun (name, v) ->
+         Json.Obj [ ("counter", Json.Str name); ("value", Json.Int v) ])
+       (Metrics.counters metrics))
+
+let mode_name = function `Open -> "open" | `Closed -> "closed"
+
+let run ?(schemes = Scheme.all) ?(mode = `Open)
+    ?(version = Dpm_compiler.Pipeline.Orig) ?(faults = Sim.Fault.none)
+    benchmark =
+  let run_schemes =
+    if List.mem Scheme.Base schemes then schemes else Scheme.Base :: schemes
+  in
+  let sinks = List.map (fun s -> (s, Sim.Timeline.sink ())) run_schemes in
+  (* The stage table and the histograms both live on the process-wide
+     collectors; switch them on for the duration and restore the flags
+     afterwards (recording is observational, so leaving earlier contents
+     in place only adds rows — the report of a fresh CLI process is
+     exactly this run's). *)
+  let tele = Telemetry.global in
+  let had_histos = Telemetry.histograms_enabled tele in
+  let had_metrics = Metrics.enabled Metrics.global in
+  Telemetry.set_histograms tele true;
+  Metrics.set_enabled Metrics.global true;
+  let restore () =
+    Telemetry.set_histograms tele had_histos;
+    Metrics.set_enabled Metrics.global had_metrics
+  in
+  let result =
+    Fun.protect ~finally:restore (fun () ->
+        Run.exec_all
+          (Run.spec ~schemes:run_schemes ~mode ~version ~faults
+             ~timeline:(fun s -> List.assoc_opt s sinks)
+             (Run.Benchmark benchmark)))
+  in
+  match result with
+  | Error e -> Error e
+  | Ok results ->
+      let base = List.assoc Scheme.Base results in
+      let histo_rows =
+        List.map
+          (fun (name, h) ->
+            Json.Obj
+              [
+                ("name", Json.Str name);
+                ("count", Json.Int (Dpm_util.Histo.count h));
+                ("mean", Json.Float (Dpm_util.Histo.mean h));
+                ("min", Json.Float (Dpm_util.Histo.min_value h));
+                ("p50", Json.Float (Dpm_util.Histo.quantile h 50.0));
+                ("p90", Json.Float (Dpm_util.Histo.quantile h 90.0));
+                ("p99", Json.Float (Dpm_util.Histo.quantile h 99.0));
+                ("max", Json.Float (Dpm_util.Histo.max_value h));
+              ])
+          (Telemetry.histograms tele)
+      in
+      let scheme_rows =
+        List.map
+          (fun ((s, _) as pair) ->
+            let tl = Sim.Timeline.contents (List.assoc s sinks) in
+            scheme_json ~base pair tl)
+          results
+      in
+      Ok
+        (Json.Obj
+           [
+             ("schema", Json.Str schema_version);
+             ("benchmark", Json.Str benchmark);
+             ("mode", Json.Str (mode_name mode));
+             ( "transform",
+               Json.Str (Dpm_compiler.Pipeline.version_name version) );
+             ("faults", Json.Str (Sim.Fault.to_string faults));
+             ("domains", Json.Int (Dpm_util.Pool.default_domains ()));
+             ("schemes", Json.Arr scheme_rows);
+             ("histograms", Json.Arr histo_rows);
+             ("stages", stages_json Metrics.global);
+             ("counters", counters_json Metrics.global);
+           ])
+
+(* --- markdown digest --- *)
+
+let get_str k j = Option.value ~default:"-" (Option.bind (Json.member k j) Json.to_str)
+
+let get_num k j =
+  match Option.bind (Json.member k j) Json.to_float with
+  | Some f -> Printf.sprintf "%.6g" f
+  | None -> "-"
+
+let get_int k j =
+  match Option.bind (Json.member k j) Json.to_int with
+  | Some i -> string_of_int i
+  | None -> "-"
+
+let rows k j = Option.value ~default:[] (Option.bind (Json.member k j) Json.to_list)
+
+let md_table buf header row_of items =
+  Buffer.add_string buf ("| " ^ String.concat " | " header ^ " |\n");
+  Buffer.add_string buf
+    ("|" ^ String.concat "|" (List.map (fun _ -> "---") header) ^ "|\n");
+  List.iter
+    (fun item ->
+      Buffer.add_string buf ("| " ^ String.concat " | " (row_of item) ^ " |\n"))
+    items
+
+let markdown doc =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "# dpm run report: %s\n\n" (get_str "benchmark" doc));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "- schema: %s\n- mode: %s\n- transform: %s\n- faults: `%s`\n- domains: \
+        %s\n\n"
+       (get_str "schema" doc) (get_str "mode" doc) (get_str "transform" doc)
+       (get_str "faults" doc) (get_int "domains" doc));
+  Buffer.add_string buf "## Schemes\n\n";
+  md_table buf
+    [ "scheme"; "energy (J)"; "time (s)"; "E/base"; "T/base"; "requests" ]
+    (fun s ->
+      [
+        get_str "scheme" s;
+        get_num "energy_j" s;
+        get_num "exec_time_s" s;
+        get_num "energy_norm" s;
+        get_num "time_norm" s;
+        get_int "requests" s;
+      ])
+    (rows "schemes" doc);
+  Buffer.add_string buf "\n## Timeline checks\n\n";
+  md_table buf
+    [ "scheme"; "sim end (s)"; "reintegrated (J)"; "energy match"; "invariants" ]
+    (fun s ->
+      let tl = Option.value ~default:Json.Null (Json.member "timeline" s) in
+      let b k =
+        match Option.bind (Json.member k tl) Json.to_bool with
+        | Some true -> "ok"
+        | Some false -> "FAIL"
+        | None -> "-"
+      in
+      [
+        get_str "scheme" s;
+        get_num "sim_end_s" tl;
+        get_num "reintegrated_energy_j" tl;
+        b "energy_match";
+        b "invariants_ok";
+      ])
+    (rows "schemes" doc);
+  (let faulty =
+     List.filter
+       (fun s ->
+         match
+           Option.bind
+             (Option.bind (Json.member "faults" s) (Json.member "read_retries"))
+             Json.to_int
+         with
+         | Some _ -> true
+         | None -> false)
+       (rows "schemes" doc)
+   in
+   Buffer.add_string buf "\n## Fault counters\n\n";
+   md_table buf
+     [ "scheme"; "retries"; "delay (s)"; "remaps"; "spinup-rec"; "redirects"; "failed" ]
+     (fun s ->
+       let f = Option.value ~default:Json.Null (Json.member "faults" s) in
+       [
+         get_str "scheme" s;
+         get_int "read_retries" f;
+         get_num "retry_delay_s" f;
+         get_int "remaps" f;
+         get_int "spin_up_recoveries" f;
+         get_int "redirects" f;
+         get_int "failed_disks" f;
+       ])
+     faulty);
+  Buffer.add_string buf "\n## Histograms\n\n";
+  md_table buf
+    [ "histogram"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
+    (fun h ->
+      [
+        get_str "name" h;
+        get_int "count" h;
+        get_num "mean" h;
+        get_num "p50" h;
+        get_num "p90" h;
+        get_num "p99" h;
+        get_num "max" h;
+      ])
+    (rows "histograms" doc);
+  Buffer.add_string buf "\n## Stage timings\n\n";
+  md_table buf
+    [ "stage"; "calls"; "total (s)" ]
+    (fun s -> [ get_str "stage" s; get_int "calls" s; get_num "total_s" s ])
+    (rows "stages" doc);
+  Buffer.contents buf
+
+(* --- validation --- *)
+
+let validate doc =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  (match Option.bind (Json.member "schema" doc) Json.to_str with
+  | Some s when s = schema_version -> ()
+  | Some s -> err "schema is %S, expected %S" s schema_version
+  | None -> err "missing schema tag");
+  (match Option.bind (Json.member "benchmark" doc) Json.to_str with
+  | Some _ -> ()
+  | None -> err "missing benchmark");
+  (match Option.bind (Json.member "schemes" doc) Json.to_list with
+  | None -> err "missing schemes array"
+  | Some [] -> err "schemes array is empty"
+  | Some schemes ->
+      List.iteri
+        (fun i s ->
+          let num k =
+            match Option.bind (Json.member k s) Json.to_float with
+            | Some _ -> ()
+            | None -> err "scheme %d: missing numeric %s" i k
+          in
+          num "energy_j";
+          num "exec_time_s";
+          num "energy_norm";
+          num "time_norm";
+          (match Option.bind (Json.member "faults" s) (Json.member "read_retries") with
+          | Some _ -> ()
+          | None -> err "scheme %d: missing fault counters" i);
+          match
+            Option.bind
+              (Option.bind (Json.member "timeline" s)
+                 (Json.member "invariants_ok"))
+              Json.to_bool
+          with
+          | Some true -> ()
+          | Some false -> err "scheme %d: timeline invariants failed" i
+          | None -> err "scheme %d: missing timeline verdict" i)
+        schemes);
+  (match Option.bind (Json.member "histograms" doc) Json.to_list with
+  | Some (_ :: _) -> ()
+  | Some [] -> err "histograms array is empty"
+  | None -> err "missing histograms array");
+  (match Option.bind (Json.member "stages" doc) Json.to_list with
+  | Some (_ :: _) -> ()
+  | Some [] -> err "stages array is empty"
+  | None -> err "missing stages array");
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+(* --- benchmark snapshots --- *)
+
+let bench_snapshot ?(histograms = false) ~figures () =
+  let fields =
+    [
+      ("schema", Json.Str bench_schema_version);
+      ("domains", Json.Int (Dpm_util.Pool.default_domains ()));
+      ( "figures",
+        Json.Arr
+          (List.map
+             (fun (id, seconds) ->
+               Json.Obj
+                 [ ("id", Json.Str id); ("seconds", Json.Float seconds) ])
+             figures) );
+      ("stages", stages_json Metrics.global);
+      ("counters", counters_json Metrics.global);
+    ]
+  in
+  let fields =
+    if histograms then
+      fields @ [ ("histograms", Telemetry.histograms_json Telemetry.global) ]
+    else fields
+  in
+  Json.Obj fields
+
+let validate_bench doc =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  (match Option.bind (Json.member "schema" doc) Json.to_str with
+  | Some s when s = bench_schema_version -> ()
+  | Some s -> err "schema is %S, expected %S" s bench_schema_version
+  | None -> err "missing schema tag");
+  (match Option.bind (Json.member "figures" doc) Json.to_list with
+  | None -> err "missing figures array"
+  | Some [] -> err "figures array is empty"
+  | Some figs ->
+      List.iteri
+        (fun i f ->
+          (match Option.bind (Json.member "id" f) Json.to_str with
+          | Some _ -> ()
+          | None -> err "figure %d: missing id" i);
+          match Option.bind (Json.member "seconds" f) Json.to_float with
+          | Some s when s >= 0.0 -> ()
+          | Some _ -> err "figure %d: negative seconds" i
+          | None -> err "figure %d: missing seconds" i)
+        figs);
+  match !errors with [] -> Ok () | es -> Error (List.rev es)

@@ -1,0 +1,57 @@
+(** Machine-readable run reports and benchmark snapshots.
+
+    One {!run} executes a benchmark under a set of schemes with timeline
+    recording and telemetry histograms switched on, and condenses
+    everything the pipeline knows about the run into a single JSON
+    document (schema {!schema_version}): per-scheme energies and
+    normalized ratios, fault counters, per-disk timeline summaries with
+    the independently re-integrated energy and the invariant-check
+    verdict, the registered latency/queue/gap histograms, and the flat
+    stage timings.  The same document renders as a markdown digest
+    ({!markdown}) and validates structurally ({!validate}) — the golden
+    check in [make report-check] compares its
+    {!Dpm_util.Json.schema_outline}, so values may change freely while
+    the shape is pinned.
+
+    {!bench_snapshot} is the benchmark harness's analogue (schema
+    {!bench_schema_version}): per-figure wall times plus the same stage
+    and counter tables, the repo's first perf-trajectory artifact. *)
+
+val schema_version : string
+(** ["dpm-report/1"]. *)
+
+val bench_schema_version : string
+(** ["dpm-bench/1"]. *)
+
+val run :
+  ?schemes:Scheme.t list ->
+  ?mode:Dpm_sim.Engine.mode ->
+  ?version:Dpm_compiler.Pipeline.version ->
+  ?faults:Dpm_sim.Fault.spec ->
+  string ->
+  (Dpm_util.Json.t, Run.error) result
+(** [run benchmark] simulates the benchmark under [schemes] (default:
+    all seven; Base joins the set either way, it anchors the normalized
+    columns) and builds the report document.  Metrics and telemetry
+    histograms are enabled for the duration and restored afterwards;
+    recording is observational, so the simulated numbers are the ones
+    every other entry point produces. *)
+
+val markdown : Dpm_util.Json.t -> string
+(** Renders a report document as a human-readable markdown digest
+    (scheme table, fault counters, histogram quantiles, stage timings).
+    Total: unknown fields are skipped, missing ones render as [-]. *)
+
+val validate : Dpm_util.Json.t -> (unit, string list) result
+(** Structural check: schema tag, non-empty scheme array, required
+    numeric fields per scheme, timeline invariant verdicts present.
+    Used by [dpmsim report-check]. *)
+
+val bench_snapshot :
+  ?histograms:bool -> figures:(string * float) list -> unit -> Dpm_util.Json.t
+(** [bench_snapshot ~figures ()] packages per-figure wall-clock seconds
+    with the global stage/counter tables (and, when [histograms], the
+    registered histogram quantiles) as a {!bench_schema_version}
+    document. *)
+
+val validate_bench : Dpm_util.Json.t -> (unit, string list) result

@@ -27,8 +27,80 @@ let fault_state faults ~ndisks ~nblocks =
     Some (Fault.start (Fault.plan faults ~ndisks ~nblocks))
   end
 
-let replay ~config ~mode ~fault ~timeline (policy : Policy.t) (trace : Trace.t)
-    =
+(* --- Replay observation (telemetry histograms) ---
+
+   Hot-loop discipline: each replay accumulates into its own local
+   histograms (no lock, no effect on simulated values) and merges them
+   into {!Dpm_util.Telemetry.global} once at the end.  Bucket-count
+   merges are exactly commutative and associative, so the registered
+   quantiles are identical at any [--domains].  [None] when histograms
+   are off: the per-request cost is then a single match on [None]. *)
+type obs = {
+  latency : Dpm_util.Histo.t;  (** per-request service latency, s *)
+  qdepth : Dpm_util.Histo.t;  (** outstanding requests at arrival *)
+  retries : Dpm_util.Histo.t;  (** transient read retries per request *)
+}
+
+let make_obs () =
+  if Dpm_util.Telemetry.(histograms_enabled global) then
+    Some
+      {
+        latency = Dpm_util.Histo.create ();
+        qdepth = Dpm_util.Histo.create ();
+        retries = Dpm_util.Histo.create ();
+      }
+  else None
+
+(* Queue depth seen by a request: completions in the ring still in the
+   future at its arrival time, i.e. requests in flight on that disk. *)
+let observe_arrival obs ~ring ~arrival =
+  match obs with
+  | None -> ()
+  | Some o ->
+      let outstanding = ref 0 in
+      Array.iter (fun c -> if c > arrival then incr outstanding) ring;
+      Dpm_util.Histo.add o.qdepth (float_of_int !outstanding)
+
+let observe_service obs ~fault ~retries_before ~response =
+  match obs with
+  | None -> ()
+  | Some o -> (
+      Dpm_util.Histo.add o.latency response;
+      match fault with
+      | None -> ()
+      | Some fs ->
+          Dpm_util.Histo.add o.retries
+            (float_of_int (Fault.retries_so_far fs - retries_before)))
+
+let flush_obs obs (result : Result.t) =
+  match obs with
+  | None -> ()
+  | Some o ->
+      let t = Dpm_util.Telemetry.global in
+      Dpm_util.Telemetry.merge_histogram t "sim.service_latency_s" o.latency;
+      Dpm_util.Telemetry.merge_histogram t "sim.queue_depth" o.qdepth;
+      if Dpm_util.Histo.count o.retries > 0 then
+        Dpm_util.Telemetry.merge_histogram t "sim.fault.retries_per_req"
+          o.retries;
+      (* Actual idle-gap lengths, read off the finished result — the
+         empirical side of the compiler's predicted-gap histogram. *)
+      let gaps = Dpm_util.Histo.create () in
+      Array.iteri
+        (fun d _ ->
+          List.iter
+            (fun (a, b) -> Dpm_util.Histo.add gaps (b -. a))
+            (Result.idle_gaps result ~disk:d))
+        result.Result.disks;
+      if Dpm_util.Histo.count gaps > 0 then
+        Dpm_util.Telemetry.merge_histogram t "sim.idle_gap.actual_s" gaps
+
+let retries_before obs fault =
+  match (obs, fault) with
+  | Some _, Some fs -> Fault.retries_so_far fs
+  | _ -> 0
+
+let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
+    (trace : Trace.t) =
   let specs = config.Config.specs in
   let top = Dpm_disk.Rpm.max_level specs in
   let ndisks = trace.Trace.ndisks in
@@ -92,8 +164,10 @@ let replay ~config ~mode ~fault ~timeline (policy : Policy.t) (trace : Trace.t)
           let oldest = recent.(d).(recent_pos.(d)) in
           if oldest > !clock then clock := oldest;
           let arrival = !clock in
+          observe_arrival obs ~ring:recent.(d) ~arrival;
           let issue = max arrival backlog.(d) in
           policy.Policy.catch_up st ~now:issue;
+          let before = retries_before obs fault in
           let completion =
             match fault with
             | None -> Disk_state.serve st ~now:issue ~bytes:io.bytes
@@ -105,6 +179,7 @@ let replay ~config ~mode ~fault ~timeline (policy : Policy.t) (trace : Trace.t)
           recent_pos.(d) <- (recent_pos.(d) + 1) mod depth;
           if completion > !makespan then makespan := completion;
           let response = completion -. arrival in
+          observe_service obs ~fault ~retries_before:before ~response;
           let nominal =
             Dpm_disk.Service.request_time specs ~level:top ~bytes:io.bytes
           in
@@ -181,10 +256,17 @@ let run ?(config = Config.default) ?(mode = `Open)
   let fault =
     fault_state faults ~ndisks:trace.Trace.ndisks ~nblocks:(nblocks_of [ trace ])
   in
+  let obs = make_obs () in
   let result =
-    Dpm_util.Metrics.span metrics "sim.replay" (fun () ->
-        replay ~config ~mode ~fault ~timeline policy trace)
+    Dpm_util.Telemetry.span ~metrics
+      ~args:(fun () ->
+        [
+          ("scheme", policy.Policy.name); ("program", trace.Trace.program);
+        ])
+      Dpm_util.Telemetry.global "sim.replay"
+      (fun () -> replay ~config ~mode ~fault ~timeline ~obs policy trace)
   in
+  flush_obs obs result;
   record_replay metrics result;
   result
 
@@ -197,7 +279,8 @@ type app = {
   mutable done_ : bool;
 }
 
-let replay_many ~config ~mode ~fault ~timeline (policy : Policy.t) traces =
+let replay_many ~config ~mode ~fault ~timeline ~obs (policy : Policy.t) traces
+    =
   match traces with
   | [] -> invalid_arg "Engine.run_many: no traces"
   | first :: rest ->
@@ -275,8 +358,10 @@ let replay_many ~config ~mode ~fault ~timeline (policy : Policy.t) traces =
             let oldest = recent.(d).(recent_pos.(d)) in
             if oldest > app.clock then app.clock <- oldest;
             let arrival = app.clock in
+            observe_arrival obs ~ring:recent.(d) ~arrival;
             let issue = max arrival backlog.(d) in
             policy.Policy.catch_up disks.(d) ~now:issue;
+            let before = retries_before obs fault in
             let completion =
               match fault with
               | None -> Disk_state.serve disks.(d) ~now:issue ~bytes:io.bytes
@@ -289,6 +374,7 @@ let replay_many ~config ~mode ~fault ~timeline (policy : Policy.t) traces =
             recent_pos.(d) <- (recent_pos.(d) + 1) mod depth;
             if completion > !makespan then makespan := completion;
             let response = completion -. arrival in
+            observe_service obs ~fault ~retries_before:before ~response;
             let nominal =
               Dpm_disk.Service.request_time specs ~level:top ~bytes:io.bytes
             in
@@ -373,9 +459,19 @@ let run_many ?(config = Config.default) ?(mode = `Open)
     | t :: _ -> t.Trace.ndisks
   in
   let fault = fault_state faults ~ndisks ~nblocks:(nblocks_of traces) in
+  let obs = make_obs () in
   let result =
-    Dpm_util.Metrics.span metrics "sim.replay" (fun () ->
-        replay_many ~config ~mode ~fault ~timeline policy traces)
+    Dpm_util.Telemetry.span ~metrics
+      ~args:(fun () ->
+        [
+          ("scheme", policy.Policy.name);
+          ( "program",
+            String.concat "+"
+              (List.map (fun (t : Trace.t) -> t.Trace.program) traces) );
+        ])
+      Dpm_util.Telemetry.global "sim.replay"
+      (fun () -> replay_many ~config ~mode ~fault ~timeline ~obs policy traces)
   in
+  flush_obs obs result;
   record_replay metrics result;
   result

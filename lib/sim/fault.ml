@@ -394,6 +394,8 @@ let spin_up state st ~now =
   let now = spin_up_attempts state st ~now in
   Disk_state.spin_up st ~now
 
+let retries_so_far state = state.read_retries
+
 let stats state ~exec_time =
   {
     Result.read_retries = state.read_retries;

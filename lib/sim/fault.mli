@@ -161,6 +161,11 @@ val spin_up : state -> Disk_state.t -> now:float -> unit
     directives: failed attempts abort, back off and retry before the
     real spin-up starts. *)
 
+val retries_so_far : state -> int
+(** Transient read retries accumulated so far — sampled before/after one
+    {!serve} call, the delta is that request's retry count (telemetry
+    histograms). *)
+
 val stats : state -> exec_time:float -> Result.fault_stats
 (** Counter snapshot; [failed_disks] counts failure times within
     [exec_time]. *)

@@ -225,6 +225,8 @@ let idrpm ?(config = Config.default) ?timeline (base : Result.t) =
                   (lo +. service) hi
             | Gap { span = lo, hi; from_level; to_level; plan } ->
                 let gap = hi -. lo in
+                Dpm_util.Telemetry.observe Dpm_util.Telemetry.global
+                  "oracle.idle_gap.predicted_s" gap;
                 energy := !energy +. plan.Power.energy;
                 let inner =
                   hi -. lo -. plan.Power.down_time -. plan.Power.up_time
@@ -352,6 +354,8 @@ let itpm ?(config = Config.default) ?timeline (base : Result.t) =
         List.iter
           (fun (lo, hi) ->
             let plan = Power.best_tpm_plan specs (hi -. lo) in
+            Dpm_util.Telemetry.observe Dpm_util.Telemetry.global
+              "oracle.idle_gap.predicted_s" (hi -. lo);
             gap_energy := !gap_energy +. plan.Power.energy;
             let inner = hi -. lo -. plan.Power.down_time -. plan.Power.up_time in
             record

@@ -72,7 +72,12 @@ let generate ~config (p : Dpm_ir.Program.t) plan =
 
 let run ?(config = default_config) ?(metrics = Dpm_util.Metrics.global) p plan
     =
-  let trace = Dpm_util.Metrics.span metrics "trace.gen" (fun () -> generate ~config p plan) in
+  let trace =
+    Dpm_util.Telemetry.span ~metrics
+      ~args:(fun () -> [ ("program", p.Dpm_ir.Program.name) ])
+      Dpm_util.Telemetry.global "trace.gen"
+      (fun () -> generate ~config p plan)
+  in
   Dpm_util.Metrics.add metrics "trace.events" (Array.length trace.Trace.events);
   trace
 

@@ -1,0 +1,60 @@
+(** Log-bucketed histograms: fixed-size, mergeable, with bounded-error
+    quantiles.
+
+    Values land in geometrically growing buckets (ratio {!gamma}), so a
+    quantile read back from the histogram over-estimates the true order
+    statistic by at most a factor of {!gamma} — good enough to tell a
+    50 ms p99 from a 5 ms one, at a flat cost of one [int array] per
+    histogram and O(1) per observation.
+
+    Merging adds bucket counts pointwise, so it is exactly commutative
+    and associative on counts/min/max — the property the parallel
+    experiment grids rely on: per-replay histograms merged into the
+    global collector give {e identical} quantiles whatever the domain
+    count or merge order.  (The running [sum] is a float and therefore
+    only approximately associative; it feeds the reported mean, nothing
+    else.)
+
+    Not thread-safe on its own: record into a local histogram per
+    replay, then {!merge_into} a shared one under the collector's lock
+    (see {!Telemetry}). *)
+
+type t
+
+val gamma : float
+(** Bucket growth ratio (the worst-case relative quantile error). *)
+
+val create : unit -> t
+val copy : t -> t
+
+val add : t -> float -> unit
+(** Record one observation.  Non-positive values count in a dedicated
+    zero bucket (queue depths of 0 are real data); values beyond the
+    covered range clamp into the first/last bucket. *)
+
+val count : t -> int
+val is_empty : t -> bool
+val sum : t -> float
+val mean : t -> float
+val min_value : t -> float
+(** Exact smallest observation (0.0 when empty). *)
+
+val max_value : t -> float
+(** Exact largest observation (0.0 when empty). *)
+
+val quantile : t -> float -> float
+(** [quantile t p] for [p] in [0, 100]: an upper bound on the rank
+    [ceil (p/100 · count)] order statistic, within a factor of {!gamma}
+    (and clamped to the exact observed min/max).  [quantile t 100] is
+    exactly {!max_value}.  0.0 when empty.  Raises [Invalid_argument]
+    on [p] outside [0, 100]. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both inputs' observations. *)
+
+val merge_into : into:t -> t -> unit
+
+val buckets : t -> (float * float * int) list
+(** Non-empty buckets as [(lower, upper, count)], ascending; the zero
+    bucket reports as [(0., 0., n)].  Exposed for property tests and
+    renderers. *)

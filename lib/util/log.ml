@@ -1,0 +1,79 @@
+type level = Error | Warn | Info | Debug
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+let level_name = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let all_levels = [ Error; Warn; Info; Debug ]
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "error" -> Ok Error
+  | "warn" | "warning" -> Ok Warn
+  | "info" -> Ok Info
+  | "debug" -> Ok Debug
+  | _ -> Error (Printf.sprintf "unknown log level %S (expected error, warn, info or debug)" s)
+
+(* Plain refs: set once at CLI startup, read racily afterwards — benign
+   under the OCaml memory model (no tearing on immediate values). *)
+let current = ref (severity Info)
+let set_level l = current := severity l
+
+let level () =
+  match !current with 0 -> Error | 1 -> Warn | 2 -> Info | _ -> Debug
+
+let would_log l = severity l <= !current
+
+let default_writer line =
+  output_string stderr line;
+  flush stderr
+
+let writer = ref default_writer
+let set_writer = function
+  | Some w -> writer := w
+  | None -> writer := default_writer
+
+let mutex = Mutex.create ()
+
+(* key=value with the value quoted only when it would break the
+   one-token-per-pair shape. *)
+let render_value v =
+  if
+    v <> ""
+    && String.for_all
+         (fun c -> c <> ' ' && c <> '\t' && c <> '\n' && c <> '"' && c <> '=')
+         v
+  then v
+  else Printf.sprintf "%S" v
+
+let log l ~scope ?(kv = []) msg =
+  if would_log l then begin
+    let buf = Buffer.create 80 in
+    Buffer.add_string buf "[dpm][";
+    Buffer.add_string buf (level_name l);
+    Buffer.add_string buf "] ";
+    Buffer.add_string buf scope;
+    Buffer.add_string buf ": ";
+    Buffer.add_string buf msg;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf (render_value v))
+      kv;
+    Buffer.add_char buf '\n';
+    let line = Buffer.contents buf in
+    Mutex.lock mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mutex)
+      (fun () -> !writer line)
+  end
+
+let error ~scope ?kv msg = log Error ~scope ?kv msg
+let warn ~scope ?kv msg = log Warn ~scope ?kv msg
+let info ~scope ?kv msg = log Info ~scope ?kv msg
+let debug ~scope ?kv msg = log Debug ~scope ?kv msg

@@ -1,0 +1,38 @@
+(** Domain-safe structured leveled logging.
+
+    One process-wide logger: four levels, a scope string per call site
+    and optional [key=value] pairs, rendered as a single line
+
+    {v [dpm][warn] engine: slow replay scheme=DRPM elapsed=12.3 v}
+
+    and written atomically (one mutex-guarded writer call per record, so
+    lines from concurrent {!Pool} workers never interleave).  The CLI
+    [--log-level] flag feeds {!set_level}; the default [Info] keeps
+    existing stderr diagnostics visible while hiding [Debug].
+
+    Below-threshold calls cost one int comparison before any formatting;
+    guard construction of expensive [kv] lists with {!would_log} in hot
+    paths. *)
+
+type level = Error | Warn | Info | Debug
+
+val level_name : level -> string
+val level_of_string : string -> (level, string) result
+val all_levels : level list
+
+val set_level : level -> unit
+val level : unit -> level
+
+val would_log : level -> bool
+(** True when a record at this level would be emitted. *)
+
+val log : level -> scope:string -> ?kv:(string * string) list -> string -> unit
+
+val error : scope:string -> ?kv:(string * string) list -> string -> unit
+val warn : scope:string -> ?kv:(string * string) list -> string -> unit
+val info : scope:string -> ?kv:(string * string) list -> string -> unit
+val debug : scope:string -> ?kv:(string * string) list -> string -> unit
+
+val set_writer : (string -> unit) option -> unit
+(** Redirect whole formatted lines (tests capture them this way);
+    [None] restores the default stderr writer. *)

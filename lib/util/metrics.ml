@@ -61,6 +61,15 @@ let counter t name =
   locked t (fun () ->
       match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
 
+let spans t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v.total, v.calls) :: acc) t.spans [])
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let counters t =
+  locked t (fun () -> Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.counters [])
+  |> List.sort compare
+
 let rate t ~counter:c ~span:s =
   let n = counter t c and dt = span_total t s in
   if n = 0 || dt <= 0.0 then None else Some (float_of_int n /. dt)
@@ -78,11 +87,7 @@ let throughputs =
   ]
 
 let report ?(title = "Metrics") t =
-  let spans, counters =
-    locked t (fun () ->
-        ( Hashtbl.fold (fun k v acc -> (k, v.total, v.calls) :: acc) t.spans [],
-          Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.counters [] ))
-  in
+  let spans = spans t and counters = counters t in
   if spans = [] && counters = [] then ""
   else begin
     let buf = Buffer.create 256 in
@@ -98,6 +103,9 @@ let report ?(title = "Metrics") t =
                ("mean(ms)", Table.Right);
              ]
        in
+       (* Already name-sorted: rows must not depend on merge order or
+          relative timings, so --metrics output is stable across
+          --domains values. *)
        List.iter
          (fun (name, total, calls) ->
            Table.add_row tbl
@@ -107,7 +115,7 @@ let report ?(title = "Metrics") t =
                Table.cell_f3 total;
                Table.cell_f3 (1000.0 *. total /. float_of_int calls);
              ])
-         (List.sort (fun (_, a, _) (_, b, _) -> compare b a) spans);
+         spans;
        Buffer.add_string buf (Table.render tbl)
      end);
     (if counters <> [] then begin
@@ -118,7 +126,7 @@ let report ?(title = "Metrics") t =
        in
        List.iter
          (fun (name, v) -> Table.add_row tbl [ name; string_of_int v ])
-         (List.sort compare counters);
+         counters;
        Buffer.add_char buf '\n';
        Buffer.add_string buf (Table.render tbl)
      end);

@@ -40,6 +40,12 @@ val span : t -> string -> (unit -> 'a) -> 'a
     recorded.  Nested and concurrent spans under the same name simply
     accumulate. *)
 
+val record_span : t -> string -> float -> unit
+(** [record_span t stage dt] accumulates [dt] seconds and one call under
+    [stage] without running anything — {!Telemetry.span} times once and
+    feeds both its hierarchical record and this flat view.  Unlike
+    {!span}, this is unconditional: callers check {!enabled}. *)
+
 val add : t -> string -> int -> unit
 (** [add t counter n] bumps [counter] by [n]. *)
 
@@ -54,6 +60,13 @@ val span_calls : t -> string -> int
 val counter : t -> string -> int
 (** Accumulated counter value (0 if never recorded). *)
 
+val spans : t -> (string * float * int) list
+(** Every recorded stage as [(name, total seconds, calls)], sorted by
+    name — deterministic whatever order domains recorded in. *)
+
+val counters : t -> (string * int) list
+(** Every counter as [(name, value)], sorted by name. *)
+
 val rate : t -> counter:string -> span:string -> float option
 (** [rate t ~counter ~span] is counter / span-seconds, or [None] when
     either is missing or the span is zero.  E.g. requests simulated per
@@ -66,4 +79,6 @@ val report : ?title:string -> t -> string
 (** Renders the spans (stage, calls, total s, mean ms) and counters as
     text tables, with derived throughput lines for the conventional
     pairs ([sim.requests]/[sim.replay], [trace.events]/[trace.gen]).
-    Returns [""] when nothing was recorded. *)
+    Rows are sorted by name, so two runs of the same workload differ
+    only in the timing columns whatever [--domains] was.  Returns [""]
+    when nothing was recorded. *)

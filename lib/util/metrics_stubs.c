@@ -1,13 +1,30 @@
 #include <caml/mlvalues.h>
 #include <caml/alloc.h>
 #include <time.h>
+#include <sys/time.h>
 
-/* CLOCK_MONOTONIC as a double of seconds: immune to wall-clock steps,
-   precise enough (ns resolution) for per-stage spans. */
+/* Monotonic seconds for span timing.  Preference order:
+     1. CLOCK_MONOTONIC_RAW — immune to both wall-clock steps and NTP
+        rate trimming (Linux-only);
+     2. CLOCK_MONOTONIC     — immune to wall-clock steps (POSIX);
+     3. gettimeofday        — last resort on platforms (or seccomp/CI
+        sandboxes) where the preferred clocks are compiled in but fail
+        at runtime; good enough for coarse per-stage spans.
+   Each step falls through on runtime failure, not just missing
+   compile-time support, so one binary works across kernels. */
 CAMLprim value dpm_metrics_monotonic_s(value unit)
 {
   struct timespec ts;
+  struct timeval tv;
   (void) unit;
-  clock_gettime(CLOCK_MONOTONIC, &ts);
-  return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+#ifdef CLOCK_MONOTONIC_RAW
+  if (clock_gettime(CLOCK_MONOTONIC_RAW, &ts) == 0)
+    return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+#endif
+#ifdef CLOCK_MONOTONIC
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+#endif
+  gettimeofday(&tv, NULL);
+  return caml_copy_double((double) tv.tv_sec + (double) tv.tv_usec * 1e-6);
 }

@@ -106,7 +106,9 @@ let run pool f xs =
         let outcome =
           if cancel then Pending
           else
-            match f items.(i) with
+            (* Each job is a telemetry span on its worker's track: with
+               --trace, every domain shows its queue of grid tasks. *)
+            match Telemetry.span Telemetry.global "pool.task" (fun () -> f items.(i)) with
             | v -> Done v
             | exception e -> Failed (e, Printexc.get_raw_backtrace ())
         in

@@ -1,0 +1,109 @@
+(** Pipeline-wide telemetry: hierarchical trace spans, named histograms
+    and a Chrome [trace_event] exporter, layered over the flat
+    {!Metrics} collector.
+
+    Every stage of the pipeline (compiler passes, trace generation,
+    replay, figure tasks, pool jobs) runs under {!span}, which
+
+    - accumulates the flat (stage, total, calls) view in a {!Metrics}
+      collector exactly as before, and
+    - when {e tracing} is on, records a hierarchical span: a unique id,
+      the parent span running on the same domain (tracked through
+      domain-local state, so concurrent {!Pool} workers each grow their
+      own subtree), the domain's track id, wall-clock bounds and lazy
+      [key=value] annotations.
+
+    The recorded forest exports as Chrome [trace_event] JSON ([B]/[E]
+    duration events, one [tid] per domain) loadable in Perfetto or
+    [chrome://tracing] — the [--trace FILE] flag on [dpmsim] and the
+    benchmark harness ends up here.
+
+    Histograms ({!Histo}) register by name.  Hot loops record into a
+    local histogram and {!merge_histogram} once per replay (one lock
+    acquisition); low-rate call sites use {!observe} directly.  Bucket
+    counts merge additively, so the registered quantiles are {e
+    identical} whatever the domain count.
+
+    Everything is off by default and zero-cost when off: {!span} costs
+    one boolean test on top of {!Metrics.span} (itself a no-op unless
+    enabled), {!observe}/{!merge_histogram} cost one boolean test, and
+    simulation {!Result}s are byte-identical with telemetry on or off —
+    recording is strictly observational, like the [?timeline] sink. *)
+
+type span = {
+  id : int;
+  parent : int;  (** id of the enclosing span on this track, or -1. *)
+  track : int;  (** Domain id the span ran on. *)
+  name : string;
+  t0 : float;  (** {!Metrics.now} seconds. *)
+  t1 : float;
+  args : (string * string) list;
+}
+
+type t
+
+val create : unit -> t
+(** Fresh collector with tracing and histograms both off. *)
+
+val global : t
+(** Process-wide collector the pipeline records into by default. *)
+
+val set_tracing : t -> bool -> unit
+val tracing : t -> bool
+val set_histograms : t -> bool -> unit
+val histograms_enabled : t -> bool
+
+val span :
+  ?metrics:Metrics.t ->
+  ?args:(unit -> (string * string) list) ->
+  t ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [span t name f] runs [f ()] under a named span.  The flat view
+    always lands in [metrics] (default {!Metrics.global}); the
+    hierarchical record only when {!tracing} is on, in which case [args]
+    (evaluated lazily, only then) annotate the Chrome event.  Exceptions
+    propagate; the span closes either way. *)
+
+val observe : t -> string -> float -> unit
+(** Add one observation to the named histogram (no-op unless
+    {!histograms_enabled}; takes the collector lock — fine at per-gap or
+    per-decision rate, wrong inside the replay's per-request loop). *)
+
+val merge_histogram : t -> string -> Histo.t -> unit
+(** Merge a locally accumulated histogram into the named one (no-op
+    unless {!histograms_enabled}).  One lock acquisition per call. *)
+
+val spans : t -> span list
+(** Completed spans, ordered by id (= start order). *)
+
+val histograms : t -> (string * Histo.t) list
+(** Name-sorted copies of the registered histograms. *)
+
+val reset : t -> unit
+(** Drops spans and histograms; keeps the enabled flags. *)
+
+(** {1 Rendering} *)
+
+val histogram_report : ?title:string -> t -> string
+(** Count / mean / p50 / p90 / p99 / max per histogram, as a {!Table};
+    [""] when nothing was observed. *)
+
+val histograms_json : t -> Json.t
+(** The same quantiles as a JSON array (run reports, BENCH snapshots). *)
+
+val chrome_json : ?process_name:string -> t -> Json.t
+(** The span forest as a Chrome [trace_event] document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}] with balanced
+    [B]/[E] pairs per track (emitted by tree walk, so nesting is correct
+    even for zero-width spans), thread-name metadata per track, and
+    timestamps in microseconds relative to the earliest span. *)
+
+val write_chrome_trace : ?process_name:string -> t -> out_channel -> unit
+
+val validate_chrome : Json.t -> (unit, string list) result
+(** Structural check used by [dpmsim report-check] and the tests: a
+    [traceEvents] array exists and is non-empty, every event carries
+    [ph]/[pid]/[tid] (and [name]/[ts] for [B]/[E]), and per [(pid, tid)]
+    the [B]/[E] events balance like parentheses with matching names. *)
