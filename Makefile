@@ -1,4 +1,5 @@
-.PHONY: all build test check bench fault-check timeline-check report-check clean
+.PHONY: all build test check bench fault-check timeline-check report-check \
+  stream-check clean
 
 all: build
 
@@ -54,6 +55,24 @@ report-check: build
 	  --trace _build/report_trace.json --schema > _build/report_schema.out
 	cmp _build/report_schema.out test/golden/report_schema.expected
 	dune exec bench/main.exe -- table1 --json _build/bench.json > /dev/null
+
+# Streaming smoke: the fused generate→replay pipeline must be
+# byte-identical to the materialized path through the CLI — against the
+# checked-in golden, against a fresh materialized run, and with fault
+# injection on — and the benchmark's stream mode must show bounded peak
+# memory (it exits non-zero when the streaming/materialized results
+# diverge or the streaming heap is not well below the materialized one).
+stream-check: build
+	dune exec bin/dpmsim.exe -- simulate -b swim -s Base,DRPM,CMDRPM \
+	  --stream --batch 7 > _build/stream_smoke.out
+	cmp _build/stream_smoke.out test/golden/stream_smoke.expected
+	dune exec bin/dpmsim.exe -- simulate -b swim -s Base,DRPM,CMDRPM \
+	  > _build/stream_materialized.out
+	cmp _build/stream_smoke.out _build/stream_materialized.out
+	dune exec bin/dpmsim.exe -- simulate -b swim -s Base,DRPM,CMDRPM \
+	  --stream --faults "$(FAULT_SPEC)" > _build/stream_faults.out
+	cmp _build/stream_faults.out test/golden/fault_smoke.expected
+	dune exec bench/main.exe -- stream --json _build/stream_bench.json
 
 clean:
 	dune clean

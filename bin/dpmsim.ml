@@ -23,6 +23,12 @@ let bench_arg =
   let doc = "Benchmark name (wupwise, swim, mgrid, applu, mesa, galgel)." in
   Arg.(required & opt (some string) None & info [ "b"; "benchmark" ] ~doc)
 
+(* simulate can take a trace file instead of a benchmark, so there the
+   flag is optional and exclusivity is checked in the command body. *)
+let bench_opt_arg =
+  let doc = "Benchmark name (wupwise, swim, mgrid, applu, mesa, galgel)." in
+  Arg.(value & opt (some string) None & info [ "b"; "benchmark" ] ~doc)
+
 let version_conv =
   let parse s =
     match String.lowercase_ascii s with
@@ -228,9 +234,46 @@ let histograms_arg =
   in
   Arg.(value & flag & info [ "histograms" ] ~doc)
 
+let trace_file_workload_arg =
+  let doc =
+    "Replay a saved trace file (the format $(b,dpmsim trace -o) writes) \
+     instead of generating a benchmark's trace; mutually exclusive with \
+     $(b,-b).  Oracle schemes derive from the trace's Base replay; CM \
+     schemes replay whatever directives the file embeds."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-file" ] ~doc ~docv:"FILE")
+
+let stream_arg =
+  let doc =
+    "Fused streaming pipeline: each scheme's replay pulls trace chunks \
+     straight out of the generator (or the file parser, with \
+     $(b,--trace-file)) in O(batch) peak memory instead of materializing \
+     the whole trace first.  Results are byte-identical either way."
+  in
+  Arg.(value & flag & info [ "stream" ] ~doc)
+
+let batch_arg =
+  let doc = "Stream chunk size in events (default 4096)." in
+  Arg.(value & opt (some int) None & info [ "batch" ] ~doc ~docv:"N")
+
 let simulate_cmd =
-  let run inst name schemes version mode faults timeline histograms =
+  let run inst name trace_file schemes version mode faults timeline histograms
+      stream batch =
     if histograms then Dpm_util.Telemetry.(set_histograms global true);
+    let workload =
+      match (name, trace_file) with
+      | Some n, None -> Ok (Dpm_core.Run.Benchmark n)
+      | None, Some f -> Ok (Dpm_core.Run.Trace_file f)
+      | Some _, Some _ ->
+          Error "pass either -b/--benchmark or --trace-file, not both"
+      | None, None -> Error "one of -b/--benchmark or --trace-file is required"
+    in
+    match workload with
+    | Error m ->
+        Dpm_util.Log.error ~scope:"dpmsim" m;
+        2
+    | Ok workload -> (
     (* Base joins the run for normalization even when not requested. *)
     let run_schemes =
       if List.mem Dpm_core.Scheme.Base schemes then schemes
@@ -248,7 +291,7 @@ let simulate_cmd =
           (match sinks with
           | [] -> None
           | _ -> Some (fun s -> List.assoc_opt s sinks))
-        (Dpm_core.Run.Benchmark name)
+        ~stream ?batch workload
     in
     match Dpm_core.Run.exec_all rspec with
     | Error e ->
@@ -322,14 +365,17 @@ let simulate_cmd =
              print_string rendered
            end);
         report_metrics inst;
-        0
+        0)
   in
   Cmd.v
     (Cmd.info "simulate"
-       ~doc:"Simulate a benchmark under one or more power-management schemes.")
+       ~doc:
+         "Simulate a benchmark (or a saved trace file) under one or more \
+          power-management schemes.")
     Term.(
-      const run $ instrument_term $ bench_arg $ schemes_arg $ version_arg
-      $ mode_arg $ faults_arg $ timeline_arg $ histograms_arg)
+      const run $ instrument_term $ bench_opt_arg $ trace_file_workload_arg
+      $ schemes_arg $ version_arg $ mode_arg $ faults_arg $ timeline_arg
+      $ histograms_arg $ stream_arg $ batch_arg)
 
 (* --- timeline: summarize a recorded event log --- *)
 
@@ -463,11 +509,14 @@ let trace_cmd =
     (match out with
     | Some path ->
         Dpm_trace.Trace.save trace path;
-        Printf.printf "saved %d events to %s\n" (Array.length trace.events) path
+        Printf.printf "saved %d events to %s\n"
+          (Dpm_trace.Trace.event_count trace)
+          path
     | None ->
         Printf.printf
           "program=%s ndisks=%d io=%d pm=%d bytes=%d think=%.2fs\n"
-          trace.program trace.ndisks
+          (Dpm_trace.Trace.program trace)
+          (Dpm_trace.Trace.ndisks trace)
           (Dpm_trace.Trace.io_count trace)
           (Dpm_trace.Trace.pm_count trace)
           (Dpm_trace.Trace.total_bytes trace)

@@ -13,12 +13,15 @@ type setup = {
   seed : int;
   version : Compiler.Pipeline.version;
   faults : Sim.Fault.spec;
+  stream : bool;
+  batch : int;
 }
 
 let make_setup ?(sim = Sim.Config.default) ?(mode = `Open)
     ?(cache_blocks = Workloads.Suite.cache_blocks) ?(noise = 0.0) ?(seed = 42)
-    ?(version = Compiler.Pipeline.Orig) ?(faults = Sim.Fault.none) () =
-  { sim; mode; cache_blocks; noise; seed; version; faults }
+    ?(version = Compiler.Pipeline.Orig) ?(faults = Sim.Fault.none)
+    ?(stream = false) ?(batch = Trace.Trace.Stream.default_batch) () =
+  { sim; mode; cache_blocks; noise; seed; version; faults; stream; batch }
 
 let default_setup = make_setup ()
 
@@ -59,10 +62,6 @@ let compile_cm setup scheme p plan =
 
 let run_cm ?timeline setup scheme p plan =
   let compiled = compile_cm setup scheme p plan in
-  let trace =
-    Trace.Generate.run ~config:(gen_config setup)
-      compiled.Compiler.Pipeline.program plan
-  in
   let policy =
     match scheme with
     | Scheme.Cmtpm -> Sim.Policy.cm_tpm
@@ -70,19 +69,38 @@ let run_cm ?timeline setup scheme p plan =
     | Scheme.Idrpm ->
         Sim.Policy.cm_drpm
   in
-  Sim.Engine.run ~config:setup.sim ~mode:setup.mode ~faults:setup.faults
-    ?timeline policy trace
+  let stream =
+    if setup.stream then
+      Trace.Generate.stream ~config:(gen_config setup) ~batch:setup.batch
+        compiled.Compiler.Pipeline.program plan
+    else
+      Trace.Trace.Stream.of_trace ~batch:setup.batch
+        (Trace.Generate.run ~config:(gen_config setup)
+           compiled.Compiler.Pipeline.program plan)
+  in
+  Sim.Engine.run_stream ~config:setup.sim ~mode:setup.mode
+    ~faults:setup.faults ?timeline policy stream
 
 let run_all ?(setup = default_setup) ?timeline ?(schemes = Scheme.all) p plan =
   let sink_for scheme =
     match timeline with None -> None | Some f -> f scheme
   in
   let p, plan = transformed setup p plan in
+  (* Non-streaming setups generate the trace once and share slices of it
+     across schemes; [setup.stream] trades that sharing for a fused
+     generate→replay per scheme in O(batch) peak memory. *)
   let trace = lazy (Trace.Generate.run ~config:(gen_config setup) p plan) in
+  let stream_of () =
+    if setup.stream then
+      Trace.Generate.stream ~config:(gen_config setup) ~batch:setup.batch p
+        plan
+    else Trace.Trace.Stream.of_trace ~batch:setup.batch (Lazy.force trace)
+  in
   let base =
     lazy
-      (Sim.Engine.run ~config:setup.sim ~mode:setup.mode ~faults:setup.faults
-         ?timeline:(sink_for Scheme.Base) Sim.Policy.base (Lazy.force trace))
+      (Sim.Engine.run_stream ~config:setup.sim ~mode:setup.mode
+         ~faults:setup.faults ?timeline:(sink_for Scheme.Base)
+         Sim.Policy.base (stream_of ()))
   in
   List.map
     (fun scheme ->
@@ -98,16 +116,16 @@ let run_all ?(setup = default_setup) ?timeline ?(schemes = Scheme.all) p plan =
         match scheme with
         | Scheme.Base -> Lazy.force base
         | Scheme.Tpm ->
-            Sim.Engine.run ~config:setup.sim ~mode:setup.mode
+            Sim.Engine.run_stream ~config:setup.sim ~mode:setup.mode
               ~faults:setup.faults ?timeline:(sink_for scheme)
               (Sim.Policy.tpm setup.sim)
-              (Lazy.force trace)
+              (stream_of ())
         | Scheme.Drpm ->
-            let t = Lazy.force trace in
-            Sim.Engine.run ~config:setup.sim ~mode:setup.mode
+            Sim.Engine.run_stream ~config:setup.sim ~mode:setup.mode
               ~faults:setup.faults ?timeline:(sink_for scheme)
-              (Sim.Policy.drpm setup.sim ~ndisks:t.Trace.Trace.ndisks)
-              t
+              (Sim.Policy.drpm setup.sim
+                 ~ndisks:(Dpm_layout.Plan.ndisks plan))
+              (stream_of ())
         | Scheme.Itpm ->
             Sim.Oracle.itpm ~config:setup.sim ?timeline:(sink_for scheme)
               (Lazy.force base)
@@ -116,6 +134,55 @@ let run_all ?(setup = default_setup) ?timeline ?(schemes = Scheme.all) p plan =
               (Lazy.force base)
         | Scheme.Cmtpm | Scheme.Cmdrpm ->
             run_cm ?timeline:(sink_for scheme) setup scheme p plan
+      in
+      (scheme, result))
+    schemes
+
+(* Replay externally-produced streams (trace files, pre-generated
+   traces) under each scheme.  [source] must yield a fresh stream per
+   call — each replay consumes one.  CM schemes replay whatever
+   directives the trace embeds; oracle schemes derive from the shared
+   Base replay as usual. *)
+let replay_all ?(setup = default_setup) ?timeline ?(schemes = Scheme.all)
+    source =
+  let sink_for scheme =
+    match timeline with None -> None | Some f -> f scheme
+  in
+  let replay ?timeline policy =
+    Sim.Engine.run_stream ~config:setup.sim ~mode:setup.mode
+      ~faults:setup.faults ?timeline policy (source ())
+  in
+  let base =
+    lazy (replay ?timeline:(sink_for Scheme.Base) Sim.Policy.base)
+  in
+  List.map
+    (fun scheme ->
+      let result =
+        Telemetry.span
+          ~args:(fun () -> [ ("scheme", Scheme.name scheme) ])
+          Telemetry.global "experiment.scheme"
+        @@ fun () ->
+        match scheme with
+        | Scheme.Base -> Lazy.force base
+        | Scheme.Tpm ->
+            replay ?timeline:(sink_for scheme) (Sim.Policy.tpm setup.sim)
+        | Scheme.Drpm ->
+            let s = source () in
+            Sim.Engine.run_stream ~config:setup.sim ~mode:setup.mode
+              ~faults:setup.faults ?timeline:(sink_for scheme)
+              (Sim.Policy.drpm setup.sim
+                 ~ndisks:(Trace.Trace.Stream.ndisks s))
+              s
+        | Scheme.Itpm ->
+            Sim.Oracle.itpm ~config:setup.sim ?timeline:(sink_for scheme)
+              (Lazy.force base)
+        | Scheme.Idrpm ->
+            Sim.Oracle.idrpm ~config:setup.sim ?timeline:(sink_for scheme)
+              (Lazy.force base)
+        | Scheme.Cmtpm ->
+            replay ?timeline:(sink_for scheme) Sim.Policy.cm_tpm
+        | Scheme.Cmdrpm ->
+            replay ?timeline:(sink_for scheme) Sim.Policy.cm_drpm
       in
       (scheme, result))
     schemes
@@ -170,7 +237,7 @@ let misprediction_pct ?(setup = default_setup) p plan =
   let min_gap = 1.0 in
   let specs = setup.sim.Sim.Config.specs in
   let total = ref 0 and wrong = ref 0 in
-  for disk = 0 to trace.Trace.Trace.ndisks - 1 do
+  for disk = 0 to Trace.Trace.ndisks trace - 1 do
     let oracle_gaps = Sim.Oracle.gap_plans ~config:setup.sim base ~disk in
     let cm =
       List.filter

@@ -14,6 +14,13 @@ type setup = {
       (** Fault injection for every replay of the experiment
           ({!Dpm_sim.Fault.none} disables it; oracle schemes inherit the
           faulted Base replay's counters). *)
+  stream : bool;
+      (** Fused generate→replay: each scheme's replay pulls chunks
+          straight out of the loop-nest walk (O(batch) peak memory on
+          the trace side) instead of slicing a shared materialized
+          trace.  Results are byte-identical either way; streaming
+          trades the one-shared-generation saving for bounded memory. *)
+  batch : int;  (** Stream chunk size in events. *)
 }
 
 val make_setup :
@@ -24,6 +31,8 @@ val make_setup :
   ?seed:int ->
   ?version:Dpm_compiler.Pipeline.version ->
   ?faults:Dpm_sim.Fault.spec ->
+  ?stream:bool ->
+  ?batch:int ->
   unit ->
   setup
 (** Smart constructor: {!default_setup} with fields overridden.  Prefer
@@ -60,6 +69,20 @@ val run_all :
     independently.  Note the shared Base replay runs at most once: its
     sink fills on first force even when Base itself is not in
     [schemes]. *)
+
+val replay_all :
+  ?setup:setup ->
+  ?timeline:(Scheme.t -> Dpm_sim.Timeline.sink option) ->
+  ?schemes:Scheme.t list ->
+  (unit -> Dpm_trace.Trace.Stream.t) ->
+  (Scheme.t * Dpm_sim.Result.t) list
+(** Replay externally-produced trace streams (a saved trace file, a
+    pre-generated trace) under each scheme — no compilation or
+    generation of its own.  [source] must yield a fresh stream per call;
+    every replay consumes one, and Base runs at most once (shared by the
+    oracle schemes) even when not in [schemes].  CM schemes replay the
+    directives already embedded in the trace, so on a directive-free
+    trace they degrade to reactive behavior. *)
 
 val misprediction_pct :
   ?setup:setup -> Dpm_ir.Program.t -> Dpm_layout.Plan.t -> float

@@ -339,7 +339,7 @@ let extensions () =
         let atpm =
           Sim.Engine.run ~config:setup.Experiment.sim
             (Sim.Policy.tpm_adaptive setup.Experiment.sim
-               ~ndisks:trace.Dpm_trace.Trace.ndisks)
+               ~ndisks:(Dpm_trace.Trace.ndisks trace))
             trace
         in
         let tl_all =

@@ -334,7 +334,7 @@ let validate doc =
 
 (* --- benchmark snapshots --- *)
 
-let bench_snapshot ?(histograms = false) ~figures () =
+let bench_snapshot ?(histograms = false) ?(extra = []) ~figures () =
   let fields =
     [
       ("schema", Json.Str bench_schema_version);
@@ -355,7 +355,7 @@ let bench_snapshot ?(histograms = false) ~figures () =
       fields @ [ ("histograms", Telemetry.histograms_json Telemetry.global) ]
     else fields
   in
-  Json.Obj fields
+  Json.Obj (fields @ extra)
 
 let validate_bench doc =
   let errors = ref [] in

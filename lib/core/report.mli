@@ -48,10 +48,15 @@ val validate : Dpm_util.Json.t -> (unit, string list) result
     Used by [dpmsim report-check]. *)
 
 val bench_snapshot :
-  ?histograms:bool -> figures:(string * float) list -> unit -> Dpm_util.Json.t
+  ?histograms:bool ->
+  ?extra:(string * Dpm_util.Json.t) list ->
+  figures:(string * float) list ->
+  unit ->
+  Dpm_util.Json.t
 (** [bench_snapshot ~figures ()] packages per-figure wall-clock seconds
     with the global stage/counter tables (and, when [histograms], the
     registered histogram quantiles) as a {!bench_schema_version}
-    document. *)
+    document.  [extra] fields are appended verbatim (the harness's
+    streaming-vs-materialized memory comparison rides along there). *)
 
 val validate_bench : Dpm_util.Json.t -> (unit, string list) result

@@ -1,14 +1,17 @@
 module Sim = Dpm_sim
 module Workloads = Dpm_workloads
+module Trace = Dpm_trace.Trace
 
 type workload =
   | Benchmark of string
   | Program of Dpm_ir.Program.t * Dpm_layout.Plan.t
+  | Trace_file of string
 
 type error =
   | Unknown_benchmark of string
   | Unknown_scheme of string
   | Invalid_faults of string
+  | Malformed_trace of string
   | Run_failure of string
 
 let suite_names =
@@ -22,6 +25,7 @@ let error_message = function
       Printf.sprintf "unknown scheme %S (expected one of: %s)" s
         (String.concat ", " Scheme.names)
   | Invalid_faults m -> "invalid fault spec: " ^ m
+  | Malformed_trace m -> "malformed trace file: " ^ m
   | Run_failure m -> m
 
 type spec = {
@@ -33,11 +37,24 @@ type spec = {
   version : Dpm_compiler.Pipeline.version option;
   faults : Sim.Fault.spec option;
   timeline : (Scheme.t -> Sim.Timeline.sink option) option;
+  stream : bool option;
+  batch : int option;
 }
 
 let spec ?(schemes = Scheme.all) ?(scheme_names = []) ?setup ?mode ?version
-    ?faults ?timeline workload =
-  { schemes; scheme_names; workload; setup; mode; version; faults; timeline }
+    ?faults ?timeline ?stream ?batch workload =
+  {
+    schemes;
+    scheme_names;
+    workload;
+    setup;
+    mode;
+    version;
+    faults;
+    timeline;
+    stream;
+    batch;
+  }
 
 let ( let* ) = Result.bind
 
@@ -67,7 +84,7 @@ let resolve_faults s =
    calibration replays the workload. *)
 let resolve_bench s =
   match s.workload with
-  | Program _ -> Ok None
+  | Program _ | Trace_file _ -> Ok None
   | Benchmark name -> (
       match
         List.find_opt
@@ -90,24 +107,54 @@ let resolve_setup s bench faults =
   let base =
     match s.version with None -> base | Some version -> { base with version }
   in
-  match faults with None -> base | Some faults -> { base with faults }
+  let base =
+    match faults with None -> base | Some faults -> { base with faults }
+  in
+  let base =
+    match s.stream with None -> base | Some stream -> { base with stream }
+  in
+  match s.batch with None -> base | Some batch -> { base with batch }
+
+(* Replaying a saved trace: the streaming setup re-parses the file per
+   scheme in O(batch) memory; otherwise it is loaded once and sliced.
+   [Trace.Parse_error] is the expected user-input failure here, so it
+   gets its own typed error rather than the generic trap. *)
+let exec_trace_file s (setup : Experiment.setup) schemes path =
+  match
+    let source =
+      if setup.Experiment.stream then fun () ->
+        Trace.Stream.of_file ~batch:setup.Experiment.batch path
+      else begin
+        let trace = Trace.load path in
+        fun () -> Trace.Stream.of_trace ~batch:setup.Experiment.batch trace
+      end
+    in
+    Experiment.replay_all ~setup ?timeline:s.timeline ~schemes source
+  with
+  | results -> Ok results
+  | exception Trace.Parse_error m -> Error (Malformed_trace m)
+  | exception Sys_error m -> Error (Run_failure m)
+  | exception exn -> Error (Run_failure (Printexc.to_string exn))
 
 let exec_all s =
   let* schemes = resolve_schemes s in
   let* faults = resolve_faults s in
   let* bench = resolve_bench s in
   let setup = resolve_setup s bench faults in
-  match
-    let p, plan =
-      match (s.workload, bench) with
-      | Program (p, plan), _ -> (p, plan)
-      | Benchmark _, Some bench -> Experiment.workload bench
-      | Benchmark _, None -> assert false
-    in
-    Experiment.run_all ~setup ?timeline:s.timeline ~schemes p plan
-  with
-  | results -> Ok results
-  | exception exn -> Error (Run_failure (Printexc.to_string exn))
+  match s.workload with
+  | Trace_file path -> exec_trace_file s setup schemes path
+  | Program _ | Benchmark _ -> (
+      match
+        let p, plan =
+          match (s.workload, bench) with
+          | Program (p, plan), _ -> (p, plan)
+          | Benchmark _, Some bench -> Experiment.workload bench
+          | (Benchmark _ | Trace_file _), _ -> assert false
+        in
+        Experiment.run_all ~setup ?timeline:s.timeline ~schemes p plan
+      with
+      | results -> Ok results
+      | exception exn -> Error (Run_failure (Printexc.to_string exn)))
 
 let exec s =
   let* results = exec_all s in

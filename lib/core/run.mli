@@ -19,11 +19,19 @@ type workload =
   | Benchmark of string  (** A suite benchmark by name (resolved here). *)
   | Program of Dpm_ir.Program.t * Dpm_layout.Plan.t
       (** An already-built program and layout plan. *)
+  | Trace_file of string
+      (** A saved trace file ({!Dpm_trace.Trace.save} format), replayed
+          under each scheme via [Experiment.replay_all] — no compilation
+          or generation.  Parse failures come back as
+          {!Malformed_trace}, never as an exception. *)
 
 type error =
   | Unknown_benchmark of string
   | Unknown_scheme of string
   | Invalid_faults of string
+  | Malformed_trace of string
+      (** A [Trace_file] that failed to parse; the message carries
+          [path:line:] context. *)
   | Run_failure of string
       (** An exception trapped while compiling/replaying (its printed
           form). *)
@@ -42,14 +50,19 @@ val spec :
   ?version:Dpm_compiler.Pipeline.version ->
   ?faults:Dpm_sim.Fault.spec ->
   ?timeline:(Scheme.t -> Dpm_sim.Timeline.sink option) ->
+  ?stream:bool ->
+  ?batch:int ->
   workload ->
   spec
 (** [spec workload] runs all seven schemes under a default setup.
     [scheme_names] (checked at {!exec} time) takes precedence over
     [schemes]; [setup] replaces the default setup — for a [Benchmark]
     workload the default inherits the benchmark's calibrated compiler
-    noise — and [mode]/[version]/[faults] override the corresponding
-    setup fields either way.  [timeline] supplies a per-scheme
+    noise — and [mode]/[version]/[faults]/[stream]/[batch] override the
+    corresponding setup fields either way.  [stream] selects the fused
+    O(batch)-memory pipeline (per-scheme regeneration or incremental
+    file parse instead of one shared materialized trace; results are
+    byte-identical).  [timeline] supplies a per-scheme
     {!Dpm_sim.Timeline.sink} (as in [Experiment.run_all]); the caller
     keeps the sinks and reads the logs back after {!exec_all}. *)
 

@@ -7,6 +7,7 @@ type t = {
   drpm_idle_interval : float;
   queue_depth : int;
   pm_call_overhead : float;
+  retain_busy : bool;
 }
 
 let default =
@@ -19,4 +20,5 @@ let default =
     drpm_idle_interval = 1.0;
     queue_depth = 32;
     pm_call_overhead = 2.0e-6;
+    retain_busy = true;
   }

@@ -27,6 +27,12 @@ type t = {
   pm_call_overhead : float;
       (** Cost of executing one inserted power-management call, seconds
           (the paper's [Tm]); charged to compute time in CM schemes. *)
+  retain_busy : bool;
+      (** Record per-request busy intervals in [Result.t] (default).
+          They are O(requests) — the one per-request allocation a replay
+          keeps — so bounded-memory streaming runs (the bench's memory
+          mode) turn this off; oracles and idle-gap analyses need it
+          on. *)
 }
 
 val default : t

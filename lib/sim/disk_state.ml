@@ -14,6 +14,7 @@ type t = {
   specs : Specs.t;
   disk_id : int;
   recorder : Timeline.sink option;
+  retain_busy : bool;
   mutable phase : phase;
   mutable last_update : float;
   mutable total_energy : float;
@@ -28,11 +29,12 @@ type t = {
   mutable failed : bool;
 }
 
-let create ?recorder specs ~id =
+let create ?recorder ?(retain_busy = true) specs ~id =
   {
     specs;
     disk_id = id;
     recorder;
+    retain_busy;
     phase = Ready (Rpm.max_level specs);
     last_update = 0.0;
     total_energy = 0.0;
@@ -242,7 +244,7 @@ let serve t ~now ~bytes =
            bytes;
          });
     t.last_update <- completion;
-    t.busy_rev <- (start, completion) :: t.busy_rev;
+    if t.retain_busy then t.busy_rev <- (start, completion) :: t.busy_rev;
     t.served <- t.served + 1;
     t.idle_start <- completion;
     completion
@@ -261,7 +263,7 @@ let occupy t ~now ~seconds =
       (Timeline.Occupy
          { disk = t.disk_id; level = lvl; t0 = start; t1 = finish });
     t.last_update <- finish;
-    t.busy_rev <- (start, finish) :: t.busy_rev;
+    if t.retain_busy then t.busy_rev <- (start, finish) :: t.busy_rev;
     t.idle_start <- finish;
     finish
   end

@@ -21,11 +21,20 @@ type phase =
 
 type t
 
-val create : ?recorder:Timeline.sink -> Dpm_disk.Specs.t -> id:int -> t
+val create :
+  ?recorder:Timeline.sink ->
+  ?retain_busy:bool ->
+  Dpm_disk.Specs.t ->
+  id:int ->
+  t
 (** A disk starts ready at full speed at time 0.  With a [recorder],
     every charged residency span, service interval and aborted spin-up
     is also emitted as a {!Timeline} event; recording is strictly
-    observational and never alters the accounting. *)
+    observational and never alters the accounting.  [retain_busy]
+    (default true) keeps the per-request busy-interval list behind
+    {!busy_intervals}; turning it off bounds a replay's memory (see
+    {!Dpm_sim.Config}) at the cost of {!busy_intervals}/{!busy_time}
+    returning empty. *)
 
 val id : t -> int
 val phase : t -> phase

@@ -1,30 +1,21 @@
 module Request = Dpm_trace.Request
 module Trace = Dpm_trace.Trace
+module Stream = Dpm_trace.Trace.Stream
 
 type mode = [ `Open | `Closed ]
 
-(* Highest IO block number + 1 — the stripe-unit address space the
-   fault plan's bad regions are drawn over.  Pure in the traces. *)
-let nblocks_of traces =
-  List.fold_left
-    (fun acc (t : Trace.t) ->
-      Array.fold_left
-        (fun acc event ->
-          match event with
-          | Request.Io io -> max acc (io.Request.block + 1)
-          | Request.Pm _ -> acc)
-        acc t.Trace.events)
-    0 traces
-
 (* [None] takes the exact fault-free code path (no extra draws, no float
-   perturbation), keeping zero-fault replays byte-identical. *)
+   perturbation), keeping zero-fault replays byte-identical.  [nblocks]
+   (the stripe-unit address space bad regions are drawn over) is lazy so
+   streaming replays never pay the whole-trace scan unless a fault spec
+   is actually active. *)
 let fault_state faults ~ndisks ~nblocks =
   if Fault.is_zero faults then None
   else begin
     (match Fault.validate faults with
     | Ok _ -> ()
     | Error m -> invalid_arg ("Engine: invalid fault spec: " ^ m));
-    Some (Fault.start (Fault.plan faults ~ndisks ~nblocks))
+    Some (Fault.start (Fault.plan faults ~ndisks ~nblocks:(Lazy.force nblocks)))
   end
 
 (* --- Replay observation (telemetry histograms) ---
@@ -100,12 +91,14 @@ let retries_before obs fault =
   | _ -> 0
 
 let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
-    (trace : Trace.t) =
+    (stream : Stream.t) =
   let specs = config.Config.specs in
   let top = Dpm_disk.Rpm.max_level specs in
-  let ndisks = trace.Trace.ndisks in
+  let ndisks = Stream.ndisks stream in
   let disks =
-    Array.init ndisks (fun id -> Disk_state.create ?recorder:timeline specs ~id)
+    Array.init ndisks (fun id ->
+        Disk_state.create ?recorder:timeline
+          ~retain_busy:config.Config.retain_busy specs ~id)
   in
   let gap_choices = ref [] in
   (* Application clock: in open mode it advances along the traced (base)
@@ -142,7 +135,10 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
           (Timeline.Directive_set_rpm level);
         Disk_state.set_level disks.(disk) ~now:!clock level
   in
-  Array.iter
+  (* Per-event body: identical whatever chunking the stream delivers, so
+     replays are byte-identical to the materialized path at any batch
+     size. *)
+  Stream.iter
     (fun event ->
       clock := !clock +. Request.think event;
       sweep_failures !clock;
@@ -190,8 +186,8 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
                  base-run service time elapses before the next think. *)
               clock := arrival +. nominal
           | `Closed -> clock := completion))
-    trace.Trace.events;
-  clock := !clock +. trace.Trace.tail_think;
+    stream;
+  clock := !clock +. Stream.tail_think stream;
   let exec_time = max !clock !makespan in
   sweep_failures exec_time;
   Array.iter
@@ -203,7 +199,7 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
   | None -> ()
   | Some sink ->
       Timeline.set_label sink ~scheme:policy.Policy.name
-        ~program:trace.Trace.program;
+        ~program:(Stream.program stream);
       Timeline.emit sink (Timeline.Sim_end exec_time));
   let disk_stats =
     Array.map
@@ -222,7 +218,7 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
   in
   {
     Result.scheme = policy.Policy.name;
-    program = trace.Trace.program;
+    program = Stream.program stream;
     exec_time;
     energy =
       Array.fold_left
@@ -250,51 +246,58 @@ let record_replay metrics (result : Result.t) =
   if f.Result.redirects > 0 then
     Dpm_util.Metrics.add metrics "sim.fault.redirects" f.Result.redirects
 
-let run ?(config = Config.default) ?(mode = `Open)
+let run_stream ?(config = Config.default) ?(mode = `Open)
     ?(metrics = Dpm_util.Metrics.global) ?(faults = Fault.none) ?timeline
-    policy trace =
+    policy stream =
   let fault =
-    fault_state faults ~ndisks:trace.Trace.ndisks ~nblocks:(nblocks_of [ trace ])
+    fault_state faults ~ndisks:(Stream.ndisks stream)
+      ~nblocks:(lazy (Stream.nblocks stream))
   in
   let obs = make_obs () in
   let result =
     Dpm_util.Telemetry.span ~metrics
       ~args:(fun () ->
         [
-          ("scheme", policy.Policy.name); ("program", trace.Trace.program);
+          ("scheme", policy.Policy.name); ("program", Stream.program stream);
         ])
       Dpm_util.Telemetry.global "sim.replay"
-      (fun () -> replay ~config ~mode ~fault ~timeline ~obs policy trace)
+      (fun () -> replay ~config ~mode ~fault ~timeline ~obs policy stream)
   in
   flush_obs obs result;
   record_replay metrics result;
   result
 
+let run ?config ?mode ?metrics ?faults ?timeline policy trace =
+  run_stream ?config ?mode ?metrics ?faults ?timeline policy
+    (Stream.of_trace trace)
+
 (* --- Multiprogrammed replay --- *)
 
 type app = {
-  trace : Trace.t;
-  mutable cursor : int;
+  stream : Stream.t;
+  mutable chunk : Request.event array;
+  mutable idx : int;  (** next unprocessed event in [chunk] *)
   mutable clock : float;
   mutable done_ : bool;
 }
 
-let replay_many ~config ~mode ~fault ~timeline ~obs (policy : Policy.t) traces
-    =
-  match traces with
+let replay_many ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
+    streams =
+  match streams with
   | [] -> invalid_arg "Engine.run_many: no traces"
   | first :: rest ->
-      let ndisks = first.Trace.ndisks in
+      let ndisks = Stream.ndisks first in
       List.iter
-        (fun (t : Trace.t) ->
-          if t.Trace.ndisks <> ndisks then
+        (fun s ->
+          if Stream.ndisks s <> ndisks then
             invalid_arg "Engine.run_many: disk counts differ")
         rest;
       let specs = config.Config.specs in
       let top = Dpm_disk.Rpm.max_level specs in
       let disks =
         Array.init ndisks (fun id ->
-            Disk_state.create ?recorder:timeline specs ~id)
+            Disk_state.create ?recorder:timeline
+              ~retain_busy:config.Config.retain_busy specs ~id)
       in
       let gap_choices = ref [] in
       let backlog = Array.make ndisks 0.0 in
@@ -304,13 +307,30 @@ let replay_many ~config ~mode ~fault ~timeline ~obs (policy : Policy.t) traces
       let makespan = ref 0.0 in
       let apps =
         List.map
-          (fun trace -> { trace; cursor = 0; clock = 0.0; done_ = false })
-          traces
+          (fun stream ->
+            { stream; chunk = [||]; idx = 0; clock = 0.0; done_ = false })
+          streams
       in
-      (* Time at which an app's next event becomes runnable. *)
-      let next_time app =
-        if app.cursor >= Array.length app.trace.Trace.events then infinity
-        else app.clock +. Request.think app.trace.Trace.events.(app.cursor)
+      (* Time at which an app's next event becomes runnable, pulling the
+         next chunk on demand.  Exhaustion is discovered here: the tail
+         think is folded into the app clock exactly once, as the
+         materialized path did after its last event. *)
+      let rec next_time app =
+        if app.done_ then infinity
+        else if app.idx < Array.length app.chunk then
+          app.clock +. Request.think app.chunk.(app.idx)
+        else
+          match Stream.next app.stream with
+          | Some chunk ->
+              app.chunk <- chunk;
+              app.idx <- 0;
+              next_time app
+          | None ->
+              app.done_ <- true;
+              app.chunk <- [||];
+              app.clock <- app.clock +. Stream.tail_think app.stream;
+              if app.clock > !makespan then makespan := app.clock;
+              infinity
       in
       let sweep_failures now =
         match fault with
@@ -320,11 +340,11 @@ let replay_many ~config ~mode ~fault ~timeline ~obs (policy : Policy.t) traces
                 Disk_state.fail disks.(d) ~at)
       in
       let step app =
-        let event = app.trace.Trace.events.(app.cursor) in
-        app.cursor <- app.cursor + 1;
+        let event = app.chunk.(app.idx) in
+        app.idx <- app.idx + 1;
         app.clock <- app.clock +. Request.think event;
         sweep_failures app.clock;
-        (match event with
+        match event with
         | Request.Pm { directive; _ } ->
             if policy.Policy.accepts_directives then begin
               app.clock <- app.clock +. config.Config.pm_call_overhead;
@@ -382,21 +402,29 @@ let replay_many ~config ~mode ~fault ~timeline ~obs (policy : Policy.t) traces
               ~nominal;
             (match mode with
             | `Open -> app.clock <- arrival +. nominal
-            | `Closed -> app.clock <- completion));
-        if app.cursor >= Array.length app.trace.Trace.events then begin
-          app.done_ <- true;
-          app.clock <- app.clock +. app.trace.Trace.tail_think;
-          if app.clock > !makespan then makespan := app.clock
-        end
+            | `Closed -> app.clock <- completion)
       in
+      (* At every step the app with the earliest next event proceeds;
+         ties go to the earlier app in list order (as the previous
+         stable sort did). *)
       let rec drive () =
-        let ready =
-          List.filter (fun a -> not a.done_) apps
-          |> List.sort (fun a b -> compare (next_time a) (next_time b))
+        let best =
+          List.fold_left
+            (fun best app ->
+              if app.done_ then best
+              else begin
+                let t = next_time app in
+                if app.done_ then best
+                else
+                  match best with
+                  | Some (_, bt) when bt <= t -> best
+                  | _ -> Some (app, t)
+              end)
+            None apps
         in
-        match ready with
-        | [] -> ()
-        | app :: _ ->
+        match best with
+        | None -> ()
+        | Some (app, _) ->
             step app;
             drive ()
       in
@@ -411,8 +439,7 @@ let replay_many ~config ~mode ~fault ~timeline ~obs (policy : Policy.t) traces
           Disk_state.finalize st ~at:exec_time)
         disks;
       let program =
-        String.concat "+"
-          (List.map (fun (t : Trace.t) -> t.Trace.program) traces)
+        String.concat "+" (List.map (fun s -> Stream.program s) streams)
       in
       (match timeline with
       | None -> ()
@@ -450,15 +477,18 @@ let replay_many ~config ~mode ~fault ~timeline ~obs (policy : Policy.t) traces
           | Some fs -> Fault.stats fs ~exec_time);
       }
 
-let run_many ?(config = Config.default) ?(mode = `Open)
+let run_many_stream ?(config = Config.default) ?(mode = `Open)
     ?(metrics = Dpm_util.Metrics.global) ?(faults = Fault.none) ?timeline
-    policy traces =
+    policy streams =
   let ndisks =
-    match traces with
+    match streams with
     | [] -> invalid_arg "Engine.run_many: no traces"
-    | t :: _ -> t.Trace.ndisks
+    | s :: _ -> Stream.ndisks s
   in
-  let fault = fault_state faults ~ndisks ~nblocks:(nblocks_of traces) in
+  let nblocks =
+    lazy (List.fold_left (fun acc s -> max acc (Stream.nblocks s)) 0 streams)
+  in
+  let fault = fault_state faults ~ndisks ~nblocks in
   let obs = make_obs () in
   let result =
     Dpm_util.Telemetry.span ~metrics
@@ -466,12 +496,17 @@ let run_many ?(config = Config.default) ?(mode = `Open)
         [
           ("scheme", policy.Policy.name);
           ( "program",
-            String.concat "+"
-              (List.map (fun (t : Trace.t) -> t.Trace.program) traces) );
+            String.concat "+" (List.map (fun s -> Stream.program s) streams)
+          );
         ])
       Dpm_util.Telemetry.global "sim.replay"
-      (fun () -> replay_many ~config ~mode ~fault ~timeline ~obs policy traces)
+      (fun () ->
+        replay_many ~config ~mode ~fault ~timeline ~obs policy streams)
   in
   flush_obs obs result;
   record_replay metrics result;
   result
+
+let run_many ?config ?mode ?metrics ?faults ?timeline policy traces =
+  run_many_stream ?config ?mode ?metrics ?faults ?timeline policy
+    (List.map Stream.of_trace traces)

@@ -26,6 +26,40 @@
 
 type mode = [ `Open | `Closed ]
 
+val run_stream :
+  ?config:Config.t ->
+  ?mode:mode ->
+  ?metrics:Dpm_util.Metrics.t ->
+  ?faults:Fault.spec ->
+  ?timeline:Timeline.sink ->
+  Policy.t ->
+  Dpm_trace.Trace.Stream.t ->
+  Result.t
+(** Replays a pull-based trace stream chunk by chunk — the engine's
+    core entry point; {!run} is the materialized wrapper over it.  The
+    per-event body is independent of chunking, so the result is
+    byte-identical to replaying the materialized trace whatever the
+    stream's batch size.  Peak memory is O(batch) on the trace side;
+    with a fused producer ({!Dpm_trace.Generate.stream}) generation and
+    replay interleave so the whole pipeline is bounded.  The stream's
+    [nblocks] is forced only when [faults] is a non-zero spec (the bad
+    regions are drawn over that address space), and its [tail_think]
+    only after exhaustion.  The stream is consumed: a second replay
+    needs a fresh stream. *)
+
+val run_many_stream :
+  ?config:Config.t ->
+  ?mode:mode ->
+  ?metrics:Dpm_util.Metrics.t ->
+  ?faults:Fault.spec ->
+  ?timeline:Timeline.sink ->
+  Policy.t ->
+  Dpm_trace.Trace.Stream.t list ->
+  Result.t
+(** Multiprogrammed {!run_stream}: each application pulls chunks from
+    its own stream on demand (see {!run_many} for the scheduling
+    model).  All streams must agree on the disk count. *)
+
 val run :
   ?config:Config.t ->
   ?mode:mode ->

@@ -2,9 +2,12 @@ type config = { cost : Dpm_ir.Cost.model; cache_blocks : int }
 
 let default_config = { cost = Dpm_ir.Cost.default; cache_blocks = 1024 }
 
-let generate ~config (p : Dpm_ir.Program.t) plan =
+(* Core loop-nest walk, parameterized over the event sink so the same
+   code (same LRU cache, same cost model, same emission order) backs
+   both the materializing [generate] and the chunked [stream].  Returns
+   the tail think time left pending after the last event. *)
+let walk ~config (p : Dpm_ir.Program.t) plan ~emit =
   let cache = Dpm_cache.Lru.create ~capacity:config.cache_blocks in
-  let events = ref [] in
   let pending_cycles = ref 0 in
   let current_iter = ref 0 in
   let flush_think () =
@@ -24,19 +27,17 @@ let generate ~config (p : Dpm_ir.Program.t) plan =
     match Dpm_cache.Lru.access cache (r.array, u) with
     | `Hit -> ()
     | `Miss _ ->
-        let io =
-          Request.Io
-            {
-              think = flush_think ();
-              disk = Dpm_layout.Plan.unit_disk plan r.array u;
-              block = Dpm_layout.Plan.unit_global_block plan r.array u;
-              bytes = unit_bytes r.array u;
-              kind;
-              nest;
-              iter = !current_iter;
-            }
-        in
-        events := io :: !events
+        emit
+          (Request.Io
+             {
+               think = flush_think ();
+               disk = Dpm_layout.Plan.unit_disk plan r.array u;
+               block = Dpm_layout.Plan.unit_global_block plan r.array u;
+               bytes = unit_bytes r.array u;
+               kind;
+               nest;
+               iter = !current_iter;
+             })
   in
   let callbacks =
     {
@@ -61,11 +62,15 @@ let generate ~config (p : Dpm_ir.Program.t) plan =
             | Dpm_ir.Loop.Set_rpm { level; disk } ->
                 Request.Set_rpm { level; disk }
           in
-          events := Request.Pm { think = flush_think (); directive } :: !events);
+          emit (Request.Pm { think = flush_think (); directive }));
     }
   in
   Dpm_ir.Enumerate.run callbacks p;
-  let tail_think = flush_think () in
+  flush_think ()
+
+let generate ~config (p : Dpm_ir.Program.t) plan =
+  let events = ref [] in
+  let tail_think = walk ~config p plan ~emit:(fun e -> events := e :: !events) in
   Trace.make ~tail_think ~program:p.Dpm_ir.Program.name
     ~ndisks:(Dpm_layout.Plan.ndisks plan)
     (List.rev !events)
@@ -78,7 +83,39 @@ let run ?(config = default_config) ?(metrics = Dpm_util.Metrics.global) p plan
       Dpm_util.Telemetry.global "trace.gen"
       (fun () -> generate ~config p plan)
   in
-  Dpm_util.Metrics.add metrics "trace.events" (Array.length trace.Trace.events);
+  Dpm_util.Metrics.add metrics "trace.events" (Trace.event_count trace);
   trace
+
+(* Re-runs the walk with a max-tracking sink: the exact block-address
+   space ([max block + 1]) a materialized run of the same program would
+   have, without retaining any events.  Forced only by fault-injected
+   streaming replays. *)
+let max_block ?(config = default_config) p plan =
+  let acc = ref 0 in
+  let (_ : float) =
+    walk ~config p plan ~emit:(function
+      | Request.Io io -> acc := max !acc (io.Request.block + 1)
+      | Request.Pm _ -> ())
+  in
+  !acc
+
+let stream ?(config = default_config) ?(metrics = Dpm_util.Metrics.global)
+    ?batch p plan =
+  (* No span here: the walk runs interleaved with the consumer's replay,
+     so its wall time is not a meaningful stage on its own.  The event
+     count is still recorded, once, when the producer finishes. *)
+  let count = ref 0 in
+  Trace.Stream.of_push ?batch
+    ~nblocks:(lazy (max_block ~config p plan))
+    ~program:p.Dpm_ir.Program.name
+    ~ndisks:(Dpm_layout.Plan.ndisks plan)
+    (fun ~emit ->
+      let tail =
+        walk ~config p plan ~emit:(fun e ->
+            incr count;
+            emit e)
+      in
+      Dpm_util.Metrics.add metrics "trace.events" !count;
+      tail)
 
 let request_count ?config p plan = Trace.io_count (run ?config p plan)

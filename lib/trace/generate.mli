@@ -32,6 +32,27 @@ val run :
     [trace.events] counter of [metrics] (default
     {!Dpm_util.Metrics.global}, a no-op unless enabled). *)
 
+val stream :
+  ?config:config ->
+  ?metrics:Dpm_util.Metrics.t ->
+  ?batch:int ->
+  Dpm_ir.Program.t ->
+  Dpm_layout.Plan.t ->
+  Trace.Stream.t
+(** Fused producer: the same loop-nest walk as {!run} (identical LRU
+    cache state, cost model and emission order) suspended every [batch]
+    events and resumed by the consumer's pull — generation and replay
+    interleave in O(batch) peak memory.  The stream's [tail_think]
+    becomes available at exhaustion; its [nblocks] re-runs the walk
+    with a max-tracking sink when forced (fault-injected replays only).
+    The [trace.events] counter is bumped once, when the producer
+    finishes. *)
+
+val max_block :
+  ?config:config -> Dpm_ir.Program.t -> Dpm_layout.Plan.t -> int
+(** Highest IO block number + 1 the run touches, computed without
+    retaining events (the fault layer's address space). *)
+
 val request_count :
   ?config:config -> Dpm_ir.Program.t -> Dpm_layout.Plan.t -> int
 (** Convenience: number of I/O requests the run produces. *)

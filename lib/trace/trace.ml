@@ -1,3 +1,5 @@
+exception Parse_error of string
+
 type t = {
   program : string;
   ndisks : int;
@@ -5,16 +7,26 @@ type t = {
   tail_think : float;
 }
 
+(* Alias so [Stream]'s own [t] can still name the materialized type. *)
+type trace = t
+
+let check_event ~ndisks = function
+  | Request.Io io ->
+      if io.disk < 0 || io.disk >= ndisks then
+        invalid_arg "Trace.make: request disk out of range"
+  | Request.Pm _ -> ()
+
 let make ?(tail_think = 0.0) ~program ~ndisks events =
   if ndisks <= 0 then invalid_arg "Trace.make: non-positive disk count";
-  Array.iter
-    (function
-      | Request.Io io ->
-          if io.disk < 0 || io.disk >= ndisks then
-            invalid_arg "Trace.make: request disk out of range"
-      | Request.Pm _ -> ())
-    (Array.of_list events);
-  { program; ndisks; events = Array.of_list events; tail_think }
+  let events = Array.of_list events in
+  Array.iter (check_event ~ndisks) events;
+  { program; ndisks; events; tail_think }
+
+let program t = t.program
+let ndisks t = t.ndisks
+let tail_think t = t.tail_think
+let events t = Array.copy t.events
+let event_count t = Array.length t.events
 
 let io_count t =
   Array.fold_left
@@ -74,25 +86,267 @@ let save t path =
         t.tail_think;
       Array.iter (fun e -> output_string oc (Request.to_line e ^ "\n")) t.events)
 
-let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let header = input_line ic in
-      let program, ndisks, tail_think =
-        try
-          Scanf.sscanf header "# program=%s@ ndisks=%d tail=%f" (fun p n t ->
-              (p, n, t))
-        with Scanf.Scan_failure _ | End_of_file ->
-          failwith "Trace.load: malformed header"
-      in
-      let events = ref [] in
-      (try
-         while true do
-           let line = input_line ic in
-           if String.trim line <> "" then
-             events := Request.of_line line :: !events
-         done
-       with End_of_file -> ());
-      make ~tail_think ~program ~ndisks (List.rev !events))
+(* Highest IO block number + 1 over a chunk, folded from [acc] — the
+   stripe-unit address space fault plans are drawn over.  Must match
+   what a whole-array scan of the same events yields so fault-injected
+   streaming replays stay byte-identical to materialized ones. *)
+let max_nblocks_chunk acc chunk =
+  Array.fold_left
+    (fun acc -> function
+      | Request.Io io -> max acc (io.Request.block + 1)
+      | Request.Pm _ -> acc)
+    acc chunk
+
+module Stream = struct
+  type nonrec t = {
+    program : string;
+    ndisks : int;
+    batch : int;
+    nblocks : int Lazy.t;
+    mutable tail : float option;
+    mutable pull : unit -> Request.event array option;
+    mutable exhausted : bool;
+  }
+
+  let default_batch = 4096
+  let program s = s.program
+  let ndisks s = s.ndisks
+  let batch s = s.batch
+  let nblocks s = Lazy.force s.nblocks
+
+  let tail_think s =
+    match s.tail with
+    | Some v -> v
+    | None ->
+        invalid_arg
+          "Trace.Stream.tail_think: unknown until the stream is exhausted"
+
+  let make ?(batch = default_batch) ?tail ~nblocks ~program ~ndisks pull =
+    if batch <= 0 then invalid_arg "Trace.Stream.make: non-positive batch";
+    if ndisks <= 0 then
+      invalid_arg "Trace.Stream.make: non-positive disk count";
+    { program; ndisks; batch; nblocks; tail; pull; exhausted = false }
+
+  let rec next s =
+    if s.exhausted then None
+    else
+      match s.pull () with
+      | None ->
+          s.exhausted <- true;
+          None
+      | Some chunk when Array.length chunk = 0 -> next s
+      | some -> some
+
+  let iter f s =
+    let rec loop () =
+      match next s with
+      | Some chunk ->
+          Array.iter f chunk;
+          loop ()
+      | None -> ()
+    in
+    loop ()
+
+  let of_trace ?(batch = default_batch) (tr : trace) =
+    let n = Array.length tr.events in
+    let pos = ref 0 in
+    make ~batch ~tail:tr.tail_think
+      ~nblocks:(lazy (max_nblocks_chunk 0 tr.events))
+      ~program:tr.program ~ndisks:tr.ndisks
+      (fun () ->
+        if !pos >= n then None
+        else begin
+          let len = min batch (n - !pos) in
+          let chunk = Array.sub tr.events !pos len in
+          pos := !pos + len;
+          Some chunk
+        end)
+
+  (* --- Push-to-pull inversion via effects ---
+
+     A producer written as a plain [emit]-calling loop (the trace
+     generator's loop-nest walk) is suspended each time a full chunk is
+     ready and resumed by the consumer's next [pull] — so generation and
+     replay interleave with only one chunk live at a time. *)
+
+  type _ Effect.t += Yield : Request.event array -> unit Effect.t
+
+  let of_push ?(batch = default_batch) ?tail ~nblocks ~program ~ndisks produce
+      =
+    if batch <= 0 then invalid_arg "Trace.Stream.of_push: non-positive batch";
+    let stream =
+      make ~batch ?tail ~nblocks ~program ~ndisks (fun () -> None)
+    in
+    (* Chunk buffer shared between suspensions of the producer. *)
+    let dummy = Request.Pm { think = 0.0; directive = Request.Spin_up 0 } in
+    let buf = Array.make batch dummy in
+    let fill = ref 0 in
+    let emit e =
+      buf.(!fill) <- e;
+      incr fill;
+      if !fill = batch then begin
+        fill := 0;
+        Effect.perform (Yield (Array.copy buf))
+      end
+    in
+    let resume = ref (fun () -> None) in
+    let open Effect.Deep in
+    let start () =
+      match_with
+        (fun () ->
+          let tail = produce ~emit in
+          if !fill > 0 then begin
+            let chunk = Array.sub buf 0 !fill in
+            fill := 0;
+            Effect.perform (Yield chunk)
+          end;
+          stream.tail <- Some tail;
+          None)
+        ()
+        {
+          retc = Fun.id;
+          exnc = raise;
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Yield chunk ->
+                  Some
+                    (fun (k : (a, Request.event array option) continuation) ->
+                      let k : (unit, Request.event array option) continuation
+                          =
+                        k
+                      in
+                      resume := (fun () -> continue k ());
+                      Some chunk)
+              | _ -> None);
+        }
+    in
+    resume := start;
+    stream.pull <- (fun () -> !resume ());
+    stream
+
+  (* --- Incremental parse of the line-oriented trace format --- *)
+
+  let parse_error path lineno msg =
+    raise (Parse_error (Printf.sprintf "%s:%d: %s" path lineno msg))
+
+  let read_header path ic =
+    let header =
+      try input_line ic with End_of_file -> parse_error path 1 "empty file"
+    in
+    try
+      Scanf.sscanf header "# program=%s@ ndisks=%d tail=%f" (fun p n t ->
+          (p, n, t))
+    with Scanf.Scan_failure _ | End_of_file | Failure _ ->
+      parse_error path 1
+        "malformed header (expected '# program=NAME ndisks=N tail=SECONDS')"
+
+  let parse_line path ~ndisks ~lineno line =
+    let event =
+      try Request.of_line line with Failure msg -> parse_error path lineno msg
+    in
+    (match event with
+    | Request.Io io when io.disk < 0 || io.disk >= ndisks ->
+        parse_error path lineno
+          (Printf.sprintf "request disk %d out of range (ndisks=%d)" io.disk
+             ndisks)
+    | _ -> ());
+    event
+
+  (* Second pass over the file for the fault layer's block-address
+     space; forced only when a fault spec is active. *)
+  let scan_nblocks path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let ndisks =
+          let _, ndisks, _ = read_header path ic in
+          ndisks
+        in
+        let acc = ref 0 in
+        let lineno = ref 1 in
+        (try
+           while true do
+             let line = input_line ic in
+             incr lineno;
+             if String.trim line <> "" then
+               match parse_line path ~ndisks ~lineno:!lineno line with
+               | Request.Io io -> acc := max !acc (io.Request.block + 1)
+               | Request.Pm _ -> ()
+           done
+         with End_of_file -> ());
+        !acc)
+
+  let of_file ?(batch = default_batch) path =
+    let ic = open_in path in
+    let program, ndisks, tail =
+      try read_header path ic
+      with e ->
+        close_in_noerr ic;
+        raise e
+    in
+    if ndisks <= 0 then begin
+      close_in_noerr ic;
+      parse_error path 1 "non-positive disk count"
+    end;
+    let lineno = ref 1 in
+    let closed = ref false in
+    let finish () =
+      if not !closed then begin
+        closed := true;
+        close_in ic
+      end
+    in
+    make ~batch ~tail
+      ~nblocks:(lazy (scan_nblocks path))
+      ~program ~ndisks
+      (fun () ->
+        if !closed then None
+        else begin
+          let rev = ref [] in
+          let count = ref 0 in
+          (try
+             while !count < batch do
+               let line = input_line ic in
+               incr lineno;
+               if String.trim line <> "" then begin
+                 let event =
+                   try parse_line path ~ndisks ~lineno:!lineno line
+                   with e ->
+                     finish ();
+                     raise e
+                 in
+                 rev := event :: !rev;
+                 incr count
+               end
+             done
+           with End_of_file -> finish ());
+          if !count = 0 then begin
+            finish ();
+            None
+          end
+          else Some (Array.of_list (List.rev !rev))
+        end)
+
+  let to_trace s =
+    let chunks = ref [] in
+    let rec loop () =
+      match next s with
+      | Some chunk ->
+          chunks := chunk :: !chunks;
+          loop ()
+      | None -> ()
+    in
+    loop ();
+    let events = Array.concat (List.rev !chunks) in
+    Array.iter (check_event ~ndisks:s.ndisks) events;
+    {
+      program = s.program;
+      ndisks = s.ndisks;
+      events;
+      tail_think = tail_think s;
+    }
+end
+
+let load path = Stream.to_trace (Stream.of_file path)

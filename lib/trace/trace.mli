@@ -1,21 +1,43 @@
-(** Trace containers.
+(** Trace containers and bounded-memory trace streams.
 
     A trace is the ordered event stream of one application run together
     with the subsystem metadata the simulator needs (program name, disk
     count).  Traces can be saved to and reloaded from a line-oriented text
     format, mirroring the externally-provided trace files of the paper's
-    setup. *)
+    setup.
 
-type t = {
-  program : string;
-  ndisks : int;
-  events : Request.event array;
-  tail_think : float;
-      (** Compute time after the last event completes, seconds. *)
-}
+    [t] is the fully materialized form — the whole run in one array —
+    which whole-trace tools (Table 2 counts, {!without_pm}, {!save})
+    need.  The replay engine itself consumes {!Stream.t}, a pull-based
+    chunked view, so fused generate→replay pipelines run in O(batch)
+    peak memory; {!Stream.of_trace} bridges the two. *)
+
+exception Parse_error of string
+(** Malformed trace file; the message carries [path:line:] context. *)
+
+type t
+(** Abstract: construct with {!make} (or {!load}), inspect through the
+    accessors below. *)
+
+type trace = t
+(** Alias for referring to the materialized type where [t] is shadowed
+    (notably inside {!Stream}). *)
 
 val make :
   ?tail_think:float -> program:string -> ndisks:int -> Request.event list -> t
+(** Validates every IO's disk index against [ndisks]; raises
+    [Invalid_argument] on a violation or a non-positive disk count. *)
+
+val program : t -> string
+val ndisks : t -> int
+
+val tail_think : t -> float
+(** Compute time after the last event completes, seconds. *)
+
+val events : t -> Request.event array
+(** Fresh copy of the event array (callers cannot mutate the trace). *)
+
+val event_count : t -> int
 
 val io_count : t -> int
 (** Number of I/O requests (Table 2 "Num of Disk Reqs"). *)
@@ -45,4 +67,86 @@ val save : t -> string -> unit
     line. *)
 
 val load : string -> t
-(** Inverse of {!save}; raises [Failure] on malformed files. *)
+(** Inverse of {!save}: materializes {!Stream.of_file}.  Raises
+    {!Parse_error} (with file/line context) on malformed files. *)
+
+val max_nblocks_chunk : int -> Request.event array -> int
+(** [max_nblocks_chunk acc chunk] folds the highest IO block number + 1
+    over [chunk], starting from [acc] — the stripe-unit address space
+    fault plans are drawn over. *)
+
+(** Pull-based, batched request streams.
+
+    A stream yields the run as successive non-empty
+    [Request.event array] chunks (bounded by {!batch}) with the
+    stream-level metadata — {!program}, {!ndisks}, and (once known)
+    {!tail_think} — available alongside.  Chunk boundaries are an
+    implementation detail: consumers that fold each chunk element-wise
+    in order compute exactly what they would over the whole array, so
+    replays are byte-identical at any batch size. *)
+module Stream : sig
+  type nonrec t
+
+  val default_batch : int
+  (** 4096 events per chunk. *)
+
+  val make :
+    ?batch:int ->
+    ?tail:float ->
+    nblocks:int Lazy.t ->
+    program:string ->
+    ndisks:int ->
+    (unit -> Request.event array option) ->
+    t
+  (** Wrap a raw pull function.  [tail] may be omitted when the
+      producer only learns it at exhaustion (see {!of_push}).
+      [nblocks] is forced only by consumers that need the block-address
+      space up front (the fault planner). *)
+
+  val of_trace : ?batch:int -> trace -> t
+  (** Compat producer: slices of a materialized trace.  [tail_think]
+      and [nblocks] come for free. *)
+
+  val of_push :
+    ?batch:int ->
+    ?tail:float ->
+    nblocks:int Lazy.t ->
+    program:string ->
+    ndisks:int ->
+    (emit:(Request.event -> unit) -> float) ->
+    t
+  (** Invert a push-style producer: [produce ~emit] is run as a
+      coroutine (OCaml effects) that is suspended every [batch] emitted
+      events and resumed on demand.  Its return value becomes the
+      stream's [tail_think], available once the stream is exhausted. *)
+
+  val of_file : ?batch:int -> string -> t
+  (** Incremental parse of the {!save} line format.  The header is read
+      eagerly (so metadata is available immediately); events are parsed
+      chunk by chunk on demand.  Raises {!Parse_error} with
+      [path:line:] context on malformed headers, malformed event lines,
+      and out-of-range disk indices.  [nblocks] re-scans the file on a
+      second channel when forced. *)
+
+  val to_trace : t -> trace
+  (** Drain the stream into a materialized trace (validating disk
+      ranges like {!make}). *)
+
+  val next : t -> Request.event array option
+  (** Next non-empty chunk, or [None] once exhausted (and forever
+      after — the exhaustion latch makes repeated calls safe). *)
+
+  val iter : (Request.event -> unit) -> t -> unit
+  (** Drain the stream, applying [f] to every event in order. *)
+
+  val program : t -> string
+  val ndisks : t -> int
+  val batch : t -> int
+
+  val nblocks : t -> int
+  (** Highest IO block number + 1 (forces the lazy scan). *)
+
+  val tail_think : t -> float
+  (** Raises [Invalid_argument] if the stream's tail is not yet known —
+      for {!of_push} streams that is before exhaustion. *)
+end

@@ -1,0 +1,503 @@
+(* Streaming ≡ materialized: the PR-5 acceptance property.  The replay
+   engine's per-event body is shared between [Engine.run] and
+   [Engine.run_stream], so any divergence here means a chunk boundary
+   leaked into the semantics. *)
+
+module Request = Dpm_trace.Request
+module Trace = Dpm_trace.Trace
+module Stream = Trace.Stream
+module Generate = Dpm_trace.Generate
+module Engine = Dpm_sim.Engine
+module Policy = Dpm_sim.Policy
+module Config = Dpm_sim.Config
+module Fault = Dpm_sim.Fault
+module Timeline = Dpm_sim.Timeline
+module Result = Dpm_sim.Result
+module Parser = Dpm_ir.Parser
+module Plan = Dpm_layout.Plan
+module Scheme = Dpm_core.Scheme
+module Experiment = Dpm_core.Experiment
+module Run = Dpm_core.Run
+module Pool = Dpm_util.Pool
+
+let kib = Dpm_util.Units.kib
+
+let sample_events =
+  [
+    Request.Io
+      {
+        think = 0.001;
+        disk = 0;
+        block = 4;
+        bytes = kib 64;
+        kind = Request.Read;
+        nest = 0;
+        iter = 0;
+      };
+    Request.Io
+      {
+        think = 0.002;
+        disk = 1;
+        block = 9;
+        bytes = kib 64;
+        kind = Request.Write;
+        nest = 0;
+        iter = 1;
+      };
+    Request.Pm { think = 0.5; directive = Request.Spin_down 2 };
+    Request.Io
+      {
+        think = 0.0;
+        disk = 3;
+        block = 17;
+        bytes = 512;
+        kind = Request.Read;
+        nest = 1;
+        iter = 2;
+      };
+    Request.Pm { think = 0.0; directive = Request.Spin_up 2 };
+    Request.Io
+      {
+        think = 0.004;
+        disk = 2;
+        block = 3;
+        bytes = kib 8;
+        kind = Request.Write;
+        nest = 1;
+        iter = 3;
+      };
+    Request.Pm
+      { think = 1e-6; directive = Request.Set_rpm { level = 2; disk = 1 } };
+    Request.Io
+      {
+        think = 0.001;
+        disk = 0;
+        block = 5;
+        bytes = kib 64;
+        kind = Request.Read;
+        nest = 0;
+        iter = 4;
+      };
+  ]
+
+let sample_trace () =
+  Trace.make ~tail_think:0.25 ~program:"smp" ~ndisks:4 sample_events
+
+let lines t = Array.to_list (Array.map Request.to_line (Trace.events t))
+
+(* --- Stream producers: unit behavior --- *)
+
+let test_of_trace_chunking () =
+  let t = sample_trace () in
+  let s = Stream.of_trace ~batch:3 t in
+  Alcotest.(check string) "program" "smp" (Stream.program s);
+  Alcotest.(check int) "ndisks" 4 (Stream.ndisks s);
+  Alcotest.(check int) "batch" 3 (Stream.batch s);
+  Alcotest.(check (float 1e-9)) "tail known up front" 0.25
+    (Stream.tail_think s);
+  Alcotest.(check int) "nblocks" 18 (Stream.nblocks s);
+  let sizes = ref [] in
+  let rec drain () =
+    match Stream.next s with
+    | Some chunk ->
+        sizes := Array.length chunk :: !sizes;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "chunk sizes" [ 3; 3; 2 ] (List.rev !sizes);
+  Alcotest.(check bool) "exhaustion latched" true (Stream.next s = None)
+
+let test_of_push_coroutine () =
+  let produce ~emit =
+    List.iter emit sample_events;
+    0.75
+  in
+  let s =
+    Stream.of_push ~batch:2 ~nblocks:(lazy 18) ~program:"push" ~ndisks:4
+      produce
+  in
+  Alcotest.check_raises "tail unknown before exhaustion"
+    (Invalid_argument
+       "Trace.Stream.tail_think: unknown until the stream is exhausted")
+    (fun () -> ignore (Stream.tail_think s));
+  let got = ref [] in
+  Stream.iter (fun e -> got := e :: !got) s;
+  Alcotest.(check int) "all events" (List.length sample_events)
+    (List.length !got);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "same order" (Request.to_line a)
+        (Request.to_line b))
+    sample_events (List.rev !got);
+  Alcotest.(check (float 1e-9)) "tail from producer return" 0.75
+    (Stream.tail_think s)
+
+let test_to_trace_roundtrip () =
+  let t = sample_trace () in
+  List.iter
+    (fun batch ->
+      let t' = Stream.to_trace (Stream.of_trace ~batch t) in
+      Alcotest.(check (list string)) "events survive" (lines t) (lines t');
+      Alcotest.(check (float 1e-9)) "tail survives" (Trace.tail_think t)
+        (Trace.tail_think t'))
+    [ 1; 3; 4096 ]
+
+let simple_program () =
+  Parser.program ~name:"gen"
+    {|
+array A[32] : 8192
+array B[32] : 8192
+for t = 1 to 2 {
+  for i = 0 to 31 { B[i] = A[i] work 1000 }
+}
+|}
+
+let test_generate_stream_matches_run () =
+  let p = simple_program () in
+  let plan = Plan.uniform ~ndisks:8 p in
+  let t = Generate.run p plan in
+  List.iter
+    (fun batch ->
+      let s = Generate.stream ~batch p plan in
+      Alcotest.(check int) "nblocks matches scan"
+        (Trace.max_nblocks_chunk 0 (Trace.events t))
+        (Stream.nblocks s);
+      let t' = Stream.to_trace s in
+      Alcotest.(check (list string)) "same events" (lines t) (lines t');
+      Alcotest.(check (float 1e-9)) "same tail" (Trace.tail_think t)
+        (Trace.tail_think t'))
+    [ 1; 7; 4096 ]
+
+(* --- Incremental file parsing --- *)
+
+let with_temp_file write f =
+  let path = Filename.temp_file "dpm_stream" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write path;
+      f path)
+
+let test_of_file_roundtrip () =
+  let t = sample_trace () in
+  with_temp_file (Trace.save t) (fun path ->
+      let s = Stream.of_file ~batch:3 path in
+      Alcotest.(check string) "header program" "smp" (Stream.program s);
+      Alcotest.(check int) "header ndisks" 4 (Stream.ndisks s);
+      Alcotest.(check int) "nblocks rescans" 18 (Stream.nblocks s);
+      let t' = Stream.to_trace s in
+      Alcotest.(check (list string)) "events survive" (lines t) (lines t');
+      Alcotest.(check (float 1e-9)) "tail survives" 0.25 (Trace.tail_think t'))
+
+let expect_parse_error ~substring path =
+  try
+    ignore (Stream.to_trace (Stream.of_file path));
+    Alcotest.fail "expected Parse_error"
+  with Trace.Parse_error m ->
+    let has sub =
+      let n = String.length sub in
+      let ok = ref false in
+      for i = 0 to String.length m - n do
+        if String.sub m i n = sub then ok := true
+      done;
+      !ok
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S carries %S" m substring)
+      true
+      (has path && has substring)
+
+let test_of_file_errors () =
+  with_temp_file
+    (fun path ->
+      let oc = open_out path in
+      output_string oc "not a header\n";
+      close_out oc)
+    (expect_parse_error ~substring:":1:");
+  with_temp_file
+    (fun path ->
+      let oc = open_out path in
+      output_string oc "# program=p ndisks=4 tail=0.0\n";
+      output_string oc (Request.to_line (List.hd sample_events) ^ "\n");
+      output_string oc "io sideways\n";
+      close_out oc)
+    (expect_parse_error ~substring:":3:");
+  with_temp_file
+    (fun path ->
+      let oc = open_out path in
+      output_string oc "# program=p ndisks=2 tail=0.0\n";
+      output_string oc
+        (Request.to_line
+           (Request.Io
+              {
+                think = 0.0;
+                disk = 7;
+                block = 0;
+                bytes = 512;
+                kind = Request.Read;
+                nest = 0;
+                iter = 0;
+              })
+        ^ "\n");
+      close_out oc)
+    (expect_parse_error ~substring:"disk")
+
+(* --- Engine equivalence: the core property --- *)
+
+let policies config ~ndisks =
+  [
+    ("base", fun () -> Policy.base);
+    ("tpm", fun () -> Policy.tpm config);
+    ("drpm", fun () -> Policy.drpm config ~ndisks);
+    ("cm_tpm", fun () -> Policy.cm_tpm);
+    ("cm_drpm", fun () -> Policy.cm_drpm);
+  ]
+
+let fault_spec =
+  Fault.make ~seed:11 ~read_error_rate:0.05 ~bad_unit_rate:0.05
+    ~spin_up_failure_rate:0.3
+    ~disk_failures:[ (0, 0.5) ]
+    ()
+
+let replay_pair ?(config = Config.default) ~faults ~batch mk trace =
+  let sink_m = Timeline.sink () and sink_s = Timeline.sink () in
+  let r_m = Engine.run ~config ~faults ~timeline:sink_m (mk ()) trace in
+  let r_s =
+    Engine.run_stream ~config ~faults ~timeline:sink_s (mk ())
+      (Stream.of_trace ~batch trace)
+  in
+  ( (r_m, Timeline.events (Timeline.contents sink_m)),
+    (r_s, Timeline.events (Timeline.contents sink_s)) )
+
+let gen_event ndisks =
+  QCheck2.Gen.(
+    frequency
+      [
+        ( 8,
+          map
+            (fun (think, disk, block, big, read, iter) ->
+              Request.Io
+                {
+                  think;
+                  disk;
+                  block;
+                  bytes = (if big then kib 64 else 512);
+                  kind = (if read then Request.Read else Request.Write);
+                  nest = iter mod 3;
+                  iter;
+                })
+            (tup6
+               (float_bound_inclusive 0.02)
+               (int_bound (ndisks - 1))
+               (int_bound 63) bool bool (int_bound 500)) );
+        ( 2,
+          map
+            (fun (think, disk, which) ->
+              let directive =
+                match which mod 3 with
+                | 0 -> Request.Spin_down disk
+                | 1 -> Request.Spin_up disk
+                | _ -> Request.Set_rpm { level = which mod 5; disk }
+              in
+              Request.Pm { think; directive })
+            (tup3
+               (float_bound_inclusive 1.0)
+               (int_bound (ndisks - 1))
+               (int_bound 29)) );
+      ])
+
+let gen_trace =
+  QCheck2.Gen.(
+    let ndisks = 4 in
+    map
+      (fun (events, tail) ->
+        Trace.make ~tail_think:tail ~program:"q" ~ndisks events)
+      (tup2
+         (list_size (int_range 0 120) (gen_event ndisks))
+         (float_bound_inclusive 2.0)))
+
+let qcheck_engine_equiv =
+  QCheck2.Test.make ~count:25
+    ~name:"stream: Engine.run_stream ≡ Engine.run (policies × batches × faults)"
+    gen_trace
+    (fun trace ->
+      let ndisks = Trace.ndisks trace in
+      List.for_all
+        (fun (_, mk) ->
+          List.for_all
+            (fun batch ->
+              List.for_all
+                (fun faults ->
+                  let (r_m, tl_m), (r_s, tl_s) =
+                    replay_pair ~faults ~batch mk trace
+                  in
+                  r_m = r_s && tl_m = tl_s
+                  && r_m.Result.faults = r_s.Result.faults)
+                [ Fault.none; fault_spec ])
+            [ 1; 7; 4096 ])
+        (policies Config.default ~ndisks))
+
+let qcheck_multiprogram_equiv =
+  QCheck2.Test.make ~count:15
+    ~name:"stream: Engine.run_many_stream ≡ Engine.run_many" gen_trace
+    (fun trace ->
+      let other =
+        Trace.make ~tail_think:0.5 ~program:"bg" ~ndisks:(Trace.ndisks trace)
+          sample_events
+      in
+      List.for_all
+        (fun batch ->
+          let r_m = Engine.run_many Policy.base [ trace; other ] in
+          let r_s =
+            Engine.run_many_stream Policy.base
+              [ Stream.of_trace ~batch trace; Stream.of_trace ~batch other ]
+          in
+          r_m = r_s)
+        [ 1; 7; 4096 ])
+
+let test_retain_busy_off_equivalent () =
+  let trace = sample_trace () in
+  let lean = { Config.default with Config.retain_busy = false } in
+  let r = Engine.run Policy.base trace in
+  let r' = Engine.run ~config:lean Policy.base trace in
+  Alcotest.(check (float 1e-12)) "same energy" r.Result.energy r'.Result.energy;
+  Alcotest.(check (float 1e-12)) "same exec time" r.Result.exec_time
+    r'.Result.exec_time;
+  Array.iter
+    (fun ds ->
+      Alcotest.(check int) "busy intervals dropped" 0
+        (List.length ds.Result.busy))
+    r'.Result.disks;
+  Array.iteri
+    (fun d ds ->
+      Alcotest.(check int) "same request count" ds.Result.requests
+        r'.Result.disks.(d).Result.requests)
+    r.Result.disks
+
+(* --- Experiment-level equivalence: all seven schemes, 1 vs 4 domains --- *)
+
+let phased_workload () =
+  let p =
+    Parser.program ~name:"phased"
+      {|
+array A[24] : 8192
+array B[24] : 8192
+for i = 0 to 23 { use A[i] work 600000000 }
+for i = 0 to 23 { use B[i] work 600000000 }
+|}
+  in
+  (p, Plan.uniform ~ndisks:8 p)
+
+let test_experiment_stream_equiv () =
+  let p, plan = phased_workload () in
+  List.iter
+    (fun faults ->
+      let materialized =
+        Experiment.run_all ~setup:(Experiment.make_setup ~faults ()) p plan
+      in
+      let streamed_per_batch =
+        Pool.map ~domains:4
+          (fun batch ->
+            Experiment.run_all
+              ~setup:(Experiment.make_setup ~faults ~stream:true ~batch ())
+              p plan)
+          [ 1; 7; 4096 ]
+      in
+      let single_domain =
+        Pool.map ~domains:1
+          (fun batch ->
+            Experiment.run_all
+              ~setup:(Experiment.make_setup ~faults ~stream:true ~batch ())
+              p plan)
+          [ 7 ]
+      in
+      List.iter
+        (fun streamed ->
+          Alcotest.(check int) "seven schemes" (List.length materialized)
+            (List.length streamed);
+          List.iter2
+            (fun (s, r_m) (s', r_s) ->
+              Alcotest.(check string) "same scheme order" (Scheme.name s)
+                (Scheme.name s');
+              Alcotest.(check bool)
+                (Scheme.name s ^ ": streaming result byte-identical")
+                true (r_m = r_s))
+            materialized streamed)
+        (streamed_per_batch @ single_domain))
+    [ Fault.none; fault_spec ]
+
+(* --- Run facade: Trace_file workload --- *)
+
+let test_run_trace_file () =
+  let t = sample_trace () in
+  with_temp_file (Trace.save t) (fun path ->
+      let results stream =
+        match
+          Run.exec_all
+            (Run.spec
+               ~scheme_names:[ "Base"; "TPM"; "DRPM"; "CMDRPM" ]
+               ~stream ~batch:3 (Run.Trace_file path))
+        with
+        | Ok rs -> rs
+        | Error e -> Alcotest.fail (Run.error_message e)
+      in
+      let mat = results false and str = results true in
+      List.iter2
+        (fun (s, r_m) (_, r_s) ->
+          Alcotest.(check bool)
+            (Scheme.name s ^ ": trace-file streaming identical")
+            true (r_m = r_s))
+        mat str)
+
+let test_run_malformed_trace () =
+  with_temp_file
+    (fun path ->
+      let oc = open_out path in
+      output_string oc "# program=p ndisks=4 tail=0.0\n";
+      output_string oc "garbage line\n";
+      close_out oc)
+    (fun path ->
+      match Run.exec_all (Run.spec (Run.Trace_file path)) with
+      | Error (Run.Malformed_trace m) ->
+          Alcotest.(check bool) "carries file:line context" true
+            (String.length m > 0
+            && String.sub m 0 (String.length path) = path)
+      | Ok _ -> Alcotest.fail "malformed trace accepted"
+      | Error e -> Alcotest.fail ("wrong error: " ^ Run.error_message e));
+  match Run.exec_all (Run.spec (Run.Trace_file "/nonexistent/x.trace")) with
+  | Error (Run.Run_failure _) | Error (Run.Malformed_trace _) -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Error e -> Alcotest.fail ("wrong error: " ^ Run.error_message e)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "stream.producers",
+      [
+        Alcotest.test_case "of_trace chunking" `Quick test_of_trace_chunking;
+        Alcotest.test_case "of_push coroutine" `Quick test_of_push_coroutine;
+        Alcotest.test_case "to_trace round-trip" `Quick test_to_trace_roundtrip;
+        Alcotest.test_case "generate stream ≡ run" `Quick
+          test_generate_stream_matches_run;
+        Alcotest.test_case "of_file round-trip" `Quick test_of_file_roundtrip;
+        Alcotest.test_case "of_file errors" `Quick test_of_file_errors;
+      ] );
+    ( "stream.engine",
+      [
+        q qcheck_engine_equiv;
+        q qcheck_multiprogram_equiv;
+        Alcotest.test_case "retain_busy off" `Quick
+          test_retain_busy_off_equivalent;
+      ] );
+    ( "stream.experiment",
+      [
+        Alcotest.test_case "run_all stream ≡ materialized (1 vs 4 domains)"
+          `Slow test_experiment_stream_equiv;
+      ] );
+    ( "stream.run",
+      [
+        Alcotest.test_case "trace-file workload" `Quick test_run_trace_file;
+        Alcotest.test_case "malformed trace" `Quick test_run_malformed_trace;
+      ] );
+  ]

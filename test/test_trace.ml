@@ -113,17 +113,18 @@ let test_trace_save_load () =
     (fun () ->
       Trace.save t path;
       let t' = Trace.load path in
-      Alcotest.(check string) "program" t.Trace.program t'.Trace.program;
-      Alcotest.(check int) "ndisks" t.Trace.ndisks t'.Trace.ndisks;
-      Alcotest.(check (float 1e-9)) "tail" t.Trace.tail_think t'.Trace.tail_think;
-      Alcotest.(check int) "events"
-        (Array.length t.Trace.events)
-        (Array.length t'.Trace.events);
+      Alcotest.(check string) "program" (Trace.program t) (Trace.program t');
+      Alcotest.(check int) "ndisks" (Trace.ndisks t) (Trace.ndisks t');
+      Alcotest.(check (float 1e-9))
+        "tail" (Trace.tail_think t) (Trace.tail_think t');
+      Alcotest.(check int) "events" (Trace.event_count t)
+        (Trace.event_count t');
+      let events' = Trace.events t' in
       Array.iteri
         (fun i e ->
           Alcotest.(check string) "event line" (Request.to_line e)
-            (Request.to_line t'.Trace.events.(i)))
-        t.Trace.events)
+            (Request.to_line events'.(i)))
+        (Trace.events t))
 
 (* --- Generator --- *)
 
@@ -165,14 +166,14 @@ let test_generate_deterministic () =
   let p = simple_program () in
   let plan = Plan.uniform ~ndisks:8 p in
   let t1 = Generate.run p plan and t2 = Generate.run p plan in
-  Alcotest.(check int) "same length"
-    (Array.length t1.Trace.events)
-    (Array.length t2.Trace.events);
+  Alcotest.(check int) "same length" (Trace.event_count t1)
+    (Trace.event_count t2);
+  let events2 = Trace.events t2 in
   Array.iteri
     (fun i e ->
       Alcotest.(check string) "same event" (Request.to_line e)
-        (Request.to_line t2.Trace.events.(i)))
-    t1.Trace.events
+        (Request.to_line events2.(i)))
+    (Trace.events t1)
 
 let test_generate_think_accounts_work () =
   let p = simple_program () in
@@ -195,7 +196,7 @@ spin_up(3)
   let plan = Plan.uniform ~ndisks:8 p in
   let trace = Generate.run p plan in
   Alcotest.(check int) "directives pass through" 2 (Trace.pm_count trace);
-  match trace.Trace.events.(0) with
+  match (Trace.events trace).(0) with
   | Request.Pm { directive = Request.Spin_down 3; _ } -> ()
   | _ -> Alcotest.fail "first event should be the spin_down directive"
 
