@@ -1,5 +1,5 @@
 .PHONY: all build test check bench fault-check timeline-check report-check \
-  stream-check clean
+  stream-check perf-check clean
 
 all: build
 
@@ -73,6 +73,15 @@ stream-check: build
 	  --stream --faults "$(FAULT_SPEC)" > _build/stream_faults.out
 	cmp _build/stream_faults.out test/golden/fault_smoke.expected
 	dune exec bench/main.exe -- stream --json _build/stream_bench.json
+
+# Replay-core throughput gate: the fast SoA core must stay within
+# tolerance of the committed events/sec and fast-vs-reference speedup
+# floors (test/golden/bench_baseline.json), and must produce results
+# structurally identical to the reference core on every scheme (the
+# benchmark exits non-zero on either failure).
+perf-check: build
+	dune exec bench/main.exe -- throughput --json _build/throughput.json \
+	  --baseline test/golden/bench_baseline.json
 
 clean:
 	dune clean

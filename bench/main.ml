@@ -177,6 +177,168 @@ let stream_mode () =
     1
   end
 
+(* --- Fast-core throughput gate ---
+
+   Replays the same 262k-request synthetic workload through both engine
+   cores — the record-at-a-time reference body and the specialized
+   structure-of-arrays loop — for one policy of each specialization
+   kind.  Reports events/sec, the fast/reference speedup, and the fast
+   core's minor-heap allocations per event (Gc.minor_words deltas), and
+   asserts the two cores return structurally identical results.  With
+   [--baseline FILE] it additionally compares against committed floors
+   (see test/golden/bench_baseline.json) and fails on a >25%
+   events/sec or speedup regression — the `make perf-check` CI gate. *)
+
+let throughput_section : (string * Dpm_util.Json.t) list ref = ref []
+
+let throughput_mode ~baseline () =
+  let open Dpm_util.Json in
+  let p = Dpm_ir.Parser.program ~name:"stream-synthetic" stream_source in
+  let plan = Dpm_workloads.Suite.default_plan p in
+  let trace = Dpm_trace.Generate.run p plan in
+  let events = Dpm_trace.Trace.event_count trace in
+  let ndisks = Dpm_trace.Trace.ndisks trace in
+  let config =
+    { Dpm_sim.Config.default with Dpm_sim.Config.retain_busy = false }
+  in
+  (* Policies are created fresh per replay: the reactive ones (DRPM)
+     carry mutable controller state that must not leak across runs. *)
+  let schemes =
+    [
+      ("Base", fun () -> Dpm_sim.Policy.base);
+      ("TPM", fun () -> Dpm_sim.Policy.tpm config);
+      ("DRPM", fun () -> Dpm_sim.Policy.drpm config ~ndisks);
+      ("CMDRPM", fun () -> Dpm_sim.Policy.cm_drpm);
+    ]
+  in
+  let replay core policy =
+    Dpm_sim.Engine.run_stream ~config ~core (policy ())
+      (Dpm_trace.Trace.Stream.of_trace trace)
+  in
+  let time_runs n core policy =
+    let t0 = Metrics.now () in
+    let last = ref (replay core policy) in
+    for _ = 2 to n do
+      last := replay core policy
+    done;
+    ((Metrics.now () -. t0) /. float_of_int n, !last)
+  in
+  let t_total0 = Metrics.now () in
+  print_endline
+    "== Replay core throughput (synthetic 262144-event workload) ==";
+  Printf.printf "  %-8s %12s %12s %9s %12s %10s\n" "scheme" "ref-ev/s"
+    "fast-ev/s" "speedup" "words/event" "identical";
+  let all_identical = ref true in
+  let rows =
+    List.map
+      (fun (name, policy) ->
+        (* Warm both cores once (page in the trace, settle the GC). *)
+        ignore (replay `Reference policy);
+        ignore (replay `Fast policy);
+        let ref_s, r_ref = time_runs 2 `Reference policy in
+        let minor0 = Gc.minor_words () in
+        let fast_s, r_fast = time_runs 10 `Fast policy in
+        let minor1 = Gc.minor_words () in
+        let identical = r_ref = r_fast in
+        if not identical then all_identical := false;
+        let fev = float_of_int events in
+        let ref_eps = fev /. ref_s in
+        let fast_eps = fev /. fast_s in
+        let speedup = fast_eps /. ref_eps in
+        let words_per_event = (minor1 -. minor0) /. (fev *. 10.0) in
+        Printf.printf "  %-8s %12.0f %12.0f %8.1fx %12.3f %10b\n" name ref_eps
+          fast_eps speedup words_per_event identical;
+        ( name,
+          Obj
+            [
+              ("reference_eps", Float ref_eps);
+              ("fast_eps", Float fast_eps);
+              ("speedup", Float speedup);
+              ("minor_words_per_event", Float words_per_event);
+              ("identical", Bool identical);
+            ] ))
+      schemes
+  in
+  timings := ("throughput", Metrics.now () -. t_total0) :: !timings;
+  throughput_section :=
+    [
+      ( "throughput",
+        Obj
+          [
+            ("events", Int events);
+            ("schemes", Obj rows);
+            ("identical", Bool !all_identical);
+          ] );
+    ];
+  let rc = if !all_identical then 0 else 1 in
+  if rc <> 0 then
+    Dpm_util.Log.error ~scope:"bench"
+      "fast and reference cores disagree on the throughput workload";
+  (* Baseline comparison: fail on >25% regression against the committed
+     floors, for events/sec (machine-dependent — the floors are set
+     conservatively) and for the fast/reference speedup (machine-
+     independent). *)
+  match baseline with
+  | None -> rc
+  | Some path -> (
+      let doc =
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        match Dpm_util.Json.parse_string s with
+        | Ok doc -> doc
+        | Error m -> failwith (Printf.sprintf "%s: %s" path m)
+      in
+      let tolerance =
+        match Option.bind (member "tolerance" doc) to_float with
+        | Some t -> t
+        | None -> 0.75
+      in
+      let floors =
+        match member "schemes" doc with
+        | Some s -> s
+        | None -> failwith (path ^ ": missing schemes object")
+      in
+      let failures = ref [] in
+      List.iter
+        (fun (name, row) ->
+          match member name floors with
+          | None -> ()
+          | Some floor ->
+              let get field doc =
+                match Option.bind (member field doc) to_float with
+                | Some v -> v
+                | None ->
+                    failwith
+                      (Printf.sprintf "%s: %s.%s missing" path name field)
+              in
+              let check field =
+                let current = get field row in
+                let base = get field floor in
+                if current < tolerance *. base then
+                  failures :=
+                    Printf.sprintf "%s.%s: %.0f < %.2f x %.0f" name field
+                      current tolerance base
+                    :: !failures
+              in
+              check "fast_eps";
+              check "speedup")
+        rows;
+      match !failures with
+      | [] ->
+          Printf.printf "  baseline check: ok (vs %s, tolerance %.2f)\n" path
+            tolerance;
+          rc
+      | fs ->
+          List.iter
+            (fun f ->
+              Dpm_util.Log.error ~scope:"bench"
+                ~kv:[ ("violation", f) ]
+                "throughput regression vs committed baseline")
+            fs;
+          1)
+
 (* --- Bechamel micro-benchmarks: one per pipeline stage --- *)
 
 let micro () =
@@ -238,9 +400,20 @@ let figures_arg =
      micro-benchmarks).  $(b,micro) selects the Bechamel \
      micro-benchmarks; $(b,stream) the streaming-vs-materialized \
      memory/throughput comparison (run it first — or alone — for \
-     meaningful peak-heap deltas)."
+     meaningful peak-heap deltas); $(b,throughput) the fast-vs-reference \
+     replay-core comparison with allocation accounting."
   in
   Arg.(value & pos_all string [] & info [] ~doc ~docv:"FIGURE")
+
+let baseline_arg =
+  let doc =
+    "Committed throughput floor (JSON with a $(b,schemes) object of \
+     $(b,fast_eps)/$(b,speedup) floors and an optional $(b,tolerance), \
+     default 0.75).  Only meaningful with the $(b,throughput) figure: \
+     exits non-zero on a regression beyond the tolerance — the \
+     $(b,make perf-check) gate."
+  in
+  Arg.(value & opt (some file) None & info [ "baseline" ] ~doc ~docv:"FILE")
 
 let domains_arg =
   let doc =
@@ -286,7 +459,7 @@ let log_level_arg =
   Arg.(
     value & opt (some level_conv) None & info [ "log-level" ] ~doc ~docv:"LEVEL")
 
-let run names domains metrics json trace log_level =
+let run names domains metrics json trace log_level baseline =
   Option.iter Pool.set_default_domains domains;
   Option.iter Dpm_util.Log.set_level log_level;
   (* The snapshot embeds the stage table, so --json implies --metrics. *)
@@ -299,6 +472,7 @@ let run names domains metrics json trace log_level =
         (* stream first: its peak-heap deltas need a fresh process
            baseline (see [stream_mode]). *)
         let rc = stream_mode () in
+        let rc = max rc (throughput_mode ~baseline ()) in
         List.iter (fun (name, f) -> print_figure name f) available;
         micro ();
         rc
@@ -310,6 +484,8 @@ let run names domains metrics json trace log_level =
               rc
             end
             else if String.equal name "stream" then max rc (stream_mode ())
+            else if String.equal name "throughput" then
+              max rc (throughput_mode ~baseline ())
             else
               match List.assoc_opt name available with
               | Some f ->
@@ -338,7 +514,8 @@ let run names domains metrics json trace log_level =
   | None -> ()
   | Some path ->
       let doc =
-        Dpm_core.Report.bench_snapshot ~extra:!stream_section
+        Dpm_core.Report.bench_snapshot
+          ~extra:(!stream_section @ !throughput_section)
           ~figures:(List.rev !timings) ()
       in
       (match Dpm_core.Report.validate_bench doc with
@@ -375,4 +552,4 @@ let () =
        (Cmd.v info
           Term.(
             const run $ figures_arg $ domains_arg $ metrics_arg $ json_arg
-            $ trace_arg $ log_level_arg)))
+            $ trace_arg $ log_level_arg $ baseline_arg)))

@@ -257,9 +257,18 @@ let batch_arg =
   let doc = "Stream chunk size in events (default 4096)." in
   Arg.(value & opt (some int) None & info [ "batch" ] ~doc ~docv:"N")
 
+let core_arg =
+  let doc =
+    "Replay core: $(b,fast) (default) runs the specialized      structure-of-arrays loop when the policy supports it;      $(b,reference) forces the record-at-a-time reference body.       Results are byte-identical — $(b,reference) is the differential      oracle and escape hatch."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("fast", `Fast); ("reference", `Reference) ]) `Fast
+    & info [ "core" ] ~doc ~docv:"CORE")
+
 let simulate_cmd =
   let run inst name trace_file schemes version mode faults timeline histograms
-      stream batch =
+      stream batch core =
     if histograms then Dpm_util.Telemetry.(set_histograms global true);
     let workload =
       match (name, trace_file) with
@@ -291,7 +300,7 @@ let simulate_cmd =
           (match sinks with
           | [] -> None
           | _ -> Some (fun s -> List.assoc_opt s sinks))
-        ~stream ?batch workload
+        ~stream ?batch ~core workload
     in
     match Dpm_core.Run.exec_all rspec with
     | Error e ->
@@ -375,7 +384,7 @@ let simulate_cmd =
     Term.(
       const run $ instrument_term $ bench_opt_arg $ trace_file_workload_arg
       $ schemes_arg $ version_arg $ mode_arg $ faults_arg $ timeline_arg
-      $ histograms_arg $ stream_arg $ batch_arg)
+      $ histograms_arg $ stream_arg $ batch_arg $ core_arg)
 
 (* --- timeline: summarize a recorded event log --- *)
 

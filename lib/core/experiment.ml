@@ -15,13 +15,15 @@ type setup = {
   faults : Sim.Fault.spec;
   stream : bool;
   batch : int;
+  core : Sim.Engine.core;
 }
 
 let make_setup ?(sim = Sim.Config.default) ?(mode = `Open)
     ?(cache_blocks = Workloads.Suite.cache_blocks) ?(noise = 0.0) ?(seed = 42)
     ?(version = Compiler.Pipeline.Orig) ?(faults = Sim.Fault.none)
-    ?(stream = false) ?(batch = Trace.Trace.Stream.default_batch) () =
-  { sim; mode; cache_blocks; noise; seed; version; faults; stream; batch }
+    ?(stream = false) ?(batch = Trace.Trace.Stream.default_batch)
+    ?(core = `Fast) () =
+  { sim; mode; cache_blocks; noise; seed; version; faults; stream; batch; core }
 
 let default_setup = make_setup ()
 
@@ -79,7 +81,7 @@ let run_cm ?timeline setup scheme p plan =
            compiled.Compiler.Pipeline.program plan)
   in
   Sim.Engine.run_stream ~config:setup.sim ~mode:setup.mode
-    ~faults:setup.faults ?timeline policy stream
+    ~faults:setup.faults ?timeline ~core:setup.core policy stream
 
 let run_all ?(setup = default_setup) ?timeline ?(schemes = Scheme.all) p plan =
   let sink_for scheme =
@@ -100,7 +102,7 @@ let run_all ?(setup = default_setup) ?timeline ?(schemes = Scheme.all) p plan =
     lazy
       (Sim.Engine.run_stream ~config:setup.sim ~mode:setup.mode
          ~faults:setup.faults ?timeline:(sink_for Scheme.Base)
-         Sim.Policy.base (stream_of ()))
+         ~core:setup.core Sim.Policy.base (stream_of ()))
   in
   List.map
     (fun scheme ->
@@ -118,11 +120,13 @@ let run_all ?(setup = default_setup) ?timeline ?(schemes = Scheme.all) p plan =
         | Scheme.Tpm ->
             Sim.Engine.run_stream ~config:setup.sim ~mode:setup.mode
               ~faults:setup.faults ?timeline:(sink_for scheme)
+              ~core:setup.core
               (Sim.Policy.tpm setup.sim)
               (stream_of ())
         | Scheme.Drpm ->
             Sim.Engine.run_stream ~config:setup.sim ~mode:setup.mode
               ~faults:setup.faults ?timeline:(sink_for scheme)
+              ~core:setup.core
               (Sim.Policy.drpm setup.sim
                  ~ndisks:(Dpm_layout.Plan.ndisks plan))
               (stream_of ())
@@ -150,7 +154,7 @@ let replay_all ?(setup = default_setup) ?timeline ?(schemes = Scheme.all)
   in
   let replay ?timeline policy =
     Sim.Engine.run_stream ~config:setup.sim ~mode:setup.mode
-      ~faults:setup.faults ?timeline policy (source ())
+      ~faults:setup.faults ?timeline ~core:setup.core policy (source ())
   in
   let base =
     lazy (replay ?timeline:(sink_for Scheme.Base) Sim.Policy.base)
@@ -170,6 +174,7 @@ let replay_all ?(setup = default_setup) ?timeline ?(schemes = Scheme.all)
             let s = source () in
             Sim.Engine.run_stream ~config:setup.sim ~mode:setup.mode
               ~faults:setup.faults ?timeline:(sink_for scheme)
+              ~core:setup.core
               (Sim.Policy.drpm setup.sim
                  ~ndisks:(Trace.Trace.Stream.ndisks s))
               s
@@ -200,7 +205,7 @@ let misprediction_pct ?(setup = default_setup) p plan =
   let trace = Trace.Generate.run ~config:(gen_config setup) p plan in
   let base =
     Sim.Engine.run ~config:setup.sim ~mode:setup.mode ~faults:setup.faults
-      Sim.Policy.base trace
+      ~core:setup.core Sim.Policy.base trace
   in
   let compiled = compile_cm setup Scheme.Cmdrpm p plan in
   let top = Dpm_disk.Rpm.max_level setup.sim.Sim.Config.specs in

@@ -21,6 +21,11 @@ type setup = {
           trace.  Results are byte-identical either way; streaming
           trades the one-shared-generation saving for bounded memory. *)
   batch : int;  (** Stream chunk size in events. *)
+  core : Dpm_sim.Engine.core;
+      (** Replay core for every replayed scheme ([`Fast] by default;
+          see {!Dpm_sim.Engine.core}).  Results are byte-identical
+          either way — [`Reference] is the differential oracle and
+          escape hatch. *)
 }
 
 val make_setup :
@@ -33,6 +38,7 @@ val make_setup :
   ?faults:Dpm_sim.Fault.spec ->
   ?stream:bool ->
   ?batch:int ->
+  ?core:Dpm_sim.Engine.core ->
   unit ->
   setup
 (** Smart constructor: {!default_setup} with fields overridden.  Prefer

@@ -39,10 +39,11 @@ type spec = {
   timeline : (Scheme.t -> Sim.Timeline.sink option) option;
   stream : bool option;
   batch : int option;
+  core : Sim.Engine.core option;
 }
 
 let spec ?(schemes = Scheme.all) ?(scheme_names = []) ?setup ?mode ?version
-    ?faults ?timeline ?stream ?batch workload =
+    ?faults ?timeline ?stream ?batch ?core workload =
   {
     schemes;
     scheme_names;
@@ -54,6 +55,7 @@ let spec ?(schemes = Scheme.all) ?(scheme_names = []) ?setup ?mode ?version
     timeline;
     stream;
     batch;
+    core;
   }
 
 let ( let* ) = Result.bind
@@ -113,7 +115,10 @@ let resolve_setup s bench faults =
   let base =
     match s.stream with None -> base | Some stream -> { base with stream }
   in
-  match s.batch with None -> base | Some batch -> { base with batch }
+  let base =
+    match s.batch with None -> base | Some batch -> { base with batch }
+  in
+  match s.core with None -> base | Some core -> { base with core }
 
 (* Replaying a saved trace: the streaming setup re-parses the file per
    scheme in O(batch) memory; otherwise it is loaded once and sliced.

@@ -52,13 +52,14 @@ val spec :
   ?timeline:(Scheme.t -> Dpm_sim.Timeline.sink option) ->
   ?stream:bool ->
   ?batch:int ->
+  ?core:Dpm_sim.Engine.core ->
   workload ->
   spec
 (** [spec workload] runs all seven schemes under a default setup.
     [scheme_names] (checked at {!exec} time) takes precedence over
     [schemes]; [setup] replaces the default setup — for a [Benchmark]
     workload the default inherits the benchmark's calibrated compiler
-    noise — and [mode]/[version]/[faults]/[stream]/[batch] override the
+    noise — and [mode]/[version]/[faults]/[stream]/[batch]/[core] override the
     corresponding setup fields either way.  [stream] selects the fused
     O(batch)-memory pipeline (per-scheme regeneration or incremental
     file parse instead of one shared materialized trace; results are

@@ -4,9 +4,12 @@ let rotation_time (s : Specs.t) ~level =
   let rpm = float_of_int (Rpm.rpm_of_level s level) in
   s.avg_rotation *. (float_of_int s.rpm_max /. rpm)
 
-let transfer_time (s : Specs.t) ~level ~bytes =
+let transfer_denom (s : Specs.t) ~level =
   let frac = float_of_int (Rpm.rpm_of_level s level) /. float_of_int s.rpm_max in
-  float_of_int bytes /. (s.transfer_rate *. frac)
+  s.transfer_rate *. frac
+
+let transfer_time (s : Specs.t) ~level ~bytes =
+  float_of_int bytes /. transfer_denom s ~level
 
 let request_time s ~level ~bytes =
   seek_time s +. rotation_time s ~level +. transfer_time s ~level ~bytes

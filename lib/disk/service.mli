@@ -16,6 +16,12 @@ val rotation_time : Specs.t -> level:int -> float
 (** Average rotational latency at an RPM level (half a revolution scaled
     from the datasheet's full-speed figure). *)
 
+val transfer_denom : Specs.t -> level:int -> float
+(** Effective transfer rate at a level, bytes/s:
+    [transfer_time = bytes /. transfer_denom].  Exposed so replay loops
+    can hoist the per-level constant out of the per-request body without
+    changing a single float operation. *)
+
 val transfer_time : Specs.t -> level:int -> bytes:int -> float
 
 val request_time : Specs.t -> level:int -> bytes:int -> float

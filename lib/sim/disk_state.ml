@@ -3,6 +3,28 @@ module Rpm = Dpm_disk.Rpm
 module Power = Dpm_disk.Power
 module Service = Dpm_disk.Service
 
+(* Indices into [t.hot].  The hot mutable floats live in a flat float
+   array rather than as record fields: a float field of a mixed record
+   boxes on every write (uniform representation), and these three are
+   written per served request on the replay fast path
+   ({!Fastpath.replay}), where that boxing was the last per-event
+   allocation. *)
+let ix_last_update = 0
+let ix_total_energy = 1
+let ix_idle_start = 2
+
+(* One-entry transfer-quotient cache for the fast path: the last
+   [bytes /. svc_denom.(level)] computed, keyed by its operands (bytes
+   and level stored as floats — exact for any realistic request size).
+   A hit returns the identical bits a fresh division would, so the
+   cache never perturbs results; it exists because two serial float
+   divides per event dominate the replay inner loop and request sizes
+   repeat heavily in real traces.  The key slots start at -1.0, which
+   no non-negative byte count matches. *)
+let ix_svc_bytes = 3
+let ix_svc_level = 4
+let ix_svc_quot = 5
+
 type phase =
   | Ready of int
   | Changing of { from_level : int; to_level : int; finish : float }
@@ -16,9 +38,7 @@ type t = {
   recorder : Timeline.sink option;
   retain_busy : bool;
   mutable phase : phase;
-  mutable last_update : float;
-  mutable total_energy : float;
-  mutable idle_start : float;
+  hot : float array;
   mutable busy_rev : (float * float) list;
   mutable served : int;
   mutable transitions : int;
@@ -27,26 +47,42 @@ type t = {
   mutable standby_time : float;
   mutable trans_time : float;
   mutable failed : bool;
+  idle_power : float array;
+  active_power : float array;
+  svc_base : float array;
+  svc_denom : float array;
 }
 
+(* The per-level tables are computed through the exact same
+   [Power]/[Service] calls the general path makes per request, so a
+   table lookup yields bit-identical floats to recomputing. *)
 let create ?recorder ?(retain_busy = true) specs ~id =
+  let levels = Rpm.num_levels specs in
   {
     specs;
     disk_id = id;
     recorder;
     retain_busy;
     phase = Ready (Rpm.max_level specs);
-    last_update = 0.0;
-    total_energy = 0.0;
-    idle_start = 0.0;
+    hot =
+      (let h = Array.make 6 0.0 in
+       h.(ix_svc_bytes) <- -1.0;
+       h.(ix_svc_level) <- -1.0;
+       h);
     busy_rev = [];
     served = 0;
     transitions = 0;
     spin_downs = 0;
-    residency = Array.make (Rpm.num_levels specs) 0.0;
+    residency = Array.make levels 0.0;
     standby_time = 0.0;
     trans_time = 0.0;
     failed = false;
+    idle_power = Array.init levels (fun l -> Power.idle specs ~level:l);
+    active_power = Array.init levels (fun l -> Power.active specs ~level:l);
+    svc_base =
+      Array.init levels (fun l ->
+          Service.seek_time specs +. Service.rotation_time specs ~level:l);
+    svc_denom = Array.init levels (fun l -> Service.transfer_denom specs ~level:l);
   }
 
 let id t = t.disk_id
@@ -60,10 +96,10 @@ let level t =
   | Spinning_down _ | Standby -> 0
   | Spinning_up _ -> Rpm.max_level t.specs
 
-let idle_since t = t.idle_start
+let idle_since t = t.hot.(ix_idle_start)
 
 let charge t power dt =
-  if dt > 0.0 then t.total_energy <- t.total_energy +. (power *. dt)
+  if dt > 0.0 then t.hot.(ix_total_energy) <- t.hot.(ix_total_energy) +. (power *. dt)
 
 (* Constant power drawn in each phase (service energy is charged
    separately by [serve]). *)
@@ -106,61 +142,61 @@ let emit_span t ph t0 t1 =
 let record t ~at mark = emit t (Timeline.Mark { disk = t.disk_id; t = at; mark })
 
 let rec advance t now =
-  if (not t.failed) && now > t.last_update then
+  if (not t.failed) && now > t.hot.(ix_last_update) then
     match t.phase with
     | Ready _ | Standby ->
-        let dt = now -. t.last_update in
+        let dt = now -. t.hot.(ix_last_update) in
         charge t (phase_power t t.phase) dt;
         note_residency t t.phase dt;
-        emit_span t t.phase t.last_update now;
-        t.last_update <- now
+        emit_span t t.phase t.hot.(ix_last_update) now;
+        t.hot.(ix_last_update) <- now
     | Changing { to_level; finish; _ }
       when now >= finish ->
-        let dt = finish -. t.last_update in
+        let dt = finish -. t.hot.(ix_last_update) in
         charge t (phase_power t t.phase) dt;
         note_residency t t.phase dt;
-        emit_span t t.phase t.last_update finish;
-        t.last_update <- finish;
+        emit_span t t.phase t.hot.(ix_last_update) finish;
+        t.hot.(ix_last_update) <- finish;
         t.phase <- Ready to_level;
         advance t now
     | Spinning_down { finish } when now >= finish ->
-        let dt = finish -. t.last_update in
+        let dt = finish -. t.hot.(ix_last_update) in
         charge t (phase_power t t.phase) dt;
         note_residency t t.phase dt;
-        emit_span t t.phase t.last_update finish;
-        t.last_update <- finish;
+        emit_span t t.phase t.hot.(ix_last_update) finish;
+        t.hot.(ix_last_update) <- finish;
         t.phase <- Standby;
         advance t now
     | Spinning_up { finish } when now >= finish ->
-        let dt = finish -. t.last_update in
+        let dt = finish -. t.hot.(ix_last_update) in
         charge t (phase_power t t.phase) dt;
         note_residency t t.phase dt;
-        emit_span t t.phase t.last_update finish;
-        t.last_update <- finish;
+        emit_span t t.phase t.hot.(ix_last_update) finish;
+        t.hot.(ix_last_update) <- finish;
         t.phase <- Ready (Rpm.max_level t.specs);
         advance t now
     | Changing _ | Spinning_down _ | Spinning_up _ ->
-        let dt = now -. t.last_update in
+        let dt = now -. t.hot.(ix_last_update) in
         charge t (phase_power t t.phase) dt;
         note_residency t t.phase dt;
-        emit_span t t.phase t.last_update now;
-        t.last_update <- now
+        emit_span t t.phase t.hot.(ix_last_update) now;
+        t.hot.(ix_last_update) <- now
 
 (* Time at which the disk will next be [Ready] with no further
    intervention (standby never resolves by itself). *)
 let settle_time t =
   match t.phase with
-  | Ready _ -> t.last_update
+  | Ready _ -> t.hot.(ix_last_update)
   | Changing { finish; _ } | Spinning_up { finish } -> finish
   | Spinning_down { finish } -> finish (* settles into Standby *)
-  | Standby -> t.last_update
+  | Standby -> t.hot.(ix_last_update)
 
 let rec set_level t ~now target =
   (* Operations requested in the past (e.g. a directive issued while the
      disk still drains a queue) take effect at the disk's own clock. *)
   if t.failed then ()
   else
-  let now = max now t.last_update in
+  let now = max now t.hot.(ix_last_update) in
   advance t now;
   match t.phase with
   | Ready l when l = target -> ()
@@ -183,7 +219,7 @@ let rec set_level t ~now target =
 let rec spin_down t ~now =
   if t.failed then ()
   else
-  let now = max now t.last_update in
+  let now = max now t.hot.(ix_last_update) in
   advance t now;
   match t.phase with
   | Standby | Spinning_down _ -> ()
@@ -197,7 +233,7 @@ let rec spin_down t ~now =
 let rec spin_up t ~now =
   if t.failed then ()
   else
-  let now = max now t.last_update in
+  let now = max now t.hot.(ix_last_update) in
   advance t now;
   match t.phase with
   | Ready _ | Spinning_up _ -> ()
@@ -224,9 +260,9 @@ let rec ready_at t now =
       ready_at t finish
 
 let serve t ~now ~bytes =
-  if t.failed then max now t.last_update
+  if t.failed then max now t.hot.(ix_last_update)
   else begin
-    let now = max now t.last_update in
+    let now = max now t.hot.(ix_last_update) in
     advance t now;
     let start, lvl = ready_at t now in
     let service = Service.request_time t.specs ~level:lvl ~bytes in
@@ -243,17 +279,17 @@ let serve t ~now ~bytes =
            t1 = completion;
            bytes;
          });
-    t.last_update <- completion;
+    t.hot.(ix_last_update) <- completion;
     if t.retain_busy then t.busy_rev <- (start, completion) :: t.busy_rev;
     t.served <- t.served + 1;
-    t.idle_start <- completion;
+    t.hot.(ix_idle_start) <- completion;
     completion
   end
 
 let occupy t ~now ~seconds =
-  if t.failed || seconds <= 0.0 then max now t.last_update
+  if t.failed || seconds <= 0.0 then max now t.hot.(ix_last_update)
   else begin
-    let now = max now t.last_update in
+    let now = max now t.hot.(ix_last_update) in
     advance t now;
     let start, lvl = ready_at t now in
     let finish = start +. seconds in
@@ -262,25 +298,25 @@ let occupy t ~now ~seconds =
     emit t
       (Timeline.Occupy
          { disk = t.disk_id; level = lvl; t0 = start; t1 = finish });
-    t.last_update <- finish;
+    t.hot.(ix_last_update) <- finish;
     if t.retain_busy then t.busy_rev <- (start, finish) :: t.busy_rev;
-    t.idle_start <- finish;
+    t.hot.(ix_idle_start) <- finish;
     finish
   end
 
 let abort_spin_up t ~now ~fraction =
-  if t.failed then max now t.last_update
+  if t.failed then max now t.hot.(ix_last_update)
   else begin
-    let now = max now t.last_update in
+    let now = max now t.hot.(ix_last_update) in
     advance t now;
     match t.phase with
     | Standby ->
         let fraction = Float.max 0.0 (Float.min 1.0 fraction) in
         let dt = fraction *. t.specs.Specs.t_spin_up in
         if dt > 0.0 then begin
-          t.total_energy <-
-            t.total_energy +. Power.aborted_spin_up_energy t.specs ~fraction;
-          t.last_update <- now +. dt
+          t.hot.(ix_total_energy) <-
+            t.hot.(ix_total_energy) +. Power.aborted_spin_up_energy t.specs ~fraction;
+          t.hot.(ix_last_update) <- now +. dt
         end;
         emit t
           (Timeline.Aborted
@@ -291,14 +327,14 @@ let abort_spin_up t ~now ~fraction =
 
 let fail t ~at =
   if not t.failed then begin
-    advance t (max at t.last_update);
-    record t ~at:t.last_update Timeline.Killed;
+    advance t (max at t.hot.(ix_last_update));
+    record t ~at:t.hot.(ix_last_update) Timeline.Killed;
     t.failed <- true
   end
 
 let finalize t ~at = advance t (max at (settle_time t))
 
-let energy t = t.total_energy
+let energy t = t.hot.(ix_total_energy)
 let busy_intervals t = List.rev t.busy_rev
 
 let busy_time t =

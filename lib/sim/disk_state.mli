@@ -19,7 +19,58 @@ type phase =
   | Standby
   | Spinning_up of { finish : float }
 
-type t
+type t = {
+  specs : Dpm_disk.Specs.t;
+  disk_id : int;
+  recorder : Timeline.sink option;
+  retain_busy : bool;
+  mutable phase : phase;
+  hot : float array;
+      (** The three per-request mutable floats, indexed by
+          {!ix_last_update} (energy integrated up to here),
+          {!ix_total_energy} and {!ix_idle_start}.  They live in a flat
+          float array rather than as record fields because a float
+          field of a mixed record boxes on every write, and these are
+          written per served request on the replay fast path. *)
+  mutable busy_rev : (float * float) list;
+  mutable served : int;
+  mutable transitions : int;
+  mutable spin_downs : int;
+  residency : float array;
+  mutable standby_time : float;
+  mutable trans_time : float;
+  mutable failed : bool;
+  idle_power : float array;
+      (** Per-level {!Dpm_disk.Power.idle}, precomputed at {!create}
+          through the very same calls the general path makes per
+          request — table lookups are bit-identical to recomputing. *)
+  active_power : float array;  (** Per-level {!Dpm_disk.Power.active}. *)
+  svc_base : float array;
+      (** Per-level [seek_time +. rotation_time] — the byte-independent
+          part of {!Dpm_disk.Service.request_time}. *)
+  svc_denom : float array;
+      (** Per-level {!Dpm_disk.Service.transfer_denom}. *)
+}
+(** Exposed concretely so the specialized replay core ({!Fastpath}) can
+    inline the [Ready]-phase service arithmetic with no per-event
+    boxing.  Outside this library, treat every field as private: read
+    through the accessors below and mutate only through the operations
+    — direct writes bypass the lazy energy integration and corrupt the
+    accounting. *)
+
+val ix_last_update : int
+val ix_total_energy : int
+val ix_idle_start : int
+
+val ix_svc_bytes : int
+(** With {!ix_svc_level} and {!ix_svc_quot}: a one-entry cache of the
+    last transfer-time quotient [bytes /. svc_denom.(level)], keyed by
+    its operands.  A hit reproduces the division's bits exactly, so
+    users of the cache stay byte-identical to recomputing; maintained
+    by the fast replay core ({!Fastpath}), ignored elsewhere. *)
+
+val ix_svc_level : int
+val ix_svc_quot : int
 
 val create :
   ?recorder:Timeline.sink ->

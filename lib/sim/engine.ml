@@ -18,77 +18,13 @@ let fault_state faults ~ndisks ~nblocks =
     Some (Fault.start (Fault.plan faults ~ndisks ~nblocks:(Lazy.force nblocks)))
   end
 
-(* --- Replay observation (telemetry histograms) ---
-
-   Hot-loop discipline: each replay accumulates into its own local
-   histograms (no lock, no effect on simulated values) and merges them
-   into {!Dpm_util.Telemetry.global} once at the end.  Bucket-count
-   merges are exactly commutative and associative, so the registered
-   quantiles are identical at any [--domains].  [None] when histograms
-   are off: the per-request cost is then a single match on [None]. *)
-type obs = {
-  latency : Dpm_util.Histo.t;  (** per-request service latency, s *)
-  qdepth : Dpm_util.Histo.t;  (** outstanding requests at arrival *)
-  retries : Dpm_util.Histo.t;  (** transient read retries per request *)
-}
-
-let make_obs () =
-  if Dpm_util.Telemetry.(histograms_enabled global) then
-    Some
-      {
-        latency = Dpm_util.Histo.create ();
-        qdepth = Dpm_util.Histo.create ();
-        retries = Dpm_util.Histo.create ();
-      }
-  else None
-
-(* Queue depth seen by a request: completions in the ring still in the
-   future at its arrival time, i.e. requests in flight on that disk. *)
-let observe_arrival obs ~ring ~arrival =
-  match obs with
-  | None -> ()
-  | Some o ->
-      let outstanding = ref 0 in
-      Array.iter (fun c -> if c > arrival then incr outstanding) ring;
-      Dpm_util.Histo.add o.qdepth (float_of_int !outstanding)
-
-let observe_service obs ~fault ~retries_before ~response =
-  match obs with
-  | None -> ()
-  | Some o -> (
-      Dpm_util.Histo.add o.latency response;
-      match fault with
-      | None -> ()
-      | Some fs ->
-          Dpm_util.Histo.add o.retries
-            (float_of_int (Fault.retries_so_far fs - retries_before)))
-
-let flush_obs obs (result : Result.t) =
-  match obs with
-  | None -> ()
-  | Some o ->
-      let t = Dpm_util.Telemetry.global in
-      Dpm_util.Telemetry.merge_histogram t "sim.service_latency_s" o.latency;
-      Dpm_util.Telemetry.merge_histogram t "sim.queue_depth" o.qdepth;
-      if Dpm_util.Histo.count o.retries > 0 then
-        Dpm_util.Telemetry.merge_histogram t "sim.fault.retries_per_req"
-          o.retries;
-      (* Actual idle-gap lengths, read off the finished result — the
-         empirical side of the compiler's predicted-gap histogram. *)
-      let gaps = Dpm_util.Histo.create () in
-      Array.iteri
-        (fun d _ ->
-          List.iter
-            (fun (a, b) -> Dpm_util.Histo.add gaps (b -. a))
-            (Result.idle_gaps result ~disk:d))
-        result.Result.disks;
-      if Dpm_util.Histo.count gaps > 0 then
-        Dpm_util.Telemetry.merge_histogram t "sim.idle_gap.actual_s" gaps
-
-let retries_before obs fault =
-  match (obs, fault) with
-  | Some _, Some fs -> Fault.retries_so_far fs
-  | _ -> 0
+(* Replay observation lives in {!Observe} (shared with the specialized
+   core, so both accumulate histograms through identical code). *)
+let make_obs = Observe.make
+let observe_arrival = Observe.observe_arrival
+let observe_service = Observe.observe_service
+let flush_obs = Observe.flush
+let retries_before = Observe.retries_before
 
 let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
     (stream : Stream.t) =
@@ -246,9 +182,11 @@ let record_replay metrics (result : Result.t) =
   if f.Result.redirects > 0 then
     Dpm_util.Metrics.add metrics "sim.fault.redirects" f.Result.redirects
 
+type core = [ `Fast | `Reference ]
+
 let run_stream ?(config = Config.default) ?(mode = `Open)
     ?(metrics = Dpm_util.Metrics.global) ?(faults = Fault.none) ?timeline
-    policy stream =
+    ?(core = `Fast) policy stream =
   let fault =
     fault_state faults ~ndisks:(Stream.ndisks stream)
       ~nblocks:(lazy (Stream.nblocks stream))
@@ -261,14 +199,19 @@ let run_stream ?(config = Config.default) ?(mode = `Open)
           ("scheme", policy.Policy.name); ("program", Stream.program stream);
         ])
       Dpm_util.Telemetry.global "sim.replay"
-      (fun () -> replay ~config ~mode ~fault ~timeline ~obs policy stream)
+      (fun () ->
+        match core with
+        | `Fast when Fastpath.supported policy ->
+            Fastpath.replay ~config ~mode ~fault ~timeline ~obs policy stream
+        | `Fast | `Reference ->
+            replay ~config ~mode ~fault ~timeline ~obs policy stream)
   in
   flush_obs obs result;
   record_replay metrics result;
   result
 
-let run ?config ?mode ?metrics ?faults ?timeline policy trace =
-  run_stream ?config ?mode ?metrics ?faults ?timeline policy
+let run ?config ?mode ?metrics ?faults ?timeline ?core policy trace =
+  run_stream ?config ?mode ?metrics ?faults ?timeline ?core policy
     (Stream.of_trace trace)
 
 (* --- Multiprogrammed replay --- *)

@@ -26,12 +26,23 @@
 
 type mode = [ `Open | `Closed ]
 
+type core = [ `Fast | `Reference ]
+(** Replay core selection.  [`Fast] (the default) runs the specialized
+    structure-of-arrays loop ({!Fastpath}) whenever the policy's shape
+    supports it, falling back to the reference body otherwise;
+    [`Reference] forces the record-at-a-time reference body.  The two
+    produce byte-identical results — energies, execution times, fault
+    counters, gap choices, timelines, telemetry histograms — which the
+    differential suite pins; [`Reference] exists as the oracle for
+    those tests and as an escape hatch. *)
+
 val run_stream :
   ?config:Config.t ->
   ?mode:mode ->
   ?metrics:Dpm_util.Metrics.t ->
   ?faults:Fault.spec ->
   ?timeline:Timeline.sink ->
+  ?core:core ->
   Policy.t ->
   Dpm_trace.Trace.Stream.t ->
   Result.t
@@ -66,6 +77,7 @@ val run :
   ?metrics:Dpm_util.Metrics.t ->
   ?faults:Fault.spec ->
   ?timeline:Timeline.sink ->
+  ?core:core ->
   Policy.t ->
   Dpm_trace.Trace.t ->
   Result.t

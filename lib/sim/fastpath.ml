@@ -1,0 +1,627 @@
+(* Specialized zero-allocation replay core.
+
+   Mirrors [Engine.replay] (the reference body) with three mechanical
+   transformations, none of which changes a single float operation or
+   its order:
+
+   - events are read by index out of structure-of-arrays chunks
+     ([Trace.Stream.next_soa]) instead of destructuring
+     [Request.event] records;
+   - the policy's hook sites are specialized out of the inner loop:
+     one monomorphic loop per [Policy.kind], selected once per run, so
+     the common kinds ([Passive], [Directive_only], [Timer]) make no
+     closure calls per event;
+   - the application clock is threaded as an unboxed loop argument
+     (the reference's [float ref] boxes a float per assignment), the
+     per-request service arithmetic for the dominant disk state
+     ([Ready], not failed, no recorder) is inlined against the
+     [Disk_state] record using the per-level tables precomputed at
+     [Disk_state.create], and telemetry/fault [option] checks are
+     hoisted so the [None] cases make no calls at all.
+
+   The reference body stays authoritative: every behavioural claim here
+   is pinned by the differential suite (test/test_fastpath.ml), which
+   asserts byte-identical results, timelines, fault counters and
+   histograms across both cores. *)
+
+module Request = Dpm_trace.Request
+module Stream = Dpm_trace.Trace.Stream
+module Chunk = Stream.Chunk
+module Service = Dpm_disk.Service
+module A1 = Bigarray.Array1
+
+let supported (policy : Policy.t) =
+  match policy.Policy.kind with
+  | Policy.Passive | Policy.Directive_only | Policy.Timer _ -> true
+  (* A hooked policy that also accepted directives would need a fifth
+     loop; no current policy is shaped that way, so it falls back to
+     the reference body instead. *)
+  | Policy.Hooked -> not policy.Policy.accepts_directives
+
+(* [Disk_state.serve] with the overwhelmingly common case — [Ready],
+   alive, no timeline recorder — inlined as straight-line arithmetic.
+   Operation-for-operation identical to the general path
+   ([max]/[advance]/[ready_at]/[serve]): the idle charge and residency
+   are guarded like [charge]/[note_residency], the active charge like
+   [charge], and the service residency is unguarded like [serve]'s.
+   Every other case (transitions, standby, failed, recording) takes the
+   general function.
+
+   The request time crosses this call through [fbuf] — a one-element
+   float-array mailbox ([fbuf.(0)] is the issue time on entry, the
+   completion time on return) — because ocamlopt's uniform calling
+   convention would box a float argument and a float return at any
+   non-inlined call site, and this core's zero-allocation claim must
+   not depend on the inliner's mood.  Float-array loads and stores
+   compile to raw moves. *)
+let serve_fast (st : Disk_state.t) ~fbuf ~bytes =
+  match st.phase with
+  | Disk_state.Ready lvl
+    when (not st.failed)
+         && (match st.recorder with None -> true | Some _ -> false) ->
+      let hot = st.Disk_state.hot in
+      let now = Array.unsafe_get fbuf 0 in
+      let lu = Array.unsafe_get hot Disk_state.ix_last_update in
+      let now = if now >= lu then now else lu in
+      if now > lu then begin
+        let dt = now -. lu in
+        Array.unsafe_set hot Disk_state.ix_total_energy
+          (Array.unsafe_get hot Disk_state.ix_total_energy
+          +. (Array.unsafe_get st.idle_power lvl *. dt));
+        Array.unsafe_set st.residency lvl
+          (Array.unsafe_get st.residency lvl +. dt)
+      end;
+      let fbytes = float_of_int bytes in
+      let flvl = float_of_int lvl in
+      let quot =
+        if
+          fbytes = Array.unsafe_get hot Disk_state.ix_svc_bytes
+          && flvl = Array.unsafe_get hot Disk_state.ix_svc_level
+        then Array.unsafe_get hot Disk_state.ix_svc_quot
+        else begin
+          let q = fbytes /. Array.unsafe_get st.svc_denom lvl in
+          Array.unsafe_set hot Disk_state.ix_svc_bytes fbytes;
+          Array.unsafe_set hot Disk_state.ix_svc_level flvl;
+          Array.unsafe_set hot Disk_state.ix_svc_quot q;
+          q
+        end
+      in
+      let service = Array.unsafe_get st.svc_base lvl +. quot in
+      let completion = now +. service in
+      if service > 0.0 then
+        Array.unsafe_set hot Disk_state.ix_total_energy
+          (Array.unsafe_get hot Disk_state.ix_total_energy
+          +. (Array.unsafe_get st.active_power lvl *. service));
+      Array.unsafe_set st.residency lvl
+        (Array.unsafe_get st.residency lvl +. service);
+      Array.unsafe_set hot Disk_state.ix_last_update completion;
+      if st.retain_busy then st.busy_rev <- (now, completion) :: st.busy_rev;
+      st.served <- st.served + 1;
+      Array.unsafe_set hot Disk_state.ix_idle_start completion;
+      Array.unsafe_set fbuf 0 completion
+  | _ ->
+      Array.unsafe_set fbuf 0
+        (Disk_state.serve st ~now:(Array.unsafe_get fbuf 0) ~bytes)
+
+let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
+    (stream : Stream.t) =
+  if not (supported policy) then
+    invalid_arg "Fastpath.replay: unsupported policy shape";
+  let specs = config.Config.specs in
+  let top = Dpm_disk.Rpm.max_level specs in
+  let ndisks = Stream.ndisks stream in
+  let disks =
+    Array.init ndisks (fun id ->
+        Disk_state.create ?recorder:timeline
+          ~retain_busy:config.Config.retain_busy specs ~id)
+  in
+  let gap_choices = ref [] in
+  let backlog = Array.make ndisks 0.0 in
+  let depth = max 1 config.Config.queue_depth in
+  let recent = Array.init ndisks (fun _ -> Array.make depth 0.0) in
+  let recent_pos = Array.make ndisks 0 in
+  (* Flat cell (not a [ref]): float-array stores stay unboxed. *)
+  let makespan = [| 0.0 |] in
+  let open_mode = match mode with `Open -> true | `Closed -> false in
+  let pm_overhead = config.Config.pm_call_overhead in
+  (* Full-speed service-time constants: [nom_base +. bytes /. nom_denom]
+     is float-identical to [Service.request_time specs ~level:top]. *)
+  let nom_base =
+    Service.seek_time specs +. Service.rotation_time specs ~level:top
+  in
+  let nom_denom = Service.transfer_denom specs ~level:top in
+  let kill d at = Disk_state.fail disks.(d) ~at in
+  (* Directive application (Directive_only loop), cold relative to IOs:
+     mirrors [Engine.apply_directive]. *)
+  let pm_apply tag d lvl clock =
+    let clock = clock +. pm_overhead in
+    if tag = Chunk.tag_spin_down then begin
+      Disk_state.record disks.(d) ~at:clock Timeline.Directive_spin_down;
+      Disk_state.spin_down disks.(d) ~now:clock
+    end
+    else if tag = Chunk.tag_spin_up then begin
+      Disk_state.record disks.(d) ~at:clock Timeline.Directive_spin_up;
+      match fault with
+      | None -> Disk_state.spin_up disks.(d) ~now:clock
+      | Some fs -> Fault.spin_up fs disks.(d) ~now:clock
+    end
+    else begin
+      if lvl < top then gap_choices := (d, clock, lvl) :: !gap_choices;
+      Disk_state.record disks.(d) ~at:clock (Timeline.Directive_set_rpm lvl);
+      Disk_state.set_level disks.(d) ~now:clock lvl
+    end;
+    clock
+  in
+
+  (* --- Monomorphic per-kind loops ---
+
+     Each loop is the reference per-event body with the policy's hook
+     sites resolved at compile time.  The application clock lives in
+     [clockc] — a one-element float array, so updates are raw unboxed
+     stores (a [float ref] would allocate a box per assignment, and a
+     float loop argument would be boxed at every non-inlined call) —
+     and service times cross [serve_fast] through the [fbuf] mailbox.
+     The bodies are intentionally textually parallel; any edit here
+     must be mirrored across all four and checked against
+     [Engine.replay]. *)
+  let run_passive () =
+    let clockc = [| 0.0 |] and fbuf = [| 0.0 |] in
+    (* One-entry cache of the full-speed transfer quotient
+       [bytes /. nom_denom] (see Disk_state.ix_svc_bytes): a hit is
+       bit-identical to dividing and skips the second serial divide
+       per event. *)
+    let nomk = [| -1.0 |] and nomv = [| 0.0 |] in
+    let running = ref true in
+    while !running do
+      match Stream.next_soa stream with
+      | None -> running := false
+      | Some c ->
+          let len = c.Chunk.len in
+          let thinkc = c.Chunk.think and tagc = c.Chunk.tag in
+          let diskc = c.Chunk.disk and bytesc = c.Chunk.bytes in
+          let blockc = c.Chunk.block in
+          for i = 0 to len - 1 do
+            let clock = Array.unsafe_get clockc 0 +. A1.unsafe_get thinkc i in
+            (match fault with
+            | None -> ()
+            | Some fs -> Fault.sweep fs ~now:clock ~kill);
+            let tag = A1.unsafe_get tagc i in
+            if tag > Chunk.tag_write then Array.unsafe_set clockc 0 clock
+            else begin
+              let disk0 = A1.unsafe_get diskc i in
+              let d =
+                match fault with
+                | None -> disk0
+                | Some fs -> Fault.serving_disk fs ~disk:disk0 ~now:clock
+              in
+              if d <> disk0 then
+                Disk_state.record
+                  (Array.unsafe_get disks d)
+                  ~at:clock (Timeline.Redirect disk0);
+              let st = Array.unsafe_get disks d in
+              let ring = Array.unsafe_get recent d in
+              let pos = Array.unsafe_get recent_pos d in
+              let oldest = Array.unsafe_get ring pos in
+              let clock = if oldest > clock then oldest else clock in
+              let arrival = clock in
+              (match obs with
+              | None -> ()
+              | Some o -> Observe.arrival o ~ring ~arrival);
+              let b = Array.unsafe_get backlog d in
+              let issue = if arrival >= b then arrival else b in
+              let before =
+                match obs with
+                | None -> 0
+                | Some _ -> (
+                    match fault with
+                    | Some fs -> Fault.retries_so_far fs
+                    | None -> 0)
+              in
+              let bytes = A1.unsafe_get bytesc i in
+              (match fault with
+              | None ->
+                  Array.unsafe_set fbuf 0 issue;
+                  serve_fast st ~fbuf ~bytes
+              | Some fs ->
+                  Array.unsafe_set fbuf 0
+                    (Fault.serve fs st ~now:issue ~bytes
+                       ~block:(A1.unsafe_get blockc i)));
+              let completion = Array.unsafe_get fbuf 0 in
+              Array.unsafe_set backlog d completion;
+              Array.unsafe_set ring pos completion;
+              Array.unsafe_set recent_pos d
+                (let p = pos + 1 in
+                 if p = depth then 0 else p);
+              if completion > Array.unsafe_get makespan 0 then
+                Array.unsafe_set makespan 0 completion;
+              (match obs with
+              | None -> ()
+              | Some o ->
+                  let response = completion -. arrival in
+                  Observe.service o ~fault ~retries_before:before ~response);
+              Array.unsafe_set clockc 0
+                (if open_mode then
+                   let fbytes = float_of_int bytes in
+                   let quot =
+                     if fbytes = Array.unsafe_get nomk 0 then
+                       Array.unsafe_get nomv 0
+                     else begin
+                       let q = fbytes /. nom_denom in
+                       Array.unsafe_set nomk 0 fbytes;
+                       Array.unsafe_set nomv 0 q;
+                       q
+                     end
+                   in
+                   arrival +. (nom_base +. quot)
+                 else completion)
+            end
+          done
+    done;
+    Array.unsafe_get clockc 0
+  in
+
+  let run_directive () =
+    let clockc = [| 0.0 |] and fbuf = [| 0.0 |] in
+    (* One-entry cache of the full-speed transfer quotient
+       [bytes /. nom_denom] (see Disk_state.ix_svc_bytes): a hit is
+       bit-identical to dividing and skips the second serial divide
+       per event. *)
+    let nomk = [| -1.0 |] and nomv = [| 0.0 |] in
+    let running = ref true in
+    while !running do
+      match Stream.next_soa stream with
+      | None -> running := false
+      | Some c ->
+          let len = c.Chunk.len in
+          let thinkc = c.Chunk.think and tagc = c.Chunk.tag in
+          let diskc = c.Chunk.disk and bytesc = c.Chunk.bytes in
+          let blockc = c.Chunk.block in
+          for i = 0 to len - 1 do
+            let clock = Array.unsafe_get clockc 0 +. A1.unsafe_get thinkc i in
+            (match fault with
+            | None -> ()
+            | Some fs -> Fault.sweep fs ~now:clock ~kill);
+            let tag = A1.unsafe_get tagc i in
+            if tag > Chunk.tag_write then
+              Array.unsafe_set clockc 0
+                (pm_apply tag
+                   (A1.unsafe_get diskc i)
+                   (A1.unsafe_get blockc i)
+                   clock)
+            else begin
+              let disk0 = A1.unsafe_get diskc i in
+              let d =
+                match fault with
+                | None -> disk0
+                | Some fs -> Fault.serving_disk fs ~disk:disk0 ~now:clock
+              in
+              if d <> disk0 then
+                Disk_state.record
+                  (Array.unsafe_get disks d)
+                  ~at:clock (Timeline.Redirect disk0);
+              let st = Array.unsafe_get disks d in
+              let ring = Array.unsafe_get recent d in
+              let pos = Array.unsafe_get recent_pos d in
+              let oldest = Array.unsafe_get ring pos in
+              let clock = if oldest > clock then oldest else clock in
+              let arrival = clock in
+              (match obs with
+              | None -> ()
+              | Some o -> Observe.arrival o ~ring ~arrival);
+              let b = Array.unsafe_get backlog d in
+              let issue = if arrival >= b then arrival else b in
+              let before =
+                match obs with
+                | None -> 0
+                | Some _ -> (
+                    match fault with
+                    | Some fs -> Fault.retries_so_far fs
+                    | None -> 0)
+              in
+              let bytes = A1.unsafe_get bytesc i in
+              (match fault with
+              | None ->
+                  Array.unsafe_set fbuf 0 issue;
+                  serve_fast st ~fbuf ~bytes
+              | Some fs ->
+                  Array.unsafe_set fbuf 0
+                    (Fault.serve fs st ~now:issue ~bytes
+                       ~block:(A1.unsafe_get blockc i)));
+              let completion = Array.unsafe_get fbuf 0 in
+              Array.unsafe_set backlog d completion;
+              Array.unsafe_set ring pos completion;
+              Array.unsafe_set recent_pos d
+                (let p = pos + 1 in
+                 if p = depth then 0 else p);
+              if completion > Array.unsafe_get makespan 0 then
+                Array.unsafe_set makespan 0 completion;
+              (match obs with
+              | None -> ()
+              | Some o ->
+                  let response = completion -. arrival in
+                  Observe.service o ~fault ~retries_before:before ~response);
+              Array.unsafe_set clockc 0
+                (if open_mode then
+                   let fbytes = float_of_int bytes in
+                   let quot =
+                     if fbytes = Array.unsafe_get nomk 0 then
+                       Array.unsafe_get nomv 0
+                     else begin
+                       let q = fbytes /. nom_denom in
+                       Array.unsafe_set nomk 0 fbytes;
+                       Array.unsafe_set nomv 0 q;
+                       q
+                     end
+                   in
+                   arrival +. (nom_base +. quot)
+                 else completion)
+            end
+          done
+    done;
+    Array.unsafe_get clockc 0
+  in
+
+  let run_timer threshold =
+    let clockc = [| 0.0 |] and fbuf = [| 0.0 |] in
+    (* One-entry cache of the full-speed transfer quotient
+       [bytes /. nom_denom] (see Disk_state.ix_svc_bytes): a hit is
+       bit-identical to dividing and skips the second serial divide
+       per event. *)
+    let nomk = [| -1.0 |] and nomv = [| 0.0 |] in
+    let running = ref true in
+    while !running do
+      match Stream.next_soa stream with
+      | None -> running := false
+      | Some c ->
+          let len = c.Chunk.len in
+          let thinkc = c.Chunk.think and tagc = c.Chunk.tag in
+          let diskc = c.Chunk.disk and bytesc = c.Chunk.bytes in
+          let blockc = c.Chunk.block in
+          for i = 0 to len - 1 do
+            let clock = Array.unsafe_get clockc 0 +. A1.unsafe_get thinkc i in
+            (match fault with
+            | None -> ()
+            | Some fs -> Fault.sweep fs ~now:clock ~kill);
+            let tag = A1.unsafe_get tagc i in
+            if tag > Chunk.tag_write then Array.unsafe_set clockc 0 clock
+            else begin
+              let disk0 = A1.unsafe_get diskc i in
+              let d =
+                match fault with
+                | None -> disk0
+                | Some fs -> Fault.serving_disk fs ~disk:disk0 ~now:clock
+              in
+              if d <> disk0 then
+                Disk_state.record
+                  (Array.unsafe_get disks d)
+                  ~at:clock (Timeline.Redirect disk0);
+              let st = Array.unsafe_get disks d in
+              let ring = Array.unsafe_get recent d in
+              let pos = Array.unsafe_get recent_pos d in
+              let oldest = Array.unsafe_get ring pos in
+              let clock = if oldest > clock then oldest else clock in
+              let arrival = clock in
+              (match obs with
+              | None -> ()
+              | Some o -> Observe.arrival o ~ring ~arrival);
+              let b = Array.unsafe_get backlog d in
+              let issue = if arrival >= b then arrival else b in
+              (* [Policy.tpm]'s catch_up, inlined: fixed-threshold
+                 spin-down fired retroactively at its expiry. *)
+              (match st.Disk_state.phase with
+              | Disk_state.Ready _ ->
+                  let fire_at =
+                    Array.unsafe_get st.Disk_state.hot
+                      Disk_state.ix_idle_start
+                    +. threshold
+                  in
+                  if issue >= fire_at then
+                    Disk_state.spin_down st ~now:fire_at
+              | Disk_state.Changing _ | Disk_state.Spinning_down _
+              | Disk_state.Standby | Disk_state.Spinning_up _ ->
+                  ());
+              let before =
+                match obs with
+                | None -> 0
+                | Some _ -> (
+                    match fault with
+                    | Some fs -> Fault.retries_so_far fs
+                    | None -> 0)
+              in
+              let bytes = A1.unsafe_get bytesc i in
+              (match fault with
+              | None ->
+                  Array.unsafe_set fbuf 0 issue;
+                  serve_fast st ~fbuf ~bytes
+              | Some fs ->
+                  Array.unsafe_set fbuf 0
+                    (Fault.serve fs st ~now:issue ~bytes
+                       ~block:(A1.unsafe_get blockc i)));
+              let completion = Array.unsafe_get fbuf 0 in
+              Array.unsafe_set backlog d completion;
+              Array.unsafe_set ring pos completion;
+              Array.unsafe_set recent_pos d
+                (let p = pos + 1 in
+                 if p = depth then 0 else p);
+              if completion > Array.unsafe_get makespan 0 then
+                Array.unsafe_set makespan 0 completion;
+              (match obs with
+              | None -> ()
+              | Some o ->
+                  let response = completion -. arrival in
+                  Observe.service o ~fault ~retries_before:before ~response);
+              Array.unsafe_set clockc 0
+                (if open_mode then
+                   let fbytes = float_of_int bytes in
+                   let quot =
+                     if fbytes = Array.unsafe_get nomk 0 then
+                       Array.unsafe_get nomv 0
+                     else begin
+                       let q = fbytes /. nom_denom in
+                       Array.unsafe_set nomk 0 fbytes;
+                       Array.unsafe_set nomv 0 q;
+                       q
+                     end
+                   in
+                   arrival +. (nom_base +. quot)
+                 else completion)
+            end
+          done
+    done;
+    Array.unsafe_get clockc 0
+  in
+
+  let run_hooked () =
+    let catch_up = policy.Policy.catch_up in
+    let on_complete = policy.Policy.on_complete in
+    let clockc = [| 0.0 |] and fbuf = [| 0.0 |] in
+    (* One-entry cache of the full-speed transfer quotient
+       [bytes /. nom_denom] (see Disk_state.ix_svc_bytes): a hit is
+       bit-identical to dividing and skips the second serial divide
+       per event. *)
+    let nomk = [| -1.0 |] and nomv = [| 0.0 |] in
+    let running = ref true in
+    while !running do
+      match Stream.next_soa stream with
+      | None -> running := false
+      | Some c ->
+          let len = c.Chunk.len in
+          let thinkc = c.Chunk.think and tagc = c.Chunk.tag in
+          let diskc = c.Chunk.disk and bytesc = c.Chunk.bytes in
+          let blockc = c.Chunk.block in
+          for i = 0 to len - 1 do
+            let clock = Array.unsafe_get clockc 0 +. A1.unsafe_get thinkc i in
+            (match fault with
+            | None -> ()
+            | Some fs -> Fault.sweep fs ~now:clock ~kill);
+            let tag = A1.unsafe_get tagc i in
+            if tag > Chunk.tag_write then Array.unsafe_set clockc 0 clock
+            else begin
+              let disk0 = A1.unsafe_get diskc i in
+              let d =
+                match fault with
+                | None -> disk0
+                | Some fs -> Fault.serving_disk fs ~disk:disk0 ~now:clock
+              in
+              if d <> disk0 then
+                Disk_state.record
+                  (Array.unsafe_get disks d)
+                  ~at:clock (Timeline.Redirect disk0);
+              let st = Array.unsafe_get disks d in
+              let ring = Array.unsafe_get recent d in
+              let pos = Array.unsafe_get recent_pos d in
+              let oldest = Array.unsafe_get ring pos in
+              let clock = if oldest > clock then oldest else clock in
+              let arrival = clock in
+              (match obs with
+              | None -> ()
+              | Some o -> Observe.arrival o ~ring ~arrival);
+              let b = Array.unsafe_get backlog d in
+              let issue = if arrival >= b then arrival else b in
+              catch_up st ~now:issue;
+              let before =
+                match obs with
+                | None -> 0
+                | Some _ -> (
+                    match fault with
+                    | Some fs -> Fault.retries_so_far fs
+                    | None -> 0)
+              in
+              let bytes = A1.unsafe_get bytesc i in
+              (match fault with
+              | None ->
+                  Array.unsafe_set fbuf 0 issue;
+                  serve_fast st ~fbuf ~bytes
+              | Some fs ->
+                  Array.unsafe_set fbuf 0
+                    (Fault.serve fs st ~now:issue ~bytes
+                       ~block:(A1.unsafe_get blockc i)));
+              let completion = Array.unsafe_get fbuf 0 in
+              Array.unsafe_set backlog d completion;
+              Array.unsafe_set ring pos completion;
+              Array.unsafe_set recent_pos d
+                (let p = pos + 1 in
+                 if p = depth then 0 else p);
+              if completion > Array.unsafe_get makespan 0 then
+                Array.unsafe_set makespan 0 completion;
+              let response = completion -. arrival in
+              (match obs with
+              | None -> ()
+              | Some o ->
+                  Observe.service o ~fault ~retries_before:before ~response);
+              let fbytes = float_of_int bytes in
+              let quot =
+                if fbytes = Array.unsafe_get nomk 0 then
+                  Array.unsafe_get nomv 0
+                else begin
+                  let q = fbytes /. nom_denom in
+                  Array.unsafe_set nomk 0 fbytes;
+                  Array.unsafe_set nomv 0 q;
+                  q
+                end
+              in
+              let nominal = nom_base +. quot in
+              on_complete st ~now:completion ~response ~nominal;
+              Array.unsafe_set clockc 0
+                (if open_mode then arrival +. nominal else completion)
+            end
+          done
+    done;
+    Array.unsafe_get clockc 0
+  in
+
+  let clock =
+    match policy.Policy.kind with
+    | Policy.Passive -> run_passive ()
+    | Policy.Directive_only -> run_directive ()
+    | Policy.Timer threshold -> run_timer threshold
+    | Policy.Hooked -> run_hooked ()
+  in
+  (* Cold tail: identical to the reference result assembly. *)
+  let clock = clock +. Stream.tail_think stream in
+  let ms = Array.unsafe_get makespan 0 in
+  let exec_time = if clock >= ms then clock else ms in
+  (match fault with
+  | None -> ()
+  | Some fs -> Fault.sweep fs ~now:exec_time ~kill);
+  Array.iter
+    (fun st ->
+      policy.Policy.catch_up st ~now:exec_time;
+      Disk_state.finalize st ~at:exec_time)
+    disks;
+  (match timeline with
+  | None -> ()
+  | Some sink ->
+      Timeline.set_label sink ~scheme:policy.Policy.name
+        ~program:(Stream.program stream);
+      Timeline.emit sink (Timeline.Sim_end exec_time));
+  let disk_stats =
+    Array.map
+      (fun st ->
+        {
+          Result.energy = Disk_state.energy st;
+          busy = Disk_state.busy_intervals st;
+          requests = Disk_state.requests_served st;
+          transitions = Disk_state.transition_count st;
+          spin_downs = Disk_state.spin_down_count st;
+          level_residency = Disk_state.level_residency st;
+          standby_time = Disk_state.standby_residency st;
+          transition_time = Disk_state.transition_residency st;
+        })
+      disks
+  in
+  {
+    Result.scheme = policy.Policy.name;
+    program = Stream.program stream;
+    exec_time;
+    energy =
+      Array.fold_left
+        (fun acc (d : Result.disk_stats) -> acc +. d.Result.energy)
+        0.0 disk_stats;
+    disks = disk_stats;
+    gap_choices = List.rev !gap_choices;
+    faults =
+      (match fault with
+      | None -> Result.no_faults
+      | Some fs -> Fault.stats fs ~exec_time);
+  }

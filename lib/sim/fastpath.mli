@@ -1,0 +1,30 @@
+(** Specialized zero-allocation replay core.
+
+    The semantics are defined by [Engine]'s reference body; this module
+    re-implements the single-stream replay over structure-of-arrays
+    chunks ({!Dpm_trace.Trace.Stream.next_soa}) with one monomorphic
+    inner loop per {!Policy.kind} and the dominant-case service
+    arithmetic inlined.  Results — energies, execution times, fault
+    counters, gap choices, timelines, telemetry histograms — are
+    byte-identical to the reference for every supported policy, pinned
+    by the differential suite (test/test_fastpath.ml).  Reach it
+    through [Engine.run_stream ?core] rather than calling it directly. *)
+
+val supported : Policy.t -> bool
+(** Whether this core can replay the policy.  True for every policy the
+    simulator currently defines; false only for the unoccupied shape
+    [Hooked] + [accepts_directives] (the engine then falls back to the
+    reference body). *)
+
+val replay :
+  config:Config.t ->
+  mode:[ `Open | `Closed ] ->
+  fault:Fault.state option ->
+  timeline:Timeline.sink option ->
+  obs:Observe.t option ->
+  Policy.t ->
+  Dpm_trace.Trace.Stream.t ->
+  Result.t
+(** Drain the stream and return the outcome (the stream is consumed).
+    Raises [Invalid_argument] if {!supported} is false for the
+    policy. *)

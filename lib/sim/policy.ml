@@ -1,6 +1,9 @@
+type kind = Passive | Directive_only | Timer of float | Hooked
+
 type t = {
   name : string;
   accepts_directives : bool;
+  kind : kind;
   catch_up : Disk_state.t -> now:float -> unit;
   on_complete :
     Disk_state.t -> now:float -> response:float -> nominal:float -> unit;
@@ -13,6 +16,7 @@ let base =
   {
     name = "Base";
     accepts_directives = false;
+    kind = Passive;
     catch_up = no_catch_up;
     on_complete = no_on_complete;
   }
@@ -35,6 +39,7 @@ let tpm (config : Config.t) =
   {
     name = "TPM";
     accepts_directives = false;
+    kind = Timer threshold;
     catch_up;
     on_complete = no_on_complete;
   }
@@ -68,21 +73,26 @@ let tpm_adaptive (config : Config.t) ~ndisks =
   {
     name = "ATPM";
     accepts_directives = false;
+    kind = Hooked;
     catch_up;
     on_complete = no_on_complete;
   }
 
-type drpm_window = {
-  mutable count : int;
-  mutable response_sum : float;
-  mutable nominal_sum : float;
-  mutable span_start : float;
-}
+(* Per-disk averaging window.  The three running floats live in [sums]
+   (0 = response sum, 1 = nominal sum, 2 = span start) rather than as
+   mutable record fields: float fields of a mixed record box on every
+   write, and [on_complete] runs per served request on the replay fast
+   path. *)
+type drpm_window = { mutable count : int; sums : float array }
+
+let w_response = 0
+let w_nominal = 1
+let w_span_start = 2
 
 let drpm (config : Config.t) ~ndisks =
   let windows =
     Array.init ndisks (fun _ ->
-        { count = 0; response_sum = 0.0; nominal_sum = 0.0; span_start = 0.0 })
+        { count = 0; sums = Array.make 3 0.0 })
   in
   let top = Dpm_disk.Rpm.max_level config.specs in
   (* Restores are deferred to the next idle moment: firmware cannot
@@ -127,32 +137,33 @@ let drpm (config : Config.t) ~ndisks =
   in
   let on_complete st ~now ~response ~nominal =
     let w = windows.(Disk_state.id st) in
-    if w.count = 0 then w.span_start <- now -. response;
+    let sums = w.sums in
+    if w.count = 0 then sums.(w_span_start) <- now -. response;
     w.count <- w.count + 1;
-    w.response_sum <- w.response_sum +. response;
-    w.nominal_sum <- w.nominal_sum +. nominal;
+    sums.(w_response) <- sums.(w_response) +. response;
+    sums.(w_nominal) <- sums.(w_nominal) +. nominal;
     (* A grossly degraded response (a request that caught the disk at a
        drifted-down level) triggers an immediate restore — the
        controller "compensating for the previous slowdown". *)
     if response > nominal *. 1.3 && Disk_state.level st < top then begin
       pending_restore.(Disk_state.id st) <- true;
       w.count <- 0;
-      w.response_sum <- 0.0;
-      w.nominal_sum <- 0.0
+      sums.(w_response) <- 0.0;
+      sums.(w_nominal) <- 0.0
     end
     else if w.count >= config.drpm_window then begin
-      let degradation = (w.response_sum /. w.nominal_sum) -. 1.0 in
-      let nominal_total = w.nominal_sum in
+      let degradation = (sums.(w_response) /. sums.(w_nominal)) -. 1.0 in
+      let nominal_total = sums.(w_nominal) in
       w.count <- 0;
-      w.response_sum <- 0.0;
-      w.nominal_sum <- 0.0;
+      sums.(w_response) <- 0.0;
+      sums.(w_nominal) <- 0.0;
       if degradation > config.drpm_upper then
         pending_restore.(Disk_state.id st) <- true
       else if degradation < config.drpm_lower then begin
         (* Step down only when the window shows real headroom: a busy
            window (demand filling much of its span) must not be slowed,
            and modulating mid-burst would block queued requests. *)
-        let span = now -. w.span_start in
+        let span = now -. sums.(w_span_start) in
         let utilization = if span > 0.0 then nominal_total /. span else 1.0 in
         let level = Disk_state.level st in
         if utilization < 0.4 && level > 0 then
@@ -160,12 +171,13 @@ let drpm (config : Config.t) ~ndisks =
       end
     end
   in
-  { name = "DRPM"; accepts_directives = false; catch_up; on_complete }
+  { name = "DRPM"; accepts_directives = false; kind = Hooked; catch_up; on_complete }
 
 let cm_tpm =
   {
     name = "CMTPM";
     accepts_directives = true;
+    kind = Directive_only;
     catch_up = no_catch_up;
     on_complete = no_on_complete;
   }
@@ -174,6 +186,7 @@ let cm_drpm =
   {
     name = "CMDRPM";
     accepts_directives = true;
+    kind = Directive_only;
     catch_up = no_catch_up;
     on_complete = no_on_complete;
   }

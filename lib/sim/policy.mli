@@ -10,9 +10,26 @@
     [accepts_directives] so the engine applies the trace's inserted
     calls. *)
 
+type kind =
+  | Passive  (** No reactive decisions at all ({!base}). *)
+  | Directive_only
+      (** No hooks; only trace directives act ({!cm_tpm}, {!cm_drpm}). *)
+  | Timer of float
+      (** [catch_up] is exactly the fixed-threshold spin-down check with
+          this threshold ({!tpm}) — the specialized replay core inlines
+          it instead of calling the closure. *)
+  | Hooked
+      (** Stateful closures the replay core must call per request
+          ({!tpm_adaptive}, {!drpm}). *)
+
 type t = {
   name : string;
   accepts_directives : bool;
+  kind : kind;
+      (** Classification of the hooks for loop specialization.  The
+          closures below are always authoritative — [kind] is a promise
+          that they behave as described, relied on (and differentially
+          tested) by {!Fastpath}. *)
   catch_up : Disk_state.t -> now:float -> unit;
   on_complete :
     Disk_state.t -> now:float -> response:float -> nominal:float -> unit;

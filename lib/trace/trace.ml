@@ -1,14 +1,164 @@
 exception Parse_error of string
 
+module Soa = struct
+  type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type t = {
+    mutable len : int;
+    think : floats;
+    tag : ints;
+    disk : ints;
+    block : ints;
+    bytes : ints;
+    nest : ints;
+    iter : ints;
+  }
+
+  let tag_read = 0
+  let tag_write = 1
+  let tag_spin_down = 2
+  let tag_spin_up = 3
+  let tag_set_rpm = 4
+  let is_io_tag tag = tag <= tag_write
+
+  let create capacity =
+    if capacity <= 0 then
+      invalid_arg "Trace.Stream.Chunk.create: non-positive capacity";
+    let ints n = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+    {
+      len = 0;
+      think = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout capacity;
+      tag = ints capacity;
+      disk = ints capacity;
+      block = ints capacity;
+      bytes = ints capacity;
+      nest = ints capacity;
+      iter = ints capacity;
+    }
+
+  let capacity c = Bigarray.Array1.dim c.tag
+  let length c = c.len
+  let clear c = c.len <- 0
+  let think c i : float = Bigarray.Array1.get c.think i
+  let tag c i = Bigarray.Array1.get c.tag i
+  let disk c i = Bigarray.Array1.get c.disk i
+  let block c i = Bigarray.Array1.get c.block i
+  let bytes c i = Bigarray.Array1.get c.bytes i
+  let nest c i = Bigarray.Array1.get c.nest i
+  let iter c i = Bigarray.Array1.get c.iter i
+
+  let set c i (e : Request.event) =
+    let open Bigarray.Array1 in
+    match e with
+    | Request.Io io ->
+        unsafe_set c.think i io.Request.think;
+        unsafe_set c.tag i
+          (match io.Request.kind with
+          | Request.Read -> tag_read
+          | Request.Write -> tag_write);
+        unsafe_set c.disk i io.Request.disk;
+        unsafe_set c.block i io.Request.block;
+        unsafe_set c.bytes i io.Request.bytes;
+        unsafe_set c.nest i io.Request.nest;
+        unsafe_set c.iter i io.Request.iter
+    | Request.Pm { think; directive } ->
+        unsafe_set c.think i think;
+        (match directive with
+        | Request.Spin_down d ->
+            unsafe_set c.tag i tag_spin_down;
+            unsafe_set c.disk i d;
+            unsafe_set c.block i 0
+        | Request.Spin_up d ->
+            unsafe_set c.tag i tag_spin_up;
+            unsafe_set c.disk i d;
+            unsafe_set c.block i 0
+        | Request.Set_rpm { level; disk } ->
+            unsafe_set c.tag i tag_set_rpm;
+            unsafe_set c.disk i disk;
+            unsafe_set c.block i level);
+        unsafe_set c.bytes i 0;
+        unsafe_set c.nest i 0;
+        unsafe_set c.iter i 0
+
+  let push c e =
+    if c.len >= capacity c then
+      invalid_arg "Trace.Stream.Chunk.push: chunk full";
+    set c c.len e;
+    c.len <- c.len + 1
+
+  let get c i : Request.event =
+    if i < 0 || i >= c.len then
+      invalid_arg "Trace.Stream.Chunk.get: index out of bounds";
+    let think = think c i in
+    let tag = tag c i in
+    if is_io_tag tag then
+      Request.Io
+        {
+          Request.think;
+          disk = disk c i;
+          block = block c i;
+          bytes = bytes c i;
+          kind = (if tag = tag_read then Request.Read else Request.Write);
+          nest = nest c i;
+          iter = iter c i;
+        }
+    else if tag = tag_spin_down then
+      Request.Pm { think; directive = Request.Spin_down (disk c i) }
+    else if tag = tag_spin_up then
+      Request.Pm { think; directive = Request.Spin_up (disk c i) }
+    else
+      Request.Pm
+        { think; directive = Request.Set_rpm { level = block c i; disk = disk c i } }
+
+  let of_events events =
+    let c = create (max 1 (Array.length events)) in
+    Array.iter (push c) events;
+    c
+
+  (* Zero-copy view of [len] rows starting at [pos]: the columns are
+     [Bigarray.Array1.sub] windows sharing the parent's storage, so a
+     chunked consumer of a memoized whole-trace column store pays no
+     per-event transcription.  Mutating a view mutates the parent. *)
+  let sub c pos len =
+    let open Bigarray.Array1 in
+    {
+      len;
+      think = sub c.think pos len;
+      tag = sub c.tag pos len;
+      disk = sub c.disk pos len;
+      block = sub c.block pos len;
+      bytes = sub c.bytes pos len;
+      nest = sub c.nest pos len;
+      iter = sub c.iter pos len;
+    }
+
+  let to_events c = Array.init c.len (get c)
+end
+
+
 type t = {
   program : string;
   ndisks : int;
   events : Request.event array;
   tail_think : float;
+  soa_cache : Soa.t option Atomic.t;
+      (* Whole-trace column store, built on first [Stream.of_trace]
+         replay and shared by every later stream over this trace (chunks
+         are zero-copy views).  Atomic so concurrent domains replaying
+         the same trace publish a fully-built store or none. *)
 }
 
 (* Alias so [Stream]'s own [t] can still name the materialized type. *)
 type trace = t
+
+let soa_of_trace t =
+  match Atomic.get t.soa_cache with
+  | Some c -> c
+  | None ->
+      let c = Soa.of_events t.events in
+      Atomic.set t.soa_cache (Some c);
+      c
 
 let check_event ~ndisks = function
   | Request.Io io ->
@@ -20,7 +170,7 @@ let make ?(tail_think = 0.0) ~program ~ndisks events =
   if ndisks <= 0 then invalid_arg "Trace.make: non-positive disk count";
   let events = Array.of_list events in
   Array.iter (check_event ~ndisks) events;
-  { program; ndisks; events; tail_think }
+  { program; ndisks; events; tail_think; soa_cache = Atomic.make None }
 
 let program t = t.program
 let ndisks t = t.ndisks
@@ -55,6 +205,7 @@ let map_events f t =
   {
     t with
     events = Array.of_list (List.filter_map f (Array.to_list t.events));
+    soa_cache = Atomic.make None;
   }
 
 let without_pm t =
@@ -75,6 +226,7 @@ let without_pm t =
     t with
     events = Array.of_list events;
     tail_think = t.tail_think +. !pending;
+    soa_cache = Atomic.make None;
   }
 
 let save t path =
@@ -98,6 +250,16 @@ let max_nblocks_chunk acc chunk =
     acc chunk
 
 module Stream = struct
+  (* --- Structure-of-arrays chunks ---
+
+     The replay hot loop reads events by index out of parallel Bigarray
+     columns: a [float64] column for think times (unboxed on read) and
+     native-[int] columns for everything else.  One tag per event encodes
+     the constructor, so the loop never touches a [Request.event] block.
+     [disk] doubles as the directive's disk and [block] as the
+     [Set_rpm] level — directives use none of the IO-only columns. *)
+  module Chunk = Soa
+
   type nonrec t = {
     program : string;
     ndisks : int;
@@ -106,6 +268,12 @@ module Stream = struct
     mutable tail : float option;
     mutable pull : unit -> Request.event array option;
     mutable exhausted : bool;
+    (* SoA fast lane: producers that can produce column chunks natively
+       (a view of a memoized store, or a parse loop filling the reused
+       [scratch]) install [produce_soa]; others fall back to
+       transcribing [next]'s record chunks into [scratch]. *)
+    mutable produce_soa : (unit -> Chunk.t option) option;
+    mutable scratch : Chunk.t option;
   }
 
   let default_batch = 4096
@@ -125,7 +293,17 @@ module Stream = struct
     if batch <= 0 then invalid_arg "Trace.Stream.make: non-positive batch";
     if ndisks <= 0 then
       invalid_arg "Trace.Stream.make: non-positive disk count";
-    { program; ndisks; batch; nblocks; tail; pull; exhausted = false }
+    {
+      program;
+      ndisks;
+      batch;
+      nblocks;
+      tail;
+      pull;
+      exhausted = false;
+      produce_soa = None;
+      scratch = None;
+    }
 
   let rec next s =
     if s.exhausted then None
@@ -147,20 +325,74 @@ module Stream = struct
     in
     loop ()
 
+  (* Reused SoA buffer: one chunk live per stream, grown only if a raw
+     pull hands back a chunk larger than [batch]. *)
+  let soa_scratch s ~capacity =
+    match s.scratch with
+    | Some c when Chunk.capacity c >= capacity ->
+        Chunk.clear c;
+        c
+    | _ ->
+        let c = Chunk.create capacity in
+        s.scratch <- Some c;
+        c
+
+  let next_soa s =
+    if s.exhausted then None
+    else
+      match s.produce_soa with
+      | Some produce -> (
+          match produce () with
+          | Some c when Chunk.length c > 0 -> Some c
+          | Some _ | None ->
+              s.exhausted <- true;
+              None)
+      | None -> (
+          (* Transcription fallback (coroutine producers, raw [make]
+             pulls): one column-store copy per chunk, amortized over
+             [batch] events. *)
+          match next s with
+          | None -> None
+          | Some arr ->
+              let c =
+                soa_scratch s ~capacity:(max s.batch (Array.length arr))
+              in
+              Array.iter (Chunk.push c) arr;
+              Some c)
+
   let of_trace ?(batch = default_batch) (tr : trace) =
     let n = Array.length tr.events in
     let pos = ref 0 in
-    make ~batch ~tail:tr.tail_think
-      ~nblocks:(lazy (max_nblocks_chunk 0 tr.events))
-      ~program:tr.program ~ndisks:tr.ndisks
-      (fun () ->
-        if !pos >= n then None
-        else begin
-          let len = min batch (n - !pos) in
-          let chunk = Array.sub tr.events !pos len in
-          pos := !pos + len;
-          Some chunk
-        end)
+    let s =
+      make ~batch ~tail:tr.tail_think
+        ~nblocks:(lazy (max_nblocks_chunk 0 tr.events))
+        ~program:tr.program ~ndisks:tr.ndisks
+        (fun () ->
+          if !pos >= n then None
+          else begin
+            let len = min batch (n - !pos) in
+            let chunk = Array.sub tr.events !pos len in
+            pos := !pos + len;
+            Some chunk
+          end)
+    in
+    (* Native SoA producer sharing the cursor with the record pull, so
+       mixed [next]/[next_soa] consumers see each event exactly once.
+       Chunks are zero-copy views of the trace's memoized column store:
+       the AoS-to-SoA transcription runs once per trace, not once per
+       replay. *)
+    s.produce_soa <-
+      Some
+        (fun () ->
+          if !pos >= n then None
+          else begin
+            let full = soa_of_trace tr in
+            let len = min batch (n - !pos) in
+            let p = !pos in
+            pos := p + len;
+            Some (Chunk.sub full p len)
+          end);
+    s
 
   (* --- Push-to-pull inversion via effects ---
 
@@ -298,36 +530,60 @@ module Stream = struct
         close_in ic
       end
     in
-    make ~batch ~tail
-      ~nblocks:(lazy (scan_nblocks path))
-      ~program ~ndisks
-      (fun () ->
-        if !closed then None
-        else begin
-          let rev = ref [] in
-          let count = ref 0 in
-          (try
-             while !count < batch do
-               let line = input_line ic in
-               incr lineno;
-               if String.trim line <> "" then begin
-                 let event =
-                   try parse_line path ~ndisks ~lineno:!lineno line
-                   with e ->
-                     finish ();
-                     raise e
-                 in
-                 rev := event :: !rev;
-                 incr count
-               end
-             done
-           with End_of_file -> finish ());
-          if !count = 0 then begin
-            finish ();
-            None
-          end
-          else Some (Array.of_list (List.rev !rev))
-        end)
+    (* One parse loop shared by both lanes: [emit] receives up to [batch]
+       events, so the record pull and the SoA fill see the exact same
+       event sequence (and the same [Parse_error]s, file positions,
+       channel close discipline). *)
+    let read_batch emit =
+      let count = ref 0 in
+      (try
+         while !count < batch do
+           let line = input_line ic in
+           incr lineno;
+           if String.trim line <> "" then begin
+             let event =
+               try parse_line path ~ndisks ~lineno:!lineno line
+               with e ->
+                 finish ();
+                 raise e
+             in
+             emit event;
+             incr count
+           end
+         done
+       with End_of_file -> finish ());
+      !count
+    in
+    let s =
+      make ~batch ~tail
+        ~nblocks:(lazy (scan_nblocks path))
+        ~program ~ndisks
+        (fun () ->
+          if !closed then None
+          else begin
+            let rev = ref [] in
+            let count = read_batch (fun e -> rev := e :: !rev) in
+            if count = 0 then begin
+              finish ();
+              None
+            end
+            else Some (Array.of_list (List.rev !rev))
+          end)
+    in
+    s.produce_soa <-
+      Some
+        (fun () ->
+          if !closed then None
+          else begin
+            let c = soa_scratch s ~capacity:s.batch in
+            let count = read_batch (Chunk.push c) in
+            if count = 0 then begin
+              finish ();
+              None
+            end
+            else Some c
+          end);
+    s
 
   let to_trace s =
     let chunks = ref [] in
@@ -346,6 +602,7 @@ module Stream = struct
       ndisks = s.ndisks;
       events;
       tail_think = tail_think s;
+      soa_cache = Atomic.make None;
     }
 end
 

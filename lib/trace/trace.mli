@@ -85,6 +85,79 @@ val max_nblocks_chunk : int -> Request.event array -> int
     in order compute exactly what they would over the whole array, so
     replays are byte-identical at any batch size. *)
 module Stream : sig
+  (** Structure-of-arrays event chunks — the replay engine's hot-path
+      representation.
+
+      A chunk stores up to [capacity] events as parallel Bigarray
+      columns: [think] is a [float64] column (reads are unboxed in the
+      consumer's arithmetic) and the rest are native-[int] columns.  The
+      per-event [tag] encodes the [Request.event] constructor; [disk]
+      doubles as a directive's disk, and [block] as the [Set_rpm] level.
+      The record is exposed so the specialized replay loop can index the
+      columns directly ([Bigarray.Array1.unsafe_get] compiles to a plain
+      load when the element kind is statically known); treat the fields
+      as read-only outside this library and mutate through
+      {!Chunk.push}/{!Chunk.set}/{!Chunk.clear}. *)
+  module Chunk : sig
+    type floats =
+      (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+    type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+    type t = {
+      mutable len : int;  (** Events currently stored; indices [0..len-1]. *)
+      think : floats;
+      tag : ints;  (** One of the [tag_*] values below. *)
+      disk : ints;  (** IO disk, or the directive's disk. *)
+      block : ints;  (** IO block, or the [Set_rpm] level. *)
+      bytes : ints;
+      nest : ints;
+      iter : ints;
+    }
+
+    val tag_read : int
+    val tag_write : int
+    val tag_spin_down : int
+    val tag_spin_up : int
+    val tag_set_rpm : int
+
+    val is_io_tag : int -> bool
+    (** True for {!tag_read}/{!tag_write}. *)
+
+    val create : int -> t
+    (** Empty chunk with the given capacity (raises [Invalid_argument]
+        if non-positive). *)
+
+    val capacity : t -> int
+    val length : t -> int
+
+    val clear : t -> unit
+    (** Reset to empty; the columns are reused in place. *)
+
+    val set : t -> int -> Request.event -> unit
+    (** Encode one event at an index (unchecked; use {!push} to
+        append). *)
+
+    val push : t -> Request.event -> unit
+    (** Append one event; raises [Invalid_argument] when full. *)
+
+    val get : t -> int -> Request.event
+    (** Decode the event at an index (allocates the record); raises
+        [Invalid_argument] out of bounds.  [get (push c e) = e] for
+        every event — the encoding is lossless. *)
+
+    val think : t -> int -> float
+    val tag : t -> int -> int
+    val disk : t -> int -> int
+    val block : t -> int -> int
+    val bytes : t -> int -> int
+    val nest : t -> int -> int
+    val iter : t -> int -> int
+
+    val of_events : Request.event array -> t
+    val to_events : t -> Request.event array
+  end
+
   type nonrec t
 
   val default_batch : int
@@ -135,6 +208,17 @@ module Stream : sig
   val next : t -> Request.event array option
   (** Next non-empty chunk, or [None] once exhausted (and forever
       after — the exhaustion latch makes repeated calls safe). *)
+
+  val next_soa : t -> Chunk.t option
+  (** Next non-empty chunk in structure-of-arrays form, or [None] once
+      exhausted (same latch as {!next}; mixing the two lanes on one
+      stream is allowed — they share the underlying cursor, so every
+      event is delivered exactly once).  {!of_trace} and {!of_file}
+      streams fill the chunk natively (no intermediate
+      [Request.event] records for {!of_trace}); other producers
+      transcribe {!next}'s record chunks.  The returned chunk is a
+      scratch buffer owned by the stream and overwritten by the
+      following [next_soa] call — consume it before pulling again. *)
 
   val iter : (Request.event -> unit) -> t -> unit
   (** Drain the stream, applying [f] to every event in order. *)

@@ -1,0 +1,97 @@
+(* Shared trace constructors and QCheck generators for the simulator
+   test suites (stream, fault, timeline, fastpath).  Everything here is
+   deterministic or seeded: the differential suites compare replay
+   results byte-for-byte, so the inputs must reproduce exactly. *)
+
+module Request = Dpm_trace.Request
+module Trace = Dpm_trace.Trace
+module Fault = Dpm_sim.Fault
+
+let kib = Dpm_util.Units.kib
+
+let io ?(think = 0.05) ?(disk = 0) ?(block = 0) ?(bytes = kib 64)
+    ?(kind = Request.Read) ?(nest = 0) ?(iter = 0) () =
+  Request.Io { think; disk; block; bytes; kind; nest; iter }
+
+(* A small fixed trace exercising every event shape: reads and writes of
+   different sizes, all three directives, zero and non-zero think
+   times. *)
+let sample_events =
+  [
+    io ~think:0.001 ~disk:0 ~block:4 ();
+    io ~think:0.002 ~disk:1 ~block:9 ~kind:Request.Write ~iter:1 ();
+    Request.Pm { think = 0.5; directive = Request.Spin_down 2 };
+    io ~think:0.0 ~disk:3 ~block:17 ~bytes:512 ~nest:1 ~iter:2 ();
+    Request.Pm { think = 0.0; directive = Request.Spin_up 2 };
+    io ~think:0.004 ~disk:2 ~block:3 ~bytes:(kib 8) ~kind:Request.Write
+      ~nest:1 ~iter:3 ();
+    Request.Pm
+      { think = 1e-6; directive = Request.Set_rpm { level = 2; disk = 1 } };
+    io ~think:0.001 ~disk:0 ~block:5 ~iter:4 ();
+  ]
+
+let sample_trace () =
+  Trace.make ~tail_think:0.25 ~program:"smp" ~ndisks:4 sample_events
+
+(* [n] reads round-robin over [ndisks], marching through the block
+   space. *)
+let busy_trace ?(think = 0.05) ?(program = "fault-t") ~n ~ndisks () =
+  let events =
+    List.init n (fun i -> io ~think ~disk:(i mod ndisks) ~block:i ())
+  in
+  Trace.make ~tail_think:0.5 ~program ~ndisks events
+
+(* Seeded fault spec used by the differential suites: every fault class
+   enabled, plus one whole-disk failure mid-run. *)
+let fault_spec =
+  Fault.make ~seed:11 ~read_error_rate:0.05 ~bad_unit_rate:0.05
+    ~spin_up_failure_rate:0.3
+    ~disk_failures:[ (0, 0.5) ]
+    ()
+
+let gen_event ndisks =
+  QCheck2.Gen.(
+    frequency
+      [
+        ( 8,
+          map
+            (fun (think, disk, block, big, read, iter) ->
+              Request.Io
+                {
+                  think;
+                  disk;
+                  block;
+                  bytes = (if big then kib 64 else 512);
+                  kind = (if read then Request.Read else Request.Write);
+                  nest = iter mod 3;
+                  iter;
+                })
+            (tup6
+               (float_bound_inclusive 0.02)
+               (int_bound (ndisks - 1))
+               (int_bound 63) bool bool (int_bound 500)) );
+        ( 2,
+          map
+            (fun (think, disk, which) ->
+              let directive =
+                match which mod 3 with
+                | 0 -> Request.Spin_down disk
+                | 1 -> Request.Spin_up disk
+                | _ -> Request.Set_rpm { level = which mod 5; disk }
+              in
+              Request.Pm { think; directive })
+            (tup3
+               (float_bound_inclusive 1.0)
+               (int_bound (ndisks - 1))
+               (int_bound 29)) );
+      ])
+
+let gen_trace =
+  QCheck2.Gen.(
+    let ndisks = 4 in
+    map
+      (fun (events, tail) ->
+        Trace.make ~tail_think:tail ~program:"q" ~ndisks events)
+      (tup2
+         (list_size (int_range 0 120) (gen_event ndisks))
+         (float_bound_inclusive 2.0)))

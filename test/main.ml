@@ -6,4 +6,5 @@ let () =
    @ Test_disk.suite @ Test_trace.suite @ Test_sim.suite @ Test_compiler.suite
    @ Test_workloads.suite @ Test_core.suite @ Test_parallel.suite
    @ Test_fault.suite @ Test_oracle.suite @ Test_timeline.suite
-   @ Test_golden.suite @ Test_telemetry.suite @ Test_stream.suite)
+   @ Test_golden.suite @ Test_telemetry.suite @ Test_stream.suite
+   @ Test_fastpath.suite)

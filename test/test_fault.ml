@@ -18,18 +18,8 @@ module Scheme = Dpm_core.Scheme
 module Pool = Dpm_util.Pool
 
 let kib = Dpm_util.Units.kib
-
-let io ?(think = 0.05) ?(disk = 0) ?(block = 0) ?(bytes = kib 64) () =
-  Request.Io
-    { think; disk; block; bytes; kind = Request.Read; nest = 0; iter = 0 }
-
-(* [n] reads round-robin over [ndisks], marching through the block
-   space. *)
-let busy_trace ?(think = 0.05) ~n ~ndisks () =
-  let events =
-    List.init n (fun i -> io ~think ~disk:(i mod ndisks) ~block:i ())
-  in
-  Trace.make ~tail_think:0.5 ~program:"fault-t" ~ndisks events
+let io = Gen.io
+let busy_trace = Gen.busy_trace
 
 (* --- spec: round-trip, validation, zero detection --- *)
 

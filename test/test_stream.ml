@@ -21,67 +21,8 @@ module Run = Dpm_core.Run
 module Pool = Dpm_util.Pool
 
 let kib = Dpm_util.Units.kib
-
-let sample_events =
-  [
-    Request.Io
-      {
-        think = 0.001;
-        disk = 0;
-        block = 4;
-        bytes = kib 64;
-        kind = Request.Read;
-        nest = 0;
-        iter = 0;
-      };
-    Request.Io
-      {
-        think = 0.002;
-        disk = 1;
-        block = 9;
-        bytes = kib 64;
-        kind = Request.Write;
-        nest = 0;
-        iter = 1;
-      };
-    Request.Pm { think = 0.5; directive = Request.Spin_down 2 };
-    Request.Io
-      {
-        think = 0.0;
-        disk = 3;
-        block = 17;
-        bytes = 512;
-        kind = Request.Read;
-        nest = 1;
-        iter = 2;
-      };
-    Request.Pm { think = 0.0; directive = Request.Spin_up 2 };
-    Request.Io
-      {
-        think = 0.004;
-        disk = 2;
-        block = 3;
-        bytes = kib 8;
-        kind = Request.Write;
-        nest = 1;
-        iter = 3;
-      };
-    Request.Pm
-      { think = 1e-6; directive = Request.Set_rpm { level = 2; disk = 1 } };
-    Request.Io
-      {
-        think = 0.001;
-        disk = 0;
-        block = 5;
-        bytes = kib 64;
-        kind = Request.Read;
-        nest = 0;
-        iter = 4;
-      };
-  ]
-
-let sample_trace () =
-  Trace.make ~tail_think:0.25 ~program:"smp" ~ndisks:4 sample_events
+let sample_events = Gen.sample_events
+let sample_trace = Gen.sample_trace
 
 let lines t = Array.to_list (Array.map Request.to_line (Trace.events t))
 
@@ -254,11 +195,7 @@ let policies config ~ndisks =
     ("cm_drpm", fun () -> Policy.cm_drpm);
   ]
 
-let fault_spec =
-  Fault.make ~seed:11 ~read_error_rate:0.05 ~bad_unit_rate:0.05
-    ~spin_up_failure_rate:0.3
-    ~disk_failures:[ (0, 0.5) ]
-    ()
+let fault_spec = Gen.fault_spec
 
 let replay_pair ?(config = Config.default) ~faults ~batch mk trace =
   let sink_m = Timeline.sink () and sink_s = Timeline.sink () in
@@ -270,52 +207,7 @@ let replay_pair ?(config = Config.default) ~faults ~batch mk trace =
   ( (r_m, Timeline.events (Timeline.contents sink_m)),
     (r_s, Timeline.events (Timeline.contents sink_s)) )
 
-let gen_event ndisks =
-  QCheck2.Gen.(
-    frequency
-      [
-        ( 8,
-          map
-            (fun (think, disk, block, big, read, iter) ->
-              Request.Io
-                {
-                  think;
-                  disk;
-                  block;
-                  bytes = (if big then kib 64 else 512);
-                  kind = (if read then Request.Read else Request.Write);
-                  nest = iter mod 3;
-                  iter;
-                })
-            (tup6
-               (float_bound_inclusive 0.02)
-               (int_bound (ndisks - 1))
-               (int_bound 63) bool bool (int_bound 500)) );
-        ( 2,
-          map
-            (fun (think, disk, which) ->
-              let directive =
-                match which mod 3 with
-                | 0 -> Request.Spin_down disk
-                | 1 -> Request.Spin_up disk
-                | _ -> Request.Set_rpm { level = which mod 5; disk }
-              in
-              Request.Pm { think; directive })
-            (tup3
-               (float_bound_inclusive 1.0)
-               (int_bound (ndisks - 1))
-               (int_bound 29)) );
-      ])
-
-let gen_trace =
-  QCheck2.Gen.(
-    let ndisks = 4 in
-    map
-      (fun (events, tail) ->
-        Trace.make ~tail_think:tail ~program:"q" ~ndisks events)
-      (tup2
-         (list_size (int_range 0 120) (gen_event ndisks))
-         (float_bound_inclusive 2.0)))
+let gen_trace = Gen.gen_trace
 
 let qcheck_engine_equiv =
   QCheck2.Test.make ~count:25

@@ -241,18 +241,7 @@ let test_domain_determinism () =
 
 (* Directive marks: an accepted PM call leaves its mark on the lane. *)
 let test_directive_marks () =
-  let io think block =
-    Request.Io
-      {
-        think;
-        disk = 0;
-        block;
-        bytes = kib 64;
-        kind = Request.Read;
-        nest = 0;
-        iter = 0;
-      }
-  in
+  let io think block = Gen.io ~think ~block () in
   let events =
     [
       io 0.01 0;
