@@ -1,5 +1,5 @@
 .PHONY: all build test check bench fault-check timeline-check report-check \
-  stream-check perf-check clean
+  stream-check perf-check sweep-check clean
 
 all: build
 
@@ -82,6 +82,18 @@ stream-check: build
 perf-check: build
 	dune exec bench/main.exe -- throughput --json _build/throughput.json \
 	  --baseline test/golden/bench_baseline.json
+
+# Auto-tuning sweep smoke: a fixed 2x2 thresholds x tolerances grid over
+# swim and galgel must reproduce the checked-in golden byte-for-byte
+# (determinism of the whole sweep: grid expansion, parallel fan-out,
+# best/winner selection, sensitivity analysis), emit a valid dpm-sweep/1
+# JSON document (the CI artifact), and replay each persisted winning
+# spec bit-identically (dpmsim exits non-zero otherwise).
+sweep-check: build
+	dune exec bin/dpmsim.exe -- sweep \
+	  --axes "tpm-threshold=4,15.2;drpm-lower=0.02,0.08" -w swim,galgel \
+	  --output-dir _build/sweep > _build/sweep_smoke.out
+	cmp _build/sweep_smoke.out test/golden/sweep_smoke.expected
 
 clean:
 	dune clean

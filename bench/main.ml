@@ -95,9 +95,7 @@ let stream_mode () =
   let open Dpm_util.Json in
   let p = Dpm_ir.Parser.program ~name:"stream-synthetic" stream_source in
   let plan = Dpm_workloads.Suite.default_plan p in
-  let config =
-    { Dpm_sim.Config.default with Dpm_sim.Config.retain_busy = false }
-  in
+  let config = Dpm_sim.Config.make ~retain_busy:false () in
   let t_total0 = Metrics.now () in
   Gc.compact ();
   let heap0 = (Gc.quick_stat ()).Gc.top_heap_words in
@@ -198,9 +196,7 @@ let throughput_mode ~baseline () =
   let trace = Dpm_trace.Generate.run p plan in
   let events = Dpm_trace.Trace.event_count trace in
   let ndisks = Dpm_trace.Trace.ndisks trace in
-  let config =
-    { Dpm_sim.Config.default with Dpm_sim.Config.retain_busy = false }
-  in
+  let config = Dpm_sim.Config.make ~retain_busy:false () in
   (* Policies are created fresh per replay: the reactive ones (DRPM)
      carry mutable controller state that must not leak across runs. *)
   let schemes =
@@ -339,6 +335,91 @@ let throughput_mode ~baseline () =
             fs;
           1)
 
+(* --- Auto-tuning sweep: the Adaptive controller vs the grid ---
+
+   A small thresholds x tolerances grid over two suite workloads,
+   checking the ISSUE's acceptance property as a bench gate: the online
+   Adaptive controller must beat the best fixed-threshold TPM energy on
+   at least one workload while staying above the IDRPM oracle bound on
+   every cell. *)
+
+let sweep_section : (string * Dpm_util.Json.t) list ref = ref []
+
+let sweep_mode () =
+  let open Dpm_util.Json in
+  let module Sweep = Dpm_core.Sweep in
+  let module Scheme = Dpm_core.Scheme in
+  let axes =
+    [
+      Sweep.Tpm_threshold [ 4.0; 15.2 ];
+      Sweep.Drpm_lower [ 0.02; 0.08 ];
+    ]
+  in
+  let workloads = [ "swim"; "galgel" ] in
+  let t0 = Metrics.now () in
+  match Sweep.run ~axes ~workloads () with
+  | Error e ->
+      Dpm_util.Log.error ~scope:"bench"
+        ~kv:[ ("error", Dpm_core.Run.error_message e) ]
+        "sweep failed";
+      1
+  | Ok outcome ->
+      print_string (Sweep.render outcome);
+      let energy scheme (cell : Sweep.cell) =
+        (List.assoc scheme cell.Sweep.results).Dpm_sim.Result.energy
+      in
+      (* Best fixed-TPM and best Adaptive energy per workload, off the
+         same grid. *)
+      let best_of scheme workload =
+        List.fold_left
+          (fun acc (w, s, cell, _) ->
+            if w = workload && s = scheme then
+              Float.min acc (energy scheme cell)
+            else acc)
+          infinity (Sweep.best outcome)
+      in
+      let adaptive_beats_tpm =
+        List.filter
+          (fun w -> best_of Scheme.Adaptive w < best_of Scheme.Tpm w)
+          workloads
+      in
+      let above_oracle =
+        List.for_all
+          (fun (cell : Sweep.cell) ->
+            energy Scheme.Adaptive cell >= energy Scheme.Idrpm cell -. 1e-6)
+          outcome.Sweep.cells
+      in
+      let rc = if adaptive_beats_tpm <> [] && above_oracle then 0 else 1 in
+      if rc <> 0 then
+        Dpm_util.Log.error ~scope:"bench"
+          ~kv:
+            [
+              ( "adaptive_beats_tpm",
+                String.concat "," adaptive_beats_tpm );
+              ("above_oracle", string_of_bool above_oracle);
+            ]
+          "adaptive policy failed the sweep acceptance gate"
+      else
+        Printf.printf
+          "  sweep gate: ok (Adaptive beats fixed TPM on %s; above the \
+           oracle bound on all %d cells)\n"
+          (String.concat ", " adaptive_beats_tpm)
+          (List.length outcome.Sweep.cells);
+      timings := ("sweep", Metrics.now () -. t0) :: !timings;
+      sweep_section :=
+        [
+          ( "sweep",
+            Obj
+              [
+                ("cells", Int (List.length outcome.Sweep.cells));
+                ( "adaptive_beats_tpm",
+                  Arr (List.map (fun w -> Str w) adaptive_beats_tpm) );
+                ("above_oracle", Bool above_oracle);
+                ("doc", Sweep.to_json outcome);
+              ] );
+        ];
+      rc
+
 (* --- Bechamel micro-benchmarks: one per pipeline stage --- *)
 
 let micro () =
@@ -473,6 +554,7 @@ let run names domains metrics json trace log_level baseline =
            baseline (see [stream_mode]). *)
         let rc = stream_mode () in
         let rc = max rc (throughput_mode ~baseline ()) in
+        let rc = max rc (sweep_mode ()) in
         List.iter (fun (name, f) -> print_figure name f) available;
         micro ();
         rc
@@ -486,6 +568,7 @@ let run names domains metrics json trace log_level baseline =
             else if String.equal name "stream" then max rc (stream_mode ())
             else if String.equal name "throughput" then
               max rc (throughput_mode ~baseline ())
+            else if String.equal name "sweep" then max rc (sweep_mode ())
             else
               match List.assoc_opt name available with
               | Some f ->
@@ -497,8 +580,8 @@ let run names domains metrics json trace log_level baseline =
                       [
                         ("figure", name);
                         ( "available",
-                          String.concat " " (List.map fst available) ^ " micro"
-                        );
+                          String.concat " " (List.map fst available)
+                          ^ " stream throughput sweep micro" );
                       ]
                     "unknown figure";
                   2)
@@ -515,7 +598,7 @@ let run names domains metrics json trace log_level baseline =
   | Some path ->
       let doc =
         Dpm_core.Report.bench_snapshot
-          ~extra:(!stream_section @ !throughput_section)
+          ~extra:(!stream_section @ !throughput_section @ !sweep_section)
           ~figures:(List.rev !timings) ()
       in
       (match Dpm_core.Report.validate_bench doc with

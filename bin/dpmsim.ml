@@ -266,17 +266,70 @@ let core_arg =
     & opt (enum [ ("fast", `Fast); ("reference", `Reference) ]) `Fast
     & info [ "core" ] ~doc ~docv:"CORE")
 
+let spec_file_arg =
+  let doc =
+    "Replay a saved $(b,dpm-spec/1) run-spec file (the format $(b,dpmsim \
+     sweep) persists for each winning configuration, or \
+     [Dpm_core.Run.to_file]).  The spec is self-contained — workload, \
+     schemes, simulator configuration, faults, mode, core — so it is \
+     mutually exclusive with $(b,-b)/$(b,--trace-file) and ignores the \
+     per-run tuning flags."
+  in
+  Arg.(value & opt (some string) None & info [ "spec" ] ~doc ~docv:"FILE")
+
+let print_results_table results ~schemes =
+  let base =
+    match List.assoc_opt Dpm_core.Scheme.Base results with
+    | Some b -> b
+    | None -> snd (List.hd results)
+  in
+  let shown =
+    match schemes with
+    | None -> results
+    | Some schemes -> List.filter (fun (s, _) -> List.mem s schemes) results
+  in
+  Printf.printf "%-8s %12s %10s %8s %8s\n" "scheme" "energy(J)" "time(s)"
+    "E/base" "T/base";
+  List.iter
+    (fun (s, (r : Dpm_sim.Result.t)) ->
+      Printf.printf "%-8s %12.2f %10.2f %8.3f %8.3f\n"
+        (Dpm_core.Scheme.name s) r.energy r.exec_time
+        (Dpm_sim.Result.normalized_energy r ~base)
+        (Dpm_sim.Result.normalized_time r ~base))
+    shown;
+  shown
+
 let simulate_cmd =
-  let run inst name trace_file schemes version mode faults timeline histograms
-      stream batch core =
+  let run inst name trace_file spec_file schemes version mode faults timeline
+      histograms stream batch core =
     if histograms then Dpm_util.Telemetry.(set_histograms global true);
+    match spec_file with
+    | Some f when name <> None || trace_file <> None ->
+        ignore f;
+        Dpm_util.Log.error ~scope:"dpmsim"
+          "--spec is self-contained; don't combine it with \
+           -b/--benchmark or --trace-file";
+        2
+    | Some f -> (
+        match
+          Result.bind (Dpm_core.Run.of_file f) Dpm_core.Run.exec_all
+        with
+        | Error e ->
+            Dpm_util.Log.error ~scope:"dpmsim" (Dpm_core.Run.error_message e);
+            2
+        | Ok results ->
+            ignore (print_results_table results ~schemes:None);
+            report_metrics inst;
+            0)
+    | None -> (
     let workload =
       match (name, trace_file) with
       | Some n, None -> Ok (Dpm_core.Run.Benchmark n)
       | None, Some f -> Ok (Dpm_core.Run.Trace_file f)
       | Some _, Some _ ->
           Error "pass either -b/--benchmark or --trace-file, not both"
-      | None, None -> Error "one of -b/--benchmark or --trace-file is required"
+      | None, None ->
+          Error "one of -b/--benchmark, --trace-file or --spec is required"
     in
     match workload with
     | Error m ->
@@ -307,19 +360,7 @@ let simulate_cmd =
         Dpm_util.Log.error ~scope:"dpmsim" (Dpm_core.Run.error_message e);
         2
     | Ok results ->
-        let base = List.assoc Dpm_core.Scheme.Base results in
-        let shown =
-          List.filter (fun (s, _) -> List.mem s schemes) results
-        in
-        Printf.printf "%-8s %12s %10s %8s %8s\n" "scheme" "energy(J)" "time(s)"
-          "E/base" "T/base";
-        List.iter
-          (fun (s, (r : Dpm_sim.Result.t)) ->
-            Printf.printf "%-8s %12.2f %10.2f %8.3f %8.3f\n"
-              (Dpm_core.Scheme.name s) r.energy r.exec_time
-              (Dpm_sim.Result.normalized_energy r ~base)
-              (Dpm_sim.Result.normalized_time r ~base))
-          shown;
+        let shown = print_results_table results ~schemes:(Some schemes) in
         (if faults <> None then begin
            Printf.printf "\n%-8s %8s %10s %8s %11s %10s %7s\n" "scheme"
              "retries" "delay(s)" "remaps" "spinup-rec" "redirects" "failed";
@@ -374,17 +415,17 @@ let simulate_cmd =
              print_string rendered
            end);
         report_metrics inst;
-        0)
+        0))
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:
-         "Simulate a benchmark (or a saved trace file) under one or more \
-          power-management schemes.")
+         "Simulate a benchmark (or a saved trace file, or a replayable \
+          dpm-spec/1 run-spec) under one or more power-management schemes.")
     Term.(
       const run $ instrument_term $ bench_opt_arg $ trace_file_workload_arg
-      $ schemes_arg $ version_arg $ mode_arg $ faults_arg $ timeline_arg
-      $ histograms_arg $ stream_arg $ batch_arg $ core_arg)
+      $ spec_file_arg $ schemes_arg $ version_arg $ mode_arg $ faults_arg
+      $ timeline_arg $ histograms_arg $ stream_arg $ batch_arg $ core_arg)
 
 (* --- timeline: summarize a recorded event log --- *)
 
@@ -711,6 +752,163 @@ let report_check_cmd =
           balanced B/E events).  Exit 1 on any violation.")
     Term.(const run $ report_arg $ trace_file_arg $ schema_arg)
 
+(* --- sweep: auto-tuning parameter-space exploration --- *)
+
+let sweep_cmd =
+  let axes_arg =
+    let doc =
+      "Axes to sweep: $(b,;)-separated $(b,axis=v1,v2,...) clauses over \
+       tpm-threshold, drpm-lower, drpm-upper, drpm-window, \
+       drpm-idle-interval, drpm-floor-depth, queue-depth, \
+       pm-call-overhead, pre-activation-lead — e.g. \
+       $(b,\"tpm-threshold=4,15.2;drpm-lower=0.02,0.08\")."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "axes" ] ~doc ~docv:"AXES")
+  in
+  let workloads_arg =
+    let doc = "Benchmarks to sweep over (comma-separated)." in
+    Arg.(
+      value
+      & opt (list string) [ "swim"; "galgel" ]
+      & info [ "w"; "workloads" ] ~doc ~docv:"NAMES")
+  in
+  let sweep_schemes_arg =
+    let doc =
+      "Scheme(s) to compare at every grid point (Base is always added as \
+       the normalization anchor; default: Base, TPM, DRPM, Adaptive, \
+       ITPM)."
+    in
+    Arg.(
+      value
+      & opt (list Dpm_core.Scheme.conv) Dpm_core.Sweep.default_schemes
+      & info [ "s"; "scheme" ] ~doc)
+  in
+  let output_dir_arg =
+    let doc =
+      "Directory to write artifacts into: $(b,sweep.json) (the \
+       dpm-sweep/1 document) and one replayable \
+       $(b,best-)$(i,BENCH)$(b,.spec.json) run-spec per workload winner \
+       (each is re-executed on the spot to prove it reproduces the \
+       winning row bit-for-bit)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "output-dir" ] ~doc ~docv:"DIR")
+  in
+  let md_arg =
+    let doc = "Also render the sweep report as markdown to this file." in
+    Arg.(value & opt (some string) None & info [ "md" ] ~doc ~docv:"FILE")
+  in
+  let write_file path text =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc text)
+  in
+  (* The replay gate: a persisted winning spec must reproduce its cell's
+     numbers bit-for-bit ("%.17g" captures the exact doubles). *)
+  let row_fingerprint results =
+    String.concat "\n"
+      (List.map
+         (fun (s, (r : Dpm_sim.Result.t)) ->
+           Printf.sprintf "%s %.17g %.17g" (Dpm_core.Scheme.name s)
+             r.Dpm_sim.Result.energy r.Dpm_sim.Result.exec_time)
+         results)
+  in
+  let run inst axes workloads schemes output_dir md =
+    match Dpm_core.Sweep.axes_of_string axes with
+    | Error m ->
+        Dpm_util.Log.error ~scope:"sweep" ~kv:[ ("axes", axes) ] m;
+        2
+    | Ok [] ->
+        Dpm_util.Log.error ~scope:"sweep" "no axes given";
+        2
+    | Ok axes -> (
+        match Dpm_core.Sweep.run ~schemes ~axes ~workloads () with
+        | Error e ->
+            Dpm_util.Log.error ~scope:"sweep" (Dpm_core.Run.error_message e);
+            2
+        | Ok outcome -> (
+            print_string (Dpm_core.Sweep.render outcome);
+            let doc = Dpm_core.Sweep.to_json outcome in
+            match Dpm_core.Sweep.validate doc with
+            | Error msgs ->
+                List.iter (fun m -> Dpm_util.Log.error ~scope:"sweep" m) msgs;
+                1
+            | Ok () ->
+                (match md with
+                | None -> ()
+                | Some path ->
+                    write_file path (Dpm_core.Sweep.markdown outcome);
+                    Dpm_util.Log.info ~scope:"sweep"
+                      ~kv:[ ("file", path) ]
+                      "wrote markdown report");
+                let rc = ref 0 in
+                (match output_dir with
+                | None -> ()
+                | Some dir ->
+                    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                    let json_path = Filename.concat dir "sweep.json" in
+                    write_file json_path
+                      (Dpm_util.Json.to_string ~indent:1 doc ^ "\n");
+                    Dpm_util.Log.info ~scope:"sweep"
+                      ~kv:[ ("file", json_path) ]
+                      "wrote dpm-sweep/1 document";
+                    List.iter
+                      (fun (_, (cell : Dpm_core.Sweep.cell), _) ->
+                        let w = cell.Dpm_core.Sweep.workload in
+                        let path =
+                          Filename.concat dir ("best-" ^ w ^ ".spec.json")
+                        in
+                        let replay =
+                          Result.bind
+                            (Option.to_result
+                               ~none:
+                                 (Dpm_core.Run.Run_failure "no winning spec")
+                               (Dpm_core.Sweep.best_spec outcome ~workload:w))
+                            (fun spec ->
+                              Result.bind (Dpm_core.Run.to_file spec path)
+                                (fun () ->
+                                  Result.bind (Dpm_core.Run.of_file path)
+                                    Dpm_core.Run.exec_all))
+                        in
+                        match replay with
+                        | Error e ->
+                            Dpm_util.Log.error ~scope:"sweep"
+                              ~kv:[ ("file", path) ]
+                              (Dpm_core.Run.error_message e);
+                            rc := 1
+                        | Ok results ->
+                            if
+                              String.equal
+                                (row_fingerprint cell.Dpm_core.Sweep.results)
+                                (row_fingerprint results)
+                            then
+                              Dpm_util.Log.info ~scope:"sweep"
+                                ~kv:[ ("file", path) ]
+                                "winning spec replayed bit-identically"
+                            else begin
+                              Dpm_util.Log.error ~scope:"sweep"
+                                ~kv:[ ("file", path) ]
+                                "replayed spec diverged from the sweep cell";
+                              rc := 1
+                            end)
+                      (Dpm_core.Sweep.winners outcome));
+                report_metrics inst;
+                !rc))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Explore a grid over the simulator-configuration knobs: run every \
+          (workload x point) cell under the requested schemes in parallel, \
+          print best-configuration and per-axis sensitivity tables, and \
+          optionally persist the dpm-sweep/1 document plus a replayable \
+          run-spec for each workload's winning configuration.")
+    Term.(
+      const run $ instrument_term $ axes_arg $ workloads_arg
+      $ sweep_schemes_arg $ output_dir_arg $ md_arg)
+
 let () =
   let doc =
     "Software-directed disk power management (IPDPS'05 reproduction)."
@@ -731,4 +929,5 @@ let () =
             figure_cmd;
             report_cmd;
             report_check_cmd;
+            sweep_cmd;
           ]))

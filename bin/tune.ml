@@ -1,7 +1,12 @@
 (* Workload calibration report: compares each benchmark's measured
    characteristics against the paper's Table 2 targets, summarizes the
    idle-gap structure, and prints the per-scheme normalized energy and
-   execution time (the Figure 3/4 shape). *)
+   execution time (the Figure 3/4 shape, via [Sweep.normalized_table]). *)
+
+module Metrics = Dpm_util.Metrics
+module Run = Dpm_core.Run
+module Scheme = Dpm_core.Scheme
+module Sweep = Dpm_core.Sweep
 
 let () =
   let specs = Dpm_sim.Config.default.Dpm_sim.Config.specs in
@@ -12,20 +17,20 @@ let () =
   let rows = ref [] in
   List.iter
     (fun (spec : Dpm_workloads.Suite.spec) ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Metrics.now () in
       let p, plan = Dpm_core.Experiment.workload spec in
       let setup = Dpm_core.Experiment.make_setup ~noise:spec.noise () in
       let results =
-        match
-          Dpm_core.Run.exec_all
-            (Dpm_core.Run.spec ~setup (Dpm_core.Run.Program (p, plan)))
-        with
+        match Run.exec_all (Run.spec ~setup (Run.Program (p, plan))) with
         | Ok results -> results
         | Error e ->
-            Dpm_util.Log.error ~scope:"tune" (Dpm_core.Run.error_message e);
+            Dpm_util.Log.error ~scope:"tune" (Run.error_message e);
             exit 2
       in
-      let base = List.assoc Dpm_core.Scheme.Base results in
+      let wall = Metrics.now () -. t0 in
+      if Metrics.enabled Metrics.global then
+        Metrics.record_span Metrics.global ("tune." ^ spec.name) wall;
+      let base = List.assoc Scheme.Base results in
       let mb =
         Dpm_util.Units.mb_of_bytes (Dpm_ir.Program.total_data_bytes p)
       in
@@ -34,8 +39,7 @@ let () =
         spec.name
         (Dpm_sim.Result.requests base)
         spec.requests base.Dpm_sim.Result.exec_time spec.exec_time_s
-        base.Dpm_sim.Result.energy spec.base_energy_j mb spec.data_mb
-        (Unix.gettimeofday () -. t0);
+        base.Dpm_sim.Result.energy spec.base_energy_j mb spec.data_mb wall;
       let all_gaps = ref [] in
       for d = 0 to 7 do
         all_gaps :=
@@ -58,50 +62,16 @@ let () =
       rows := (spec.name, results, mis) :: !rows)
     Dpm_workloads.Suite.all;
   let rows = List.rev !rows in
-  Printf.printf "\nNormalized energy (Fig 3 shape):\n%-9s" "bench";
-  List.iter
-    (fun s -> Printf.printf " %8s" (Dpm_core.Scheme.name s))
-    Dpm_core.Scheme.all;
-  Printf.printf " %8s\n" "mispred%";
-  let sums = Array.make (List.length Dpm_core.Scheme.all) 0.0 in
-  List.iter
-    (fun (name, results, mis) ->
-      Printf.printf "%-9s" name;
-      let base = List.assoc Dpm_core.Scheme.Base results in
-      List.iteri
-        (fun i s ->
-          let r = List.assoc s results in
-          let v = Dpm_sim.Result.normalized_energy r ~base in
-          sums.(i) <- sums.(i) +. v;
-          Printf.printf " %8.3f" v)
-        Dpm_core.Scheme.all;
-      Printf.printf " %8.2f\n" mis)
-    rows;
-  Printf.printf "%-9s" "AVG";
-  Array.iter
-    (fun s -> Printf.printf " %8.3f" (s /. float_of_int (List.length rows)))
-    sums;
-  Printf.printf "\n\nNormalized execution time (Fig 4 shape):\n%-9s" "bench";
-  List.iter
-    (fun s -> Printf.printf " %8s" (Dpm_core.Scheme.name s))
-    Dpm_core.Scheme.all;
-  print_newline ();
-  let tsums = Array.make (List.length Dpm_core.Scheme.all) 0.0 in
-  List.iter
-    (fun (name, results, _) ->
-      Printf.printf "%-9s" name;
-      let base = List.assoc Dpm_core.Scheme.Base results in
-      List.iteri
-        (fun i s ->
-          let r = List.assoc s results in
-          let v = Dpm_sim.Result.normalized_time r ~base in
-          tsums.(i) <- tsums.(i) +. v;
-          Printf.printf " %8.3f" v)
-        Dpm_core.Scheme.all;
-      print_newline ())
-    rows;
-  Printf.printf "%-9s" "AVG";
-  Array.iter
-    (fun s -> Printf.printf " %8.3f" (s /. float_of_int (List.length rows)))
-    tsums;
-  print_newline ()
+  let table = List.map (fun (name, results, _) -> (name, results)) rows in
+  let mispred name =
+    List.find_map
+      (fun (n, _, mis) -> if n = name then Some mis else None)
+      rows
+  in
+  Printf.printf "\nNormalized energy (Fig 3 shape):\n";
+  print_string
+    (Sweep.normalized_table ~metric:`Energy ~schemes:Scheme.all
+       ~extra:("mispred%", mispred) table);
+  Printf.printf "\nNormalized execution time (Fig 4 shape):\n";
+  print_string
+    (Sweep.normalized_table ~metric:`Time ~schemes:Scheme.all table)

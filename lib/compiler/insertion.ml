@@ -49,7 +49,7 @@ let serving_level ~specs ~request_bytes ~next_gap (w : Dap.window) =
     let budget = 0.65 *. (span +. tail) /. float_of_int w.Dap.requests in
     Power.best_service_level specs ~budget ~bytes:request_bytes
 
-let plan_drpm ~specs ~pm_overhead ~request_bytes ~serve_slow (dap : Dap.t)
+let plan_drpm ~specs ~pm_overhead ~pre_lead ~request_bytes ~serve_slow (dap : Dap.t)
     (est : Estimate.t) =
   let top = Rpm.max_level specs in
   let nitems = Array.length est.Estimate.starts in
@@ -127,7 +127,7 @@ let plan_drpm ~specs ~pm_overhead ~request_bytes ~serve_slow (dap : Dap.t)
               (* Guard band: the timing estimate is noisy, so fire the
                  pre-activation early by a fraction of the gap rather
                  than cutting it exactly to the modulation time. *)
-              let guard = max pm_overhead (0.25 *. gap) in
+              let guard = max pm_overhead (0.25 *. gap) +. pre_lead in
               let t_pre = w.Dap.t_end -. plan.Power.up_time -. guard in
               Some (Estimate.locate est t_pre)
           in
@@ -177,7 +177,7 @@ let plan_drpm ~specs ~pm_overhead ~request_bytes ~serve_slow (dap : Dap.t)
   done;
   { decisions = List.rev !decisions; points }
 
-let plan_tpm ~specs ~pm_overhead (dap : Dap.t) (est : Estimate.t) =
+let plan_tpm ~specs ~pm_overhead ~pre_lead (dap : Dap.t) (est : Estimate.t) =
   let nitems = Array.length est.Estimate.starts in
   let decisions = ref [] in
   let points = Hashtbl.create 16 in
@@ -192,7 +192,7 @@ let plan_tpm ~specs ~pm_overhead (dap : Dap.t) (est : Estimate.t) =
           let up_at =
             if trailing then None
             else
-              let guard = max pm_overhead (0.25 *. gap) in
+              let guard = max pm_overhead (0.25 *. gap) +. pre_lead in
               let t_pre = w.Dap.t_end -. plan.Power.up_time -. guard in
               Some (Estimate.locate est t_pre)
           in
@@ -224,13 +224,14 @@ let plan_tpm ~specs ~pm_overhead (dap : Dap.t) (est : Estimate.t) =
   done;
   { decisions = List.rev !decisions; points }
 
-let plan_decisions ~specs ?(pm_overhead = 2.0e-6)
+let plan_decisions ~specs ?(pm_overhead = 2.0e-6) ?(pre_lead = 0.0)
     ?(request_bytes = Dpm_util.Units.kib 64) ?(serve_slow = true) scheme dap
     est =
   match scheme with
-  | Tpm -> (plan_tpm ~specs ~pm_overhead dap est).decisions
+  | Tpm -> (plan_tpm ~specs ~pm_overhead ~pre_lead dap est).decisions
   | Drpm ->
-      (plan_drpm ~specs ~pm_overhead ~request_bytes ~serve_slow dap est)
+      (plan_drpm ~specs ~pm_overhead ~pre_lead ~request_bytes ~serve_slow dap
+         est)
         .decisions
 
 (* --- Code modification --- *)
@@ -267,13 +268,15 @@ let split_loop (l : Ir.Loop.t) points =
   | None -> ());
   List.rev !nodes
 
-let insert ~specs ?(pm_overhead = 2.0e-6)
+let insert ~specs ?(pm_overhead = 2.0e-6) ?(pre_lead = 0.0)
     ?(request_bytes = Dpm_util.Units.kib 64) ?(serve_slow = true) scheme
     (p : Ir.Program.t) dap est =
   let planned =
     match scheme with
-    | Tpm -> plan_tpm ~specs ~pm_overhead dap est
-    | Drpm -> plan_drpm ~specs ~pm_overhead ~request_bytes ~serve_slow dap est
+    | Tpm -> plan_tpm ~specs ~pm_overhead ~pre_lead dap est
+    | Drpm ->
+        plan_drpm ~specs ~pm_overhead ~pre_lead ~request_bytes ~serve_slow dap
+          est
   in
   let body =
     List.concat

@@ -40,6 +40,7 @@ val preactivation_distance : t_su:float -> s:float -> t_m:float -> int
 val plan_decisions :
   specs:Dpm_disk.Specs.t ->
   ?pm_overhead:float ->
+  ?pre_lead:float ->
   ?request_bytes:int ->
   ?serve_slow:bool ->
   scheme ->
@@ -47,11 +48,14 @@ val plan_decisions :
   Estimate.t ->
   decision list
 (** The insertion plan without code modification (exposed for tests and
-    the misprediction analysis). *)
+    the misprediction analysis).  [pre_lead] (default 0) widens every
+    pre-activation guard band by that many seconds — the sweep harness's
+    placement-robustness axis. *)
 
 val insert :
   specs:Dpm_disk.Specs.t ->
   ?pm_overhead:float ->
+  ?pre_lead:float ->
   ?request_bytes:int ->
   ?serve_slow:bool ->
   scheme ->

@@ -36,7 +36,7 @@ type compiled = {
 }
 
 let compile ~scheme ?(noise = 0.0) ?(seed = 42) ?cost ?cache_blocks
-    ?pm_overhead ?serve_slow ~specs (p : Dpm_ir.Program.t) plan =
+    ?pm_overhead ?pre_lead ?serve_slow ~specs (p : Dpm_ir.Program.t) plan =
   let tele = Dpm_util.Telemetry.global in
   let span name f = Dpm_util.Telemetry.span tele name f in
   Dpm_util.Telemetry.span
@@ -57,7 +57,8 @@ let compile ~scheme ?(noise = 0.0) ?(seed = 42) ?cost ?cache_blocks
       let dap = span "compile.dap" (fun () -> Dap.build activities estimate) in
       let program, decisions =
         span "compile.insert" (fun () ->
-            Insertion.insert ~specs ?pm_overhead ?serve_slow scheme p dap
+            Insertion.insert ~specs ?pm_overhead ?pre_lead ?serve_slow scheme
+              p dap
               estimate)
       in
       if Dpm_util.Telemetry.histograms_enabled tele then

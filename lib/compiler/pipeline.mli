@@ -47,6 +47,7 @@ val compile :
   ?cost:Dpm_ir.Cost.model ->
   ?cache_blocks:int ->
   ?pm_overhead:float ->
+  ?pre_lead:float ->
   ?serve_slow:bool ->
   specs:Dpm_disk.Specs.t ->
   Dpm_ir.Program.t ->

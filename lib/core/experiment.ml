@@ -48,7 +48,8 @@ let compile_cm setup scheme p plan =
     match scheme with
     | Scheme.Cmtpm -> Compiler.Insertion.Tpm
     | Scheme.Cmdrpm -> Compiler.Insertion.Drpm
-    | Scheme.Base | Scheme.Tpm | Scheme.Itpm | Scheme.Drpm | Scheme.Idrpm ->
+    | Scheme.Base | Scheme.Tpm | Scheme.Itpm | Scheme.Drpm | Scheme.Idrpm
+    | Scheme.Adaptive ->
         invalid_arg "Experiment.compile_cm: not a compiler-managed scheme"
   in
   Telemetry.span
@@ -59,6 +60,7 @@ let compile_cm setup scheme p plan =
       Compiler.Pipeline.compile ~scheme:ischeme ~noise:setup.noise
         ~seed:setup.seed ~cache_blocks:setup.cache_blocks
         ~pm_overhead:setup.sim.Sim.Config.pm_call_overhead
+        ~pre_lead:setup.sim.Sim.Config.pre_activation_lead
         ~serve_slow:(match setup.mode with `Open -> true | `Closed -> false)
         ~specs:setup.sim.Sim.Config.specs p plan)
 
@@ -68,7 +70,7 @@ let run_cm ?timeline setup scheme p plan =
     match scheme with
     | Scheme.Cmtpm -> Sim.Policy.cm_tpm
     | Scheme.Cmdrpm | Scheme.Base | Scheme.Tpm | Scheme.Itpm | Scheme.Drpm
-    | Scheme.Idrpm ->
+    | Scheme.Idrpm | Scheme.Adaptive ->
         Sim.Policy.cm_drpm
   in
   let stream =
@@ -130,6 +132,15 @@ let run_all ?(setup = default_setup) ?timeline ?(schemes = Scheme.all) p plan =
               (Sim.Policy.drpm setup.sim
                  ~ndisks:(Dpm_layout.Plan.ndisks plan))
               (stream_of ())
+        | Scheme.Adaptive ->
+            (* A fresh policy per replay: the controller's learned state
+               must not leak across runs (share-nothing determinism). *)
+            Sim.Engine.run_stream ~config:setup.sim ~mode:setup.mode
+              ~faults:setup.faults ?timeline:(sink_for scheme)
+              ~core:setup.core
+              (Sim.Policy.adaptive setup.sim
+                 ~ndisks:(Dpm_layout.Plan.ndisks plan))
+              (stream_of ())
         | Scheme.Itpm ->
             Sim.Oracle.itpm ~config:setup.sim ?timeline:(sink_for scheme)
               (Lazy.force base)
@@ -176,6 +187,14 @@ let replay_all ?(setup = default_setup) ?timeline ?(schemes = Scheme.all)
               ~faults:setup.faults ?timeline:(sink_for scheme)
               ~core:setup.core
               (Sim.Policy.drpm setup.sim
+                 ~ndisks:(Trace.Trace.Stream.ndisks s))
+              s
+        | Scheme.Adaptive ->
+            let s = source () in
+            Sim.Engine.run_stream ~config:setup.sim ~mode:setup.mode
+              ~faults:setup.faults ?timeline:(sink_for scheme)
+              ~core:setup.core
+              (Sim.Policy.adaptive setup.sim
                  ~ndisks:(Trace.Trace.Stream.ndisks s))
               s
         | Scheme.Itpm ->

@@ -445,28 +445,23 @@ let knob_ablation () =
       (fun (label, sim) -> { label; cells = run_with sim })
       [
         ("default", default);
-        ("queue=4", { default with Sim.Config.queue_depth = 4 });
-        ("queue=128", { default with Sim.Config.queue_depth = 128 });
+        ("queue=4", Sim.Config.with_queue_depth 4 default);
+        ("queue=128", Sim.Config.with_queue_depth 128 default);
         ( "rpm 0.05ms",
-          {
-            default with
-            Sim.Config.specs =
-              {
-                default.Sim.Config.specs with
-                Dpm_disk.Specs.rpm_transition_per_rpm = 0.05e-3;
-              };
-          } );
+          Sim.Config.with_specs
+            {
+              default.Sim.Config.specs with
+              Dpm_disk.Specs.rpm_transition_per_rpm = 0.05e-3;
+            }
+            default );
         ( "rpm 0.20ms",
-          {
-            default with
-            Sim.Config.specs =
-              {
-                default.Sim.Config.specs with
-                Dpm_disk.Specs.rpm_transition_per_rpm = 0.20e-3;
-              };
-          } );
-        ( "idle-step 0.5s",
-          { default with Sim.Config.drpm_idle_interval = 0.5 } );
+          Sim.Config.with_specs
+            {
+              default.Sim.Config.specs with
+              Dpm_disk.Specs.rpm_transition_per_rpm = 0.20e-3;
+            }
+            default );
+        ( "idle-step 0.5s", Sim.Config.with_drpm_idle_interval 0.5 default );
       ]
   in
   render ~id:"ablation-knobs"

@@ -12,6 +12,7 @@ type error =
   | Unknown_scheme of string
   | Invalid_faults of string
   | Malformed_trace of string
+  | Malformed_spec of string
   | Run_failure of string
 
 let suite_names =
@@ -26,6 +27,7 @@ let error_message = function
         (String.concat ", " Scheme.names)
   | Invalid_faults m -> "invalid fault spec: " ^ m
   | Malformed_trace m -> "malformed trace file: " ^ m
+  | Malformed_spec m -> "malformed run spec: " ^ m
   | Run_failure m -> m
 
 type spec = {
@@ -33,6 +35,7 @@ type spec = {
   scheme_names : string list;
   workload : workload;
   setup : Experiment.setup option;
+  sim : Sim.Config.t option;
   mode : Sim.Engine.mode option;
   version : Dpm_compiler.Pipeline.version option;
   faults : Sim.Fault.spec option;
@@ -42,13 +45,14 @@ type spec = {
   core : Sim.Engine.core option;
 }
 
-let spec ?(schemes = Scheme.all) ?(scheme_names = []) ?setup ?mode ?version
-    ?faults ?timeline ?stream ?batch ?core workload =
+let spec ?(schemes = Scheme.all) ?(scheme_names = []) ?setup ?sim ?mode
+    ?version ?faults ?timeline ?stream ?batch ?core workload =
   {
     schemes;
     scheme_names;
     workload;
     setup;
+    sim;
     mode;
     version;
     faults;
@@ -104,6 +108,11 @@ let resolve_setup s bench faults =
         Experiment.make_setup
           ?noise:(Option.map (fun (b : Workloads.Suite.spec) -> b.noise) bench)
           ()
+  in
+  let base =
+    match s.sim with
+    | None -> base
+    | Some sim -> { base with Experiment.sim }
   in
   let base = match s.mode with None -> base | Some mode -> { base with mode } in
   let base =
@@ -166,3 +175,302 @@ let exec s =
   match results with
   | (_, r) :: _ -> Ok r
   | [] -> Error (Run_failure "no schemes requested")
+
+(* --- dpm-spec/1: serializable run specs ---
+
+   A spec (minus its observational timeline sinks and minus [Program]
+   workloads, which hold in-memory IR) round-trips through
+   [Dpm_util.Json].  The wire format is the prerequisite for the sweep
+   harness's replayable winning-point files and for the future `dpmsim
+   serve` protocol (ROADMAP item 2): everything is by value, floats
+   print with %.17g (bit-exact), and unknown optional fields default
+   rather than fail so older readers survive newer writers. *)
+
+module Json = Dpm_util.Json
+
+let spec_schema_version = "dpm-spec/1"
+
+let known_specs = [ Dpm_disk.Specs.ultrastar_36z15 ]
+
+let config_to_json (c : Sim.Config.t) =
+  Json.Obj
+    [
+      ("specs", Json.Str c.Sim.Config.specs.Dpm_disk.Specs.model_name);
+      ( "tpm_threshold",
+        match c.Sim.Config.tpm_threshold with
+        | None -> Json.Null
+        | Some t -> Json.Float t );
+      ("drpm_lower", Json.Float c.Sim.Config.drpm_lower);
+      ("drpm_upper", Json.Float c.Sim.Config.drpm_upper);
+      ("drpm_window", Json.Int c.Sim.Config.drpm_window);
+      ("drpm_idle_interval", Json.Float c.Sim.Config.drpm_idle_interval);
+      ("drpm_floor_depth", Json.Int c.Sim.Config.drpm_floor_depth);
+      ("queue_depth", Json.Int c.Sim.Config.queue_depth);
+      ("pm_call_overhead", Json.Float c.Sim.Config.pm_call_overhead);
+      ("pre_activation_lead", Json.Float c.Sim.Config.pre_activation_lead);
+      ("retain_busy", Json.Bool c.Sim.Config.retain_busy);
+    ]
+
+let config_of_json j =
+  let ( let* ) = Result.bind in
+  let field name conv = Option.bind (Json.member name j) conv in
+  let* specs =
+    match Option.bind (Json.member "specs" j) Json.to_str with
+    | None -> Ok Sim.Config.default.Sim.Config.specs
+    | Some name -> (
+        match
+          List.find_opt
+            (fun (s : Dpm_disk.Specs.t) ->
+              String.equal s.Dpm_disk.Specs.model_name name)
+            known_specs
+        with
+        | Some s -> Ok s
+        | None -> Error (Printf.sprintf "unknown disk model %S" name))
+  in
+  let tpm_threshold =
+    match Json.member "tpm_threshold" j with
+    | None | Some Json.Null -> None
+    | Some v -> Json.to_float v
+  in
+  Ok
+    (Sim.Config.make ~specs ?tpm_threshold
+       ?drpm_lower:(field "drpm_lower" Json.to_float)
+       ?drpm_upper:(field "drpm_upper" Json.to_float)
+       ?drpm_window:(field "drpm_window" Json.to_int)
+       ?drpm_idle_interval:(field "drpm_idle_interval" Json.to_float)
+       ?drpm_floor_depth:(field "drpm_floor_depth" Json.to_int)
+       ?queue_depth:(field "queue_depth" Json.to_int)
+       ?pm_call_overhead:(field "pm_call_overhead" Json.to_float)
+       ?pre_activation_lead:(field "pre_activation_lead" Json.to_float)
+       ?retain_busy:(field "retain_busy" Json.to_bool)
+       ())
+
+let mode_name = function `Open -> "open" | `Closed -> "closed"
+
+let mode_of_name = function
+  | "open" -> Some `Open
+  | "closed" -> Some `Closed
+  | _ -> None
+
+let core_name = function `Fast -> "fast" | `Reference -> "reference"
+
+let core_of_name = function
+  | "fast" -> Some `Fast
+  | "reference" -> Some `Reference
+  | _ -> None
+
+let all_versions =
+  Dpm_compiler.Pipeline.all_versions @ [ Dpm_compiler.Pipeline.TL_ALL_DL ]
+
+let version_of_name name =
+  List.find_opt
+    (fun v -> String.equal (Dpm_compiler.Pipeline.version_name v) name)
+    all_versions
+
+let setup_to_json (setup : Experiment.setup) =
+  Json.Obj
+    [
+      ("sim", config_to_json setup.Experiment.sim);
+      ("mode", Json.Str (mode_name setup.Experiment.mode));
+      ("cache_blocks", Json.Int setup.Experiment.cache_blocks);
+      ("noise", Json.Float setup.Experiment.noise);
+      ("seed", Json.Int setup.Experiment.seed);
+      ( "version",
+        Json.Str (Dpm_compiler.Pipeline.version_name setup.Experiment.version)
+      );
+      ("faults", Json.Str (Sim.Fault.to_string setup.Experiment.faults));
+      ("stream", Json.Bool setup.Experiment.stream);
+      ("batch", Json.Int setup.Experiment.batch);
+      ("core", Json.Str (core_name setup.Experiment.core));
+    ]
+
+let setup_of_json j =
+  let ( let* ) = Result.bind in
+  let enum name of_name what =
+    match Option.bind (Json.member name j) Json.to_str with
+    | None -> Ok None
+    | Some s -> (
+        match of_name s with
+        | Some v -> Ok (Some v)
+        | None -> Error (Printf.sprintf "unknown %s %S" what s))
+  in
+  let* sim =
+    match Json.member "sim" j with
+    | None -> Ok None
+    | Some c -> Result.map Option.some (config_of_json c)
+  in
+  let* mode = enum "mode" mode_of_name "mode" in
+  let* version = enum "version" version_of_name "version" in
+  let* core = enum "core" core_of_name "core" in
+  let* faults =
+    match Option.bind (Json.member "faults" j) Json.to_str with
+    | None -> Ok None
+    | Some s -> (
+        match Sim.Fault.of_string s with
+        | Ok f -> Ok (Some f)
+        | Error m -> Error ("faults: " ^ m))
+  in
+  Ok
+    (Experiment.make_setup ?sim ?mode
+       ?cache_blocks:(Option.bind (Json.member "cache_blocks" j) Json.to_int)
+       ?noise:(Option.bind (Json.member "noise" j) Json.to_float)
+       ?seed:(Option.bind (Json.member "seed" j) Json.to_int)
+       ?version ?faults
+       ?stream:(Option.bind (Json.member "stream" j) Json.to_bool)
+       ?batch:(Option.bind (Json.member "batch" j) Json.to_int)
+       ?core ())
+
+let to_json s =
+  let* workload =
+    match s.workload with
+    | Benchmark name ->
+        Ok
+          (Json.Obj
+             [ ("kind", Json.Str "benchmark"); ("name", Json.Str name) ])
+    | Trace_file path ->
+        Ok
+          (Json.Obj
+             [ ("kind", Json.Str "trace-file"); ("path", Json.Str path) ])
+    | Program (p, _) ->
+        Error
+          (Malformed_spec
+             (Printf.sprintf
+                "in-memory Program workload %S is not serializable"
+                p.Dpm_ir.Program.name))
+  in
+  let scheme_names =
+    match s.scheme_names with
+    | [] -> List.map Scheme.name s.schemes
+    | names -> names
+  in
+  let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
+  Ok
+    (Json.Obj
+       ([
+          ("schema", Json.Str spec_schema_version);
+          ("workload", workload);
+          ( "schemes",
+            Json.Arr (List.map (fun n -> Json.Str n) scheme_names) );
+        ]
+       @ opt "setup" setup_to_json s.setup
+       @ opt "sim" config_to_json s.sim
+       @ opt "mode" (fun m -> Json.Str (mode_name m)) s.mode
+       @ opt "version"
+           (fun v -> Json.Str (Dpm_compiler.Pipeline.version_name v))
+           s.version
+       @ opt "faults" (fun f -> Json.Str (Sim.Fault.to_string f)) s.faults
+       @ opt "stream" (fun b -> Json.Bool b) s.stream
+       @ opt "batch" (fun b -> Json.Int b) s.batch
+       @ opt "core" (fun c -> Json.Str (core_name c)) s.core))
+
+let of_json j =
+  let malformed m = Error (Malformed_spec m) in
+  let lift = function Ok v -> Ok v | Error m -> malformed m in
+  let* () =
+    match Option.bind (Json.member "schema" j) Json.to_str with
+    | Some v when String.equal v spec_schema_version -> Ok ()
+    | Some v ->
+        malformed
+          (Printf.sprintf "schema %S (expected %S)" v spec_schema_version)
+    | None -> malformed "missing schema field"
+  in
+  let* workload =
+    match Json.member "workload" j with
+    | None -> malformed "missing workload"
+    | Some w -> (
+        let str name = Option.bind (Json.member name w) Json.to_str in
+        match Option.bind (Json.member "kind" w) Json.to_str with
+        | Some "benchmark" -> (
+            match str "name" with
+            | Some n -> Ok (Benchmark n)
+            | None -> malformed "workload: missing benchmark name")
+        | Some "trace-file" -> (
+            match str "path" with
+            | Some p -> Ok (Trace_file p)
+            | None -> malformed "workload: missing trace-file path")
+        | Some k -> malformed (Printf.sprintf "workload: unknown kind %S" k)
+        | None -> malformed "workload: missing kind")
+  in
+  let* scheme_names =
+    match Option.bind (Json.member "schemes" j) Json.to_list with
+    | None -> malformed "missing schemes array"
+    | Some l ->
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            match Json.to_str v with
+            | Some n -> Ok (n :: acc)
+            | None -> malformed "schemes: expected strings")
+          (Ok []) l
+        |> Result.map List.rev
+  in
+  let* setup =
+    match Json.member "setup" j with
+    | None -> Ok None
+    | Some sj -> lift (Result.map Option.some (setup_of_json sj))
+  in
+  let* sim =
+    match Json.member "sim" j with
+    | None -> Ok None
+    | Some cj -> lift (Result.map Option.some (config_of_json cj))
+  in
+  let enum name of_name =
+    match Option.bind (Json.member name j) Json.to_str with
+    | None -> Ok None
+    | Some s -> (
+        match of_name s with
+        | Some v -> Ok (Some v)
+        | None -> malformed (Printf.sprintf "unknown %s %S" name s))
+  in
+  let* mode = enum "mode" mode_of_name in
+  let* version = enum "version" version_of_name in
+  let* core = enum "core" core_of_name in
+  let* faults =
+    match Option.bind (Json.member "faults" j) Json.to_str with
+    | None -> Ok None
+    | Some s -> (
+        match Sim.Fault.of_string s with
+        | Ok f -> Ok (Some f)
+        | Error m -> Error (Invalid_faults m))
+  in
+  Ok
+    {
+      schemes = Scheme.all;
+      scheme_names;
+      workload;
+      setup;
+      sim;
+      mode;
+      version;
+      faults;
+      timeline = None;
+      stream = Option.bind (Json.member "stream" j) Json.to_bool;
+      batch = Option.bind (Json.member "batch" j) Json.to_int;
+      core;
+    }
+
+let of_file path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic n)
+  with
+  | exception Sys_error m -> Error (Malformed_spec m)
+  | contents -> (
+      match Json.parse_string contents with
+      | Error m -> Error (Malformed_spec (path ^ ": " ^ m))
+      | Ok j -> of_json j)
+
+let to_file s path =
+  let* j = to_json s in
+  match open_out path with
+  | exception Sys_error m -> Error (Malformed_spec m)
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          Json.to_channel ~indent:1 oc j;
+          output_char oc '\n');
+      Ok ()

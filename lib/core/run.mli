@@ -32,6 +32,10 @@ type error =
   | Malformed_trace of string
       (** A [Trace_file] that failed to parse; the message carries
           [path:line:] context. *)
+  | Malformed_spec of string
+      (** A [dpm-spec/1] document that failed to parse or validate
+          ({!of_json}/{!of_file}), or a spec that cannot be serialized
+          ({!to_json} on a [Program] workload). *)
   | Run_failure of string
       (** An exception trapped while compiling/replaying (its printed
           form). *)
@@ -46,6 +50,7 @@ val spec :
   ?schemes:Scheme.t list ->
   ?scheme_names:string list ->
   ?setup:Experiment.setup ->
+  ?sim:Dpm_sim.Config.t ->
   ?mode:Dpm_sim.Engine.mode ->
   ?version:Dpm_compiler.Pipeline.version ->
   ?faults:Dpm_sim.Fault.spec ->
@@ -59,8 +64,10 @@ val spec :
     [scheme_names] (checked at {!exec} time) takes precedence over
     [schemes]; [setup] replaces the default setup — for a [Benchmark]
     workload the default inherits the benchmark's calibrated compiler
-    noise — and [mode]/[version]/[faults]/[stream]/[batch]/[core] override the
-    corresponding setup fields either way.  [stream] selects the fused
+    noise — and [sim]/[mode]/[version]/[faults]/[stream]/[batch]/[core]
+    override the corresponding setup fields either way ([sim] replaces
+    the whole simulator configuration: the sweep harness injects its
+    per-point configs here without disturbing the calibrated noise).  [stream] selects the fused
     O(batch)-memory pipeline (per-scheme regeneration or incremental
     file parse instead of one shared materialized trace; results are
     byte-identical).  [timeline] supplies a per-scheme
@@ -76,3 +83,31 @@ val exec_all : spec -> ((Scheme.t * Dpm_sim.Result.t) list, error) result
 val exec : spec -> (Dpm_sim.Result.t, error) result
 (** [exec s] is {!exec_all} reduced to the first requested scheme's
     result — the common single-scheme call. *)
+
+(** {1 Serializable specs — schema [dpm-spec/1]}
+
+    Everything but the observational [timeline] sinks round-trips
+    through {!Dpm_util.Json}: workload (benchmark name or trace-file
+    path — in-memory [Program]s are rejected), scheme names, the full
+    setup, simulator-config overrides, faults (the {!Dpm_sim.Fault}
+    CLI syntax), mode/version/stream/batch/core.  Floats print with
+    [%.17g], so [of_json] of a written document reproduces the run
+    bit-for-bit; optional fields missing from the document fall back to
+    their defaults. *)
+
+val spec_schema_version : string
+(** ["dpm-spec/1"]. *)
+
+val to_json : spec -> (Dpm_util.Json.t, error) result
+(** Fails with {!Malformed_spec} on a [Program] workload (in-memory IR
+    has no wire form).  [timeline] is observational and never
+    serialized. *)
+
+val of_json : Dpm_util.Json.t -> (spec, error) result
+
+val to_file : spec -> string -> (unit, error) result
+(** {!to_json} pretty-printed to a file (the sweep harness's replayable
+    winning-point artifact). *)
+
+val of_file : string -> (spec, error) result
+(** Parse a [dpm-spec/1] file ([dpmsim simulate --spec]). *)

@@ -1,6 +1,7 @@
-type t = Base | Tpm | Itpm | Drpm | Idrpm | Cmtpm | Cmdrpm
+type t = Base | Tpm | Itpm | Drpm | Idrpm | Cmtpm | Cmdrpm | Adaptive
 
 let all = [ Base; Tpm; Itpm; Drpm; Idrpm; Cmtpm; Cmdrpm ]
+let extended = all @ [ Adaptive ]
 
 let name = function
   | Base -> "Base"
@@ -10,12 +11,16 @@ let name = function
   | Idrpm -> "IDRPM"
   | Cmtpm -> "CMTPM"
   | Cmdrpm -> "CMDRPM"
+  | Adaptive -> "Adaptive"
 
 let names = List.map name all
+let extended_names = List.map name extended
 
 let of_name_opt s =
   let s = String.lowercase_ascii s in
-  List.find_opt (fun t -> String.equal (String.lowercase_ascii (name t)) s) all
+  List.find_opt
+    (fun t -> String.equal (String.lowercase_ascii (name t)) s)
+    extended
 
 let of_name s =
   match of_name_opt s with Some t -> t | None -> raise Not_found
@@ -28,14 +33,14 @@ let conv =
         Error
           (`Msg
             (Printf.sprintf "unknown scheme %S (expected one of: %s)" s
-               (String.concat ", " names)))
+               (String.concat ", " extended_names)))
   in
   Cmdliner.Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (name t))
 
 let is_compiler_managed = function
   | Cmtpm | Cmdrpm -> true
-  | Base | Tpm | Itpm | Drpm | Idrpm -> false
+  | Base | Tpm | Itpm | Drpm | Idrpm | Adaptive -> false
 
 let is_ideal = function
   | Itpm | Idrpm -> true
-  | Base | Tpm | Drpm | Cmtpm | Cmdrpm -> false
+  | Base | Tpm | Drpm | Cmtpm | Cmdrpm | Adaptive -> false

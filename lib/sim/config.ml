@@ -5,8 +5,10 @@ type t = {
   drpm_upper : float;
   drpm_window : int;
   drpm_idle_interval : float;
+  drpm_floor_depth : int;
   queue_depth : int;
   pm_call_overhead : float;
+  pre_activation_lead : float;
   retain_busy : bool;
 }
 
@@ -18,7 +20,50 @@ let default =
     drpm_upper = 0.15;
     drpm_window = Dpm_disk.Specs.ultrastar_36z15.drpm_window;
     drpm_idle_interval = 1.0;
+    drpm_floor_depth = 4;
     queue_depth = 32;
     pm_call_overhead = 2.0e-6;
+    pre_activation_lead = 0.0;
     retain_busy = true;
   }
+
+let make ?(specs = default.specs) ?tpm_threshold
+    ?(drpm_lower = default.drpm_lower) ?(drpm_upper = default.drpm_upper)
+    ?(drpm_window = default.drpm_window)
+    ?(drpm_idle_interval = default.drpm_idle_interval)
+    ?(drpm_floor_depth = default.drpm_floor_depth)
+    ?(queue_depth = default.queue_depth)
+    ?(pm_call_overhead = default.pm_call_overhead)
+    ?(pre_activation_lead = default.pre_activation_lead)
+    ?(retain_busy = default.retain_busy) () =
+  {
+    specs;
+    tpm_threshold;
+    drpm_lower;
+    drpm_upper;
+    drpm_window;
+    drpm_idle_interval;
+    drpm_floor_depth;
+    queue_depth;
+    pm_call_overhead;
+    pre_activation_lead;
+    retain_busy;
+  }
+
+let with_specs specs t = { t with specs }
+let with_tpm_threshold tpm_threshold t = { t with tpm_threshold }
+let with_drpm_lower drpm_lower t = { t with drpm_lower }
+let with_drpm_upper drpm_upper t = { t with drpm_upper }
+let with_drpm_window drpm_window t = { t with drpm_window }
+
+let with_drpm_idle_interval drpm_idle_interval t =
+  { t with drpm_idle_interval }
+
+let with_drpm_floor_depth drpm_floor_depth t = { t with drpm_floor_depth }
+let with_queue_depth queue_depth t = { t with queue_depth }
+let with_pm_call_overhead pm_call_overhead t = { t with pm_call_overhead }
+
+let with_pre_activation_lead pre_activation_lead t =
+  { t with pre_activation_lead }
+
+let with_retain_busy retain_busy t = { t with retain_busy }

@@ -1,4 +1,10 @@
-(** Simulator configuration. *)
+(** Simulator configuration.
+
+    The record is public (every field is meaningful to read), but
+    construction should go through {!make} or the [with_*] updaters over
+    {!default} so that adding a knob never breaks a call site — the
+    sweep harness builds configurations programmatically from axis
+    values this way. *)
 
 type t = {
   specs : Dpm_disk.Specs.t;
@@ -19,6 +25,11 @@ type t = {
           interval — the reactive controller's only way to exploit
           idleness (it pays for it by serving the next burst at the level
           it drifted to). *)
+  drpm_floor_depth : int;
+      (** How many RPM levels below full speed idle control (reactive
+          DRPM and the online {!Dpm_sim.Policy.adaptive} controller) may
+          drift on idleness alone — deeper levels cost too much to
+          reverse when the workload returns (default 4). *)
   queue_depth : int;
       (** Open-loop replay: maximum requests outstanding per disk before
           the traced application stalls (bounded I/O queue, default 32).
@@ -27,6 +38,13 @@ type t = {
   pm_call_overhead : float;
       (** Cost of executing one inserted power-management call, seconds
           (the paper's [Tm]); charged to compute time in CM schemes. *)
+  pre_activation_lead : float;
+      (** Extra seconds of guard band added ahead of every
+          compiler-inserted pre-activation (paper Eq. 1 fires
+          [guard = max pm_call_overhead (gap / 4) + lead] before the
+          estimated window end).  0 reproduces the paper's placement;
+          the sweep harness uses this axis to trade spin-up misses
+          against shortened low-power residency. *)
   retain_busy : bool;
       (** Record per-request busy intervals in [Result.t] (default).
           They are O(requests) — the one per-request allocation a replay
@@ -37,5 +55,37 @@ type t = {
 
 val default : t
 (** Ultrastar 36Z15 specs, break-even TPM threshold, 5%/15% DRPM
-    tolerances, 30-request windows, 0.5 s idle interval, 2 µs call
-    overhead. *)
+    tolerances, 30-request windows, 1 s idle interval with a 4-level
+    floor, 2 µs call overhead, no extra pre-activation lead. *)
+
+val make :
+  ?specs:Dpm_disk.Specs.t ->
+  ?tpm_threshold:float ->
+  ?drpm_lower:float ->
+  ?drpm_upper:float ->
+  ?drpm_window:int ->
+  ?drpm_idle_interval:float ->
+  ?drpm_floor_depth:int ->
+  ?queue_depth:int ->
+  ?pm_call_overhead:float ->
+  ?pre_activation_lead:float ->
+  ?retain_busy:bool ->
+  unit ->
+  t
+(** {!default} with fields overridden ([tpm_threshold] stays [None] —
+    break-even — unless given). *)
+
+(** Functional updaters, value first so they compose with [|>]:
+    [Config.default |> Config.with_queue_depth 4]. *)
+
+val with_specs : Dpm_disk.Specs.t -> t -> t
+val with_tpm_threshold : float option -> t -> t
+val with_drpm_lower : float -> t -> t
+val with_drpm_upper : float -> t -> t
+val with_drpm_window : int -> t -> t
+val with_drpm_idle_interval : float -> t -> t
+val with_drpm_floor_depth : int -> t -> t
+val with_queue_depth : int -> t -> t
+val with_pm_call_overhead : float -> t -> t
+val with_pre_activation_lead : float -> t -> t
+val with_retain_busy : bool -> t -> t

@@ -119,10 +119,10 @@ let drpm (config : Config.t) ~ndisks =
             Disk_state.set_level st ~now:(start +. 0.01) top
         end;
         if interval > 0.0 then begin
-          (* The controller will not drift more than four steps below full
-             speed on idleness alone: deeper levels cost too much to
-             reverse when the workload returns. *)
-          let floor_level = max 0 (top - 4) in
+          (* The controller will not drift more than [drpm_floor_depth]
+             steps below full speed on idleness alone: deeper levels cost
+             too much to reverse when the workload returns. *)
+          let floor_level = max 0 (top - config.drpm_floor_depth) in
           let k = ref 1 in
           let fire = ref (start +. interval) in
           while !fire <= now && Disk_state.level st > floor_level do
@@ -172,6 +172,113 @@ let drpm (config : Config.t) ~ndisks =
     end
   in
   { name = "DRPM"; accepts_directives = false; kind = Hooked; catch_up; on_complete }
+
+(* Online auto-tuning controller (ROADMAP item 3, DEPO-style): a
+   DRPM-flavored threshold policy that learns each disk's idle-gap
+   distribution as it replays.  Per disk it keeps an EWMA of observed
+   gap lengths and a firing threshold [tau]; when a gap outlives [tau]
+   the EWMA prediction picks the action — full spin-down when the
+   predicted gap recoups a spin-up, otherwise an RPM drift to the
+   configured floor level (cheap to reverse) — and the observed outcome
+   hill-climbs [tau] multiplicatively within [2 s, 4 x break-even] (the
+   same clamp as ATPM).  Like every decision here, firings are applied
+   retroactively at their exact expiry times, so energy accounting is
+   independent of when the next request happens to arrive. *)
+let adaptive_min_threshold = 2.0
+let adaptive_gap_floor = 1.0 (* gaps shorter than this teach nothing *)
+let adaptive_alpha = 0.25 (* EWMA smoothing for gap observations *)
+
+let adaptive_with_state (config : Config.t) ~ndisks =
+  let break_even = Dpm_disk.Power.tpm_break_even config.specs in
+  let top = Dpm_disk.Rpm.max_level config.specs in
+  let floor_level = max 0 (top - config.drpm_floor_depth) in
+  (* Start eager, like reactive DRPM's idle controller: scientific
+     workloads concentrate their idleness in a handful of long gaps per
+     disk, so a controller that begins at break-even and shrinks has
+     nothing left to exploit by the time it has learned.  Premature
+     firings cost only a cheap modulation round trip and double the
+     threshold. *)
+  let thresholds = Array.make ndisks adaptive_min_threshold in
+  let ewma = Array.make ndisks break_even in
+  let clamp t =
+    Float.min (4.0 *. break_even) (Float.max adaptive_min_threshold t)
+  in
+  let catch_up st ~now =
+    match Disk_state.phase st with
+    | Disk_state.Ready _ ->
+        let id = Disk_state.id st in
+        let start = Disk_state.idle_since st in
+        let tau = thresholds.(id) in
+        let fire_at = start +. tau in
+        let fired = now >= fire_at in
+        (* A disk left drifted served the previous burst at that level
+           (firmware cannot modulate mid-stream, so the arrival that
+           cut the gap short was not blocked on a restore).  Bring it
+           back to speed early in this pause — unless the pause itself
+           outlives the timer, in which case the firing below keeps it
+           low. *)
+        if (not fired) && Disk_state.level st < top && now -. start > 0.05
+        then Disk_state.set_level st ~now:(start +. 0.01) top;
+        (* Fire with the oracle's own gap optimizer, but fed the EWMA
+           prediction instead of the true residual — the whole
+           difference between this controller and IDRPM is the quality
+           of that estimate, so its energy is bounded below by the
+           oracle's. *)
+        let spun = ref false in
+        if fired then begin
+          let predicted = Float.max 0.0 (ewma.(id) -. tau) in
+          let plan = Dpm_disk.Power.best_drpm_plan config.specs predicted in
+          if plan.Dpm_disk.Power.spin_down then begin
+            spun := true;
+            Disk_state.spin_down st ~now:fire_at
+          end
+          else begin
+            let target = max floor_level plan.Dpm_disk.Power.level in
+            if target < Disk_state.level st then
+              Disk_state.set_level st ~now:fire_at target
+          end
+        end;
+        let spun = !spun in
+        (* The arrival at [now] ends the gap that began at [start]
+           (idle_since survives the retroactive transition), which is
+           the controller's one observation point. *)
+        let gap = now -. start in
+        if fired then
+          (* Only gaps that outlived the timer teach the predictor:
+             [ewma] estimates the length of a gap {e given} that it
+             fired, which is what the next firing must predict. *)
+          ewma.(id) <- ewma.(id) +. (adaptive_alpha *. (gap -. ewma.(id)));
+        if gap >= adaptive_gap_floor then begin
+          let residual = gap -. tau in
+          let payback =
+            (* What the action taken must recoup: a spin-down its
+               spin-up, a drift its modulation round trip. *)
+            if spun then break_even else adaptive_min_threshold
+          in
+          let t =
+            if fired then
+              if residual >= payback then tau *. 0.9 else tau *. 2.0
+            else
+              (* The gap ended before the timer: shrink toward it so
+                 gaps of this size become exploitable. *)
+              tau *. 0.7
+          in
+          thresholds.(id) <- clamp t
+        end
+    | Disk_state.Standby | Disk_state.Spinning_down _
+    | Disk_state.Spinning_up _ | Disk_state.Changing _ ->
+        ()
+  in
+  ( {
+      name = "Adaptive";
+      accepts_directives = false;
+      kind = Hooked;
+      catch_up;
+      on_complete = no_on_complete;
+    },
+    thresholds )
+
+let adaptive config ~ndisks = fst (adaptive_with_state config ~ndisks)
 
 let cm_tpm =
   {

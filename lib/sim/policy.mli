@@ -58,6 +58,19 @@ val drpm : Config.t -> ndisks:int -> t
     tolerance the disk steps one RPM level down; if it exceeds the upper
     tolerance the controller restores full speed. *)
 
+val adaptive : Config.t -> ndisks:int -> t
+(** Online auto-tuning controller (the sweep subsystem's dynamic
+    counterpart): per-disk firing thresholds hill-climbed from observed
+    idle gaps, with an EWMA gap prediction choosing between a full
+    spin-down (predicted residual ≥ break-even) and a cheap RPM drift to
+    the [drpm_floor_depth] floor.  Thresholds stay within
+    [2 s, 4 x break-even]; all state is per-policy-value, so create a
+    fresh one per replay. *)
+
+val adaptive_with_state : Config.t -> ndisks:int -> t * float array
+(** {!adaptive} plus the live per-disk threshold array (exposed for the
+    invariant tests; the array mutates as the policy replays). *)
+
 val cm_tpm : t
 (** Compiler-managed TPM: obeys [spin_down]/[spin_up] directives only. *)
 

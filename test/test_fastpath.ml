@@ -32,6 +32,7 @@ let policies config ~ndisks =
     ("tpm", fun () -> Policy.tpm config);
     ("tpm_adaptive", fun () -> Policy.tpm_adaptive config ~ndisks);
     ("drpm", fun () -> Policy.drpm config ~ndisks);
+    ("adaptive", fun () -> Policy.adaptive config ~ndisks);
     ("cm_tpm", fun () -> Policy.cm_tpm);
     ("cm_drpm", fun () -> Policy.cm_drpm);
   ]
@@ -90,7 +91,30 @@ let test_unsupported_shape_falls_back () =
   let r_fast =
     Engine.run_stream ~core:`Fast hooked_cm (Stream.of_trace trace)
   in
-  Alcotest.(check bool) "fallback result identical" true (r_ref = r_fast)
+  Alcotest.(check bool) "fallback result identical" true (r_ref = r_fast);
+  (* Same property for the Adaptive auto-tuner forced into the
+     unsupported shape: the fast core must fall back, and because the
+     controller's learned state is rebuilt per replay the fallback is
+     still bit-identical. *)
+  let directive_adaptive () =
+    {
+      (Policy.adaptive Config.default ~ndisks:(Trace.ndisks trace)) with
+      Policy.accepts_directives = true;
+    }
+  in
+  Alcotest.(check bool)
+    "directive-accepting adaptive rejected by Fastpath.supported" false
+    (Fastpath.supported (directive_adaptive ()));
+  let r_ref =
+    Engine.run_stream ~core:`Reference (directive_adaptive ())
+      (Stream.of_trace trace)
+  in
+  let r_fast =
+    Engine.run_stream ~core:`Fast (directive_adaptive ())
+      (Stream.of_trace trace)
+  in
+  Alcotest.(check bool) "adaptive fallback result identical" true
+    (r_ref = r_fast)
 
 let test_supported_shapes () =
   List.iter
@@ -152,7 +176,7 @@ let test_histograms_equal () =
 (* --- Allocation regression: the zero-allocation claim --- *)
 
 let words_per_event core policy trace =
-  let config = { Config.default with Config.retain_busy = false } in
+  let config = Config.make ~retain_busy:false () in
   let replay () =
     ignore (Engine.run_stream ~config ~core policy (Stream.of_trace trace))
   in

@@ -250,7 +250,7 @@ let qcheck_multiprogram_equiv =
 
 let test_retain_busy_off_equivalent () =
   let trace = sample_trace () in
-  let lean = { Config.default with Config.retain_busy = false } in
+  let lean = Config.make ~retain_busy:false () in
   let r = Engine.run Policy.base trace in
   let r' = Engine.run ~config:lean Policy.base trace in
   Alcotest.(check (float 1e-12)) "same energy" r.Result.energy r'.Result.energy;

@@ -1,0 +1,376 @@
+(* The auto-tuning sweep subsystem and its two APIs: the dpm-spec/1
+   serializable run specs (round-trip exactly, reject garbage) and the
+   Sweep grid driver (deterministic expansion, domain-count-independent
+   results, best-configuration tables whose persisted winning spec
+   replays bit-identically).  Plus the Adaptive policy's contract: the
+   hill-climbed thresholds stay inside their clamp and the controller
+   never loses energy against Base on any suite workload while staying
+   above the oracle bound. *)
+
+module Config = Dpm_sim.Config
+module Policy = Dpm_sim.Policy
+module Engine = Dpm_sim.Engine
+module Res = Dpm_sim.Result
+module Run = Dpm_core.Run
+module Scheme = Dpm_core.Scheme
+module Sweep = Dpm_core.Sweep
+module Experiment = Dpm_core.Experiment
+module Json = Dpm_util.Json
+
+let break_even = Dpm_disk.Power.tpm_break_even Config.default.Config.specs
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* --- Grid expansion --- *)
+
+let test_expand () =
+  Alcotest.(check int) "empty axes: one empty point" 1
+    (List.length (Sweep.expand []));
+  let axes =
+    [
+      Sweep.Tpm_threshold [ 4.0; 8.0; 15.2 ];
+      Sweep.Drpm_lower [ 0.02; 0.08 ];
+      Sweep.Drpm_window [ 10; 30 ];
+    ]
+  in
+  let points = Sweep.expand axes in
+  Alcotest.(check int) "3 x 2 x 2 = 12 points" 12 (List.length points);
+  (* Axis order is preserved within a point; later axes vary fastest. *)
+  Alcotest.(check bool) "first point = all first values" true
+    (List.hd points
+    = [ ("tpm-threshold", 4.0); ("drpm-lower", 0.02); ("drpm-window", 10.0) ]);
+  Alcotest.(check bool) "second point varies the last axis" true
+    (List.nth points 1
+    = [ ("tpm-threshold", 4.0); ("drpm-lower", 0.02); ("drpm-window", 30.0) ]);
+  (* Expansion is a pure function: same axes, same order, every time. *)
+  Alcotest.(check bool) "deterministic" true (points = Sweep.expand axes)
+
+let test_axes_of_string () =
+  (match Sweep.axes_of_string "tpm-threshold=4,8; drpm-window=10" with
+  | Ok [ Sweep.Tpm_threshold [ 4.0; 8.0 ]; Sweep.Drpm_window [ 10 ] ] -> ()
+  | Ok _ -> Alcotest.fail "parsed into the wrong axes"
+  | Error m -> Alcotest.fail m);
+  let is_error s =
+    match Sweep.axes_of_string s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "unknown axis rejected" true (is_error "warp=1,2");
+  Alcotest.(check bool) "empty values rejected" true
+    (is_error "tpm-threshold=");
+  Alcotest.(check bool) "bad number rejected" true
+    (is_error "drpm-lower=0.02,zap");
+  Alcotest.(check bool) "missing = rejected" true (is_error "tpm-threshold")
+
+let test_apply () =
+  let c =
+    Sweep.apply Config.default
+      [
+        ("tpm-threshold", 5.0);
+        ("drpm-floor-depth", 6.0);
+        ("queue-depth", 8.0);
+        ("pre-activation-lead", 0.25);
+      ]
+  in
+  Alcotest.(check bool) "tpm_threshold set" true
+    (c.Config.tpm_threshold = Some 5.0);
+  Alcotest.(check int) "drpm_floor_depth set" 6 c.Config.drpm_floor_depth;
+  Alcotest.(check int) "queue_depth set" 8 c.Config.queue_depth;
+  Alcotest.(check (float 0.0)) "pre_activation_lead set" 0.25
+    c.Config.pre_activation_lead;
+  Alcotest.check_raises "unknown axis raises"
+    (Invalid_argument "Sweep.apply: unknown axis warp") (fun () ->
+      ignore (Sweep.apply Config.default [ ("warp", 1.0) ]))
+
+(* --- dpm-spec/1 round-trip --- *)
+
+(* The spec JSON is a fixpoint of serialize/parse: comparing documents
+   (rather than specs) sidesteps the parser's legitimate Float->Int
+   narrowing of whole floats while still proving the run is reproduced
+   bit-for-bit. *)
+let spec_json_fixpoint s =
+  match Run.to_json s with
+  | Error e -> Alcotest.fail (Run.error_message e)
+  | Ok j -> (
+      match Run.of_json j with
+      | Error e -> Alcotest.fail (Run.error_message e)
+      | Ok s' -> (
+          match Run.to_json s' with
+          | Error e -> Alcotest.fail (Run.error_message e)
+          | Ok j' -> String.equal (Json.to_string j) (Json.to_string j')))
+
+let gen_spec =
+  QCheck2.Gen.(
+    map
+      (fun (bench, mask, (tpm, lower, window), (mode, core, stream), batch) ->
+        let scheme_names =
+          let picked =
+            List.filteri
+              (fun i _ -> (mask lsr i) land 1 = 1)
+              Scheme.extended_names
+          in
+          if picked = [] then [ "Base" ] else picked
+        in
+        let sim =
+          Config.make
+            ?tpm_threshold:(if tpm > 0.0 then Some tpm else None)
+            ~drpm_lower:lower ~drpm_window:window ()
+        in
+        Run.spec ~scheme_names ~sim
+          ?mode:(if mode then Some `Closed else None)
+          ?core:(if core then Some `Reference else None)
+          ?stream:(if stream then Some true else None)
+          ?batch:(if batch > 0 then Some batch else None)
+          (Run.Benchmark bench))
+      (tup5
+         (oneofl [ "swim"; "galgel"; "mesa" ])
+         (int_range 0 255)
+         (tup3 (float_bound_inclusive 20.0) (float_bound_inclusive 0.1)
+            (int_range 1 64))
+         (tup3 bool bool bool)
+         (int_range 0 512)))
+
+let qcheck_spec_roundtrip =
+  QCheck2.Test.make ~count:100 ~name:"dpm-spec/1 JSON round-trip fixpoint"
+    gen_spec spec_json_fixpoint
+
+let test_spec_roundtrip_full () =
+  (* One fully loaded spec, deterministically: every optional field. *)
+  let s =
+    Run.spec
+      ~scheme_names:[ "Base"; "CMDRPM"; "Adaptive" ]
+      ~sim:
+        (Config.make ~tpm_threshold:7.5 ~drpm_lower:0.03 ~drpm_upper:0.2
+           ~drpm_window:12 ~drpm_idle_interval:0.75 ~drpm_floor_depth:6
+           ~queue_depth:16 ~pm_call_overhead:0.002 ~pre_activation_lead:0.1
+           ~retain_busy:false ())
+      ~mode:`Closed ~version:Dpm_compiler.Pipeline.TL_DL ~faults:Gen.fault_spec
+      ~stream:true ~batch:64 ~core:`Reference (Run.Benchmark "swim")
+  in
+  Alcotest.(check bool) "fixpoint" true (spec_json_fixpoint s);
+  (* And via a file, as the sweep harness writes them. *)
+  let path = Filename.temp_file "dpm_spec" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (match Run.to_file s path with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Run.error_message e));
+      match Run.of_file path with
+      | Error e -> Alcotest.fail (Run.error_message e)
+      | Ok s' ->
+          let doc s =
+            match Run.to_json s with
+            | Ok j -> Json.to_string j
+            | Error e -> Alcotest.fail (Run.error_message e)
+          in
+          Alcotest.(check string) "file round-trip fixpoint" (doc s) (doc s'))
+
+let test_spec_rejections () =
+  let malformed = function
+    | Error (Run.Malformed_spec _) -> true
+    | Ok _ | Error _ -> false
+  in
+  let p, plan = Experiment.workload (Dpm_workloads.Suite.find "swim") in
+  Alcotest.(check bool) "Program workload not serializable" true
+    (malformed (Run.to_json (Run.spec (Run.Program (p, plan)))));
+  Alcotest.(check bool) "wrong schema tag" true
+    (malformed
+       (Run.of_json (Json.Obj [ ("schema", Json.Str "dpm-spec/9") ])));
+  Alcotest.(check bool) "missing workload" true
+    (malformed
+       (Run.of_json (Json.Obj [ ("schema", Json.Str "dpm-spec/1") ])));
+  Alcotest.(check bool) "unknown disk model" true
+    (malformed
+       (Run.of_json
+          (Json.Obj
+             [
+               ("schema", Json.Str "dpm-spec/1");
+               ( "workload",
+                 Json.Obj
+                   [ ("kind", Json.Str "benchmark"); ("name", Json.Str "swim") ]
+               );
+               ("schemes", Json.Arr [ Json.Str "Base" ]);
+               ("sim", Json.Obj [ ("specs", Json.Str "Maxtor 1000") ]);
+             ])))
+
+(* --- Adaptive policy invariants --- *)
+
+let qcheck_adaptive_clamp =
+  QCheck2.Test.make ~count:50
+    ~name:"adaptive thresholds stay within [2 s, 4 x break-even]"
+    Gen.gen_trace
+    (fun trace ->
+      let policy, thresholds =
+        Policy.adaptive_with_state Config.default
+          ~ndisks:(Dpm_trace.Trace.ndisks trace)
+      in
+      ignore (Engine.run policy trace);
+      Array.for_all
+        (fun t -> t >= 2.0 && t <= 4.0 *. break_even)
+        thresholds)
+
+(* The acceptance property, run on the whole suite: online tuning may
+   fail to find savings on a workload, but it must never spend more
+   energy than no power management at all, and it can never beat the
+   oracle that sees every gap in advance. *)
+let test_adaptive_never_worse_than_base () =
+  List.iter
+    (fun (spec : Dpm_workloads.Suite.spec) ->
+      let name = spec.Dpm_workloads.Suite.name in
+      match
+        Run.exec_all
+          (Run.spec
+             ~schemes:[ Scheme.Base; Scheme.Adaptive; Scheme.Idrpm ]
+             (Run.Benchmark name))
+      with
+      | Error e -> Alcotest.fail (Run.error_message e)
+      | Ok results ->
+          let energy s = (List.assoc s results).Res.energy in
+          Alcotest.(check bool)
+            (name ^ ": Adaptive never worse than Base")
+            true
+            (energy Scheme.Adaptive <= energy Scheme.Base +. 1e-6);
+          Alcotest.(check bool)
+            (name ^ ": Adaptive above the IDRPM oracle bound")
+            true
+            (energy Scheme.Adaptive >= energy Scheme.Idrpm -. 1e-6))
+    Dpm_workloads.Suite.all
+
+(* --- The sweep driver --- *)
+
+let smoke_axes =
+  [ Sweep.Tpm_threshold [ 4.0; 15.2 ]; Sweep.Drpm_lower [ 0.02; 0.08 ] ]
+
+let smoke_schemes = [ Scheme.Base; Scheme.Tpm; Scheme.Adaptive ]
+
+let run_smoke ?domains () =
+  match
+    Sweep.run ~schemes:smoke_schemes ?domains ~axes:smoke_axes
+      ~workloads:[ "mesa" ] ()
+  with
+  | Ok outcome -> outcome
+  | Error e -> Alcotest.fail (Run.error_message e)
+
+let test_sweep_deterministic () =
+  let a = run_smoke ~domains:1 () in
+  let b = run_smoke ~domains:1 () in
+  let c = run_smoke ~domains:4 () in
+  Alcotest.(check int) "4 cells" 4 (List.length a.Sweep.cells);
+  Alcotest.(check bool) "re-run bit-identical" true
+    (a.Sweep.cells = b.Sweep.cells);
+  Alcotest.(check bool) "1 vs 4 domains bit-identical" true
+    (a.Sweep.cells = c.Sweep.cells);
+  (* Best table and winners are pure functions of the outcome, so their
+     determinism follows; pin the shape anyway. *)
+  let best = Sweep.best a in
+  Alcotest.(check int) "one best row per non-Base scheme" 2
+    (List.length best);
+  Alcotest.(check bool) "best rows deterministic" true (best = Sweep.best b);
+  (match Sweep.winners a with
+  | [ (scheme, cell, _) ] ->
+      Alcotest.(check string) "winner workload" "mesa" cell.Sweep.workload;
+      Alcotest.(check bool) "winner is implementable" true
+        (not (Scheme.is_ideal scheme) && scheme <> Scheme.Base)
+  | _ -> Alcotest.fail "expected exactly one winner");
+  (match Sweep.validate (Sweep.to_json a) with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.fail (String.concat "; " msgs));
+  let rendered = Sweep.render a in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("render mentions " ^ needle) true
+        (contains rendered needle))
+    [ "Best configuration"; "Winners"; "sensitivity"; "tpm-threshold" ];
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("markdown mentions " ^ needle) true
+        (contains (Sweep.markdown a) needle))
+    [ "## Best configuration"; "## Winners"; "## Sensitivity" ]
+
+let test_winning_spec_replays () =
+  let outcome = run_smoke () in
+  match Sweep.winners outcome with
+  | [ (_, cell, _) ] -> (
+      let spec =
+        match Sweep.best_spec outcome ~workload:"mesa" with
+        | Some s -> s
+        | None -> Alcotest.fail "no winning spec"
+      in
+      let path = Filename.temp_file "dpm_sweep_best" ".spec.json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          (match Run.to_file spec path with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail (Run.error_message e));
+          match Result.bind (Run.of_file path) Run.exec_all with
+          | Error e -> Alcotest.fail (Run.error_message e)
+          | Ok results ->
+              Alcotest.(check bool)
+                "persisted winning spec replays bit-identically" true
+                (results = cell.Sweep.results)))
+  | _ -> Alcotest.fail "expected exactly one winner"
+
+let test_normalized_table () =
+  let outcome = run_smoke () in
+  let first_point = List.hd (Sweep.expand smoke_axes) in
+  let rows =
+    List.filter_map
+      (fun (cell : Sweep.cell) ->
+        if cell.Sweep.point = first_point then
+          Some (cell.Sweep.workload, cell.Sweep.results)
+        else None)
+      outcome.Sweep.cells
+  in
+  let table =
+    Sweep.normalized_table ~metric:`Energy ~schemes:smoke_schemes
+      ~extra:("note", fun _ -> Some 1.5)
+      rows
+  in
+  let lines = String.split_on_char '\n' table in
+  (* header + one row per workload + AVG + trailing "" *)
+  Alcotest.(check int) "header, rows, AVG" (List.length rows + 3)
+    (List.length lines);
+  Alcotest.(check bool) "AVG row present" true
+    (List.exists
+       (fun l -> String.length l >= 3 && String.sub l 0 3 = "AVG")
+       lines);
+  Alcotest.(check bool) "Base column normalizes to 1.000" true
+    (contains table "1.000");
+  Alcotest.(check bool) "extra column rendered" true (contains table "1.50")
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "sweep.grid",
+      [
+        Alcotest.test_case "cartesian expansion" `Quick test_expand;
+        Alcotest.test_case "axes_of_string" `Quick test_axes_of_string;
+        Alcotest.test_case "apply settings" `Quick test_apply;
+      ] );
+    ( "sweep.spec",
+      [
+        q qcheck_spec_roundtrip;
+        Alcotest.test_case "fully loaded spec round-trips" `Quick
+          test_spec_roundtrip_full;
+        Alcotest.test_case "malformed specs rejected" `Quick
+          test_spec_rejections;
+      ] );
+    ( "sweep.adaptive",
+      [
+        q qcheck_adaptive_clamp;
+        Alcotest.test_case "never worse than Base, above oracle" `Slow
+          test_adaptive_never_worse_than_base;
+      ] );
+    ( "sweep.driver",
+      [
+        Alcotest.test_case "deterministic grid (1 vs 4 domains)" `Slow
+          test_sweep_deterministic;
+        Alcotest.test_case "winning spec replays bit-identically" `Slow
+          test_winning_spec_replays;
+        Alcotest.test_case "normalized table printer" `Slow
+          test_normalized_table;
+      ] );
+  ]
