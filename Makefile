@@ -1,5 +1,5 @@
 .PHONY: all build test check bench fault-check timeline-check report-check \
-  stream-check perf-check sweep-check clean
+  stream-check perf-check sweep-check sched-check clean
 
 all: build
 
@@ -82,6 +82,21 @@ stream-check: build
 perf-check: build
 	dune exec bench/main.exe -- throughput --json _build/throughput.json \
 	  --baseline test/golden/bench_baseline.json
+
+# Scheduler smoke: every request-scheduling discipline replays the same
+# faulty mixed-fleet workload (a fast 36Z15 round-robined with a flash
+# tier) and must reproduce the checked-in golden byte-for-byte.  FCFS
+# pins the legacy engine; the others pin the deferred-dispatch queues
+# end-to-end through the CLI, fleet plumbing and fault layer included.
+sched-check: build
+	set -e; : > _build/sched_smoke.out; \
+	for s in fcfs sstf scan c-look sstf-remap; do \
+	  echo "== sched=$$s ==" >> _build/sched_smoke.out; \
+	  dune exec bin/dpmsim.exe -- simulate -b swim -s Base,DRPM,CMDRPM \
+	    --fleet ultrastar_36z15,flash --sched $$s \
+	    --faults "$(FAULT_SPEC)" >> _build/sched_smoke.out; \
+	done
+	cmp _build/sched_smoke.out test/golden/sched_smoke.expected
 
 # Auto-tuning sweep smoke: a fixed 2x2 thresholds x tolerances grid over
 # swim and galgel must reproduce the checked-in golden byte-for-byte

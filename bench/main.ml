@@ -198,24 +198,37 @@ let throughput_mode ~baseline () =
   let ndisks = Dpm_trace.Trace.ndisks trace in
   let config = Dpm_sim.Config.make ~retain_busy:false () in
   (* Policies are created fresh per replay: the reactive ones (DRPM)
-     carry mutable controller state that must not leak across runs. *)
+     carry mutable controller state that must not leak across runs.
+     The scheduler rows replay Base under each non-FCFS discipline:
+     both cores route through the deferred-dispatch engine there, so
+     their speedup hovers around 1.0 — the floor guards the scheduler's
+     absolute events/sec, not a fast-core ratio. *)
+  let sched cfg s = Dpm_sim.Config.with_sched s cfg in
   let schemes =
     [
-      ("Base", fun () -> Dpm_sim.Policy.base);
-      ("TPM", fun () -> Dpm_sim.Policy.tpm config);
-      ("DRPM", fun () -> Dpm_sim.Policy.drpm config ~ndisks);
-      ("CMDRPM", fun () -> Dpm_sim.Policy.cm_drpm);
+      ("Base", config, fun () -> Dpm_sim.Policy.base);
+      ("TPM", config, fun () -> Dpm_sim.Policy.tpm config);
+      ("DRPM", config, fun () -> Dpm_sim.Policy.drpm config ~ndisks);
+      ("CMDRPM", config, fun () -> Dpm_sim.Policy.cm_drpm);
+      ("SSTF", sched config Dpm_sim.Config.Sstf, fun () -> Dpm_sim.Policy.base);
+      ("SCAN", sched config Dpm_sim.Config.Scan, fun () -> Dpm_sim.Policy.base);
+      ( "C-LOOK",
+        sched config Dpm_sim.Config.Clook,
+        fun () -> Dpm_sim.Policy.base );
+      ( "SSTF-R",
+        sched config Dpm_sim.Config.Sstf_remap,
+        fun () -> Dpm_sim.Policy.base );
     ]
   in
-  let replay core policy =
+  let replay config core policy =
     Dpm_sim.Engine.run_stream ~config ~core (policy ())
       (Dpm_trace.Trace.Stream.of_trace trace)
   in
-  let time_runs n core policy =
+  let time_runs n config core policy =
     let t0 = Metrics.now () in
-    let last = ref (replay core policy) in
+    let last = ref (replay config core policy) in
     for _ = 2 to n do
-      last := replay core policy
+      last := replay config core policy
     done;
     ((Metrics.now () -. t0) /. float_of_int n, !last)
   in
@@ -227,13 +240,13 @@ let throughput_mode ~baseline () =
   let all_identical = ref true in
   let rows =
     List.map
-      (fun (name, policy) ->
+      (fun (name, config, policy) ->
         (* Warm both cores once (page in the trace, settle the GC). *)
-        ignore (replay `Reference policy);
-        ignore (replay `Fast policy);
-        let ref_s, r_ref = time_runs 2 `Reference policy in
+        ignore (replay config `Reference policy);
+        ignore (replay config `Fast policy);
+        let ref_s, r_ref = time_runs 2 config `Reference policy in
         let minor0 = Gc.minor_words () in
-        let fast_s, r_fast = time_runs 10 `Fast policy in
+        let fast_s, r_fast = time_runs 10 config `Fast policy in
         let minor1 = Gc.minor_words () in
         let identical = r_ref = r_fast in
         if not identical then all_identical := false;

@@ -266,6 +266,65 @@ let core_arg =
     & opt (enum [ ("fast", `Fast); ("reference", `Reference) ]) `Fast
     & info [ "core" ] ~doc ~docv:"CORE")
 
+let sched_conv =
+  let parse s =
+    match Dpm_sim.Config.sched_of_name_opt s with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown scheduler %S (expected one of: %s)" s
+               (String.concat ", "
+                  (List.map fst Dpm_sim.Config.sched_names))))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf s -> Format.pp_print_string ppf (Dpm_sim.Config.sched_name s) )
+
+let sched_arg =
+  let doc =
+    "Per-disk request-scheduling discipline: $(b,fcfs) (default, the \
+     paper's arrival-order model), $(b,sstf), $(b,scan), $(b,clook), or \
+     $(b,sstf-remap) (bad-sector-aware SSTF that prices remapped blocks \
+     at their post-remap spare-pool position).  Non-FCFS disciplines \
+     defer requests into bounded per-disk queues (depth \
+     $(b,queue-depth)) and replay on the reference core."
+  in
+  Arg.(
+    value & opt (some sched_conv) None & info [ "sched" ] ~doc ~docv:"DISCIPLINE")
+
+let disk_model_conv =
+  let parse s =
+    match Dpm_disk.Specs.of_name_opt s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown disk model %S (expected one of: %s)" s
+               (String.concat ", " (List.map fst Dpm_disk.Specs.all))))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf m -> Format.pp_print_string ppf (Dpm_disk.Specs.name_of m) )
+
+let fleet_arg =
+  let doc =
+    "Heterogeneous fleet: comma-separated disk models assigned \
+     round-robin over the array's disk ids (disk $(i,d) gets the \
+     $(i,d) mod $(i,N)-th model), e.g. $(b,ultrastar_36z15,flash).  \
+     Default: every disk is the homogeneous $(b,ultrastar_36z15)."
+  in
+  Arg.(
+    value & opt (list disk_model_conv) [] & info [ "fleet" ] ~doc ~docv:"MODELS")
+
+let sim_config_of ~fleet ~sched =
+  let c = Dpm_sim.Config.default in
+  let c =
+    if fleet = [] then c
+    else Dpm_sim.Config.with_fleet (Array.of_list fleet) c
+  in
+  match sched with None -> c | Some s -> Dpm_sim.Config.with_sched s c
+
 let spec_file_arg =
   let doc =
     "Replay a saved $(b,dpm-spec/1) run-spec file (the format $(b,dpmsim \
@@ -301,7 +360,7 @@ let print_results_table results ~schemes =
 
 let simulate_cmd =
   let run inst name trace_file spec_file schemes version mode faults timeline
-      histograms stream batch core =
+      histograms stream batch core fleet sched =
     if histograms then Dpm_util.Telemetry.(set_histograms global true);
     match spec_file with
     | Some f when name <> None || trace_file <> None ->
@@ -348,7 +407,8 @@ let simulate_cmd =
           List.map (fun s -> (s, Dpm_sim.Timeline.sink ())) run_schemes
     in
     let rspec =
-      Dpm_core.Run.spec ~schemes:run_schemes ~mode ~version ?faults
+      Dpm_core.Run.spec ~schemes:run_schemes
+        ~sim:(sim_config_of ~fleet ~sched) ~mode ~version ?faults
         ?timeline:
           (match sinks with
           | [] -> None
@@ -425,7 +485,8 @@ let simulate_cmd =
     Term.(
       const run $ instrument_term $ bench_opt_arg $ trace_file_workload_arg
       $ spec_file_arg $ schemes_arg $ version_arg $ mode_arg $ faults_arg
-      $ timeline_arg $ histograms_arg $ stream_arg $ batch_arg $ core_arg)
+      $ timeline_arg $ histograms_arg $ stream_arg $ batch_arg $ core_arg
+      $ fleet_arg $ sched_arg)
 
 (* --- timeline: summarize a recorded event log --- *)
 
@@ -760,8 +821,10 @@ let sweep_cmd =
       "Axes to sweep: $(b,;)-separated $(b,axis=v1,v2,...) clauses over \
        tpm-threshold, drpm-lower, drpm-upper, drpm-window, \
        drpm-idle-interval, drpm-floor-depth, queue-depth, \
-       pm-call-overhead, pre-activation-lead — e.g. \
-       $(b,\"tpm-threshold=4,15.2;drpm-lower=0.02,0.08\")."
+       pm-call-overhead, pre-activation-lead, sched — e.g. \
+       $(b,\"tpm-threshold=4,15.2;drpm-lower=0.02,0.08\") or \
+       $(b,\"sched=fcfs,sstf,scan;queue-depth=8,32\") (the categorical \
+       $(b,sched) axis takes scheduler names)."
     in
     Arg.(
       required & opt (some string) None & info [ "axes" ] ~doc ~docv:"AXES")

@@ -190,12 +190,25 @@ module Json = Dpm_util.Json
 
 let spec_schema_version = "dpm-spec/1"
 
-let known_specs = [ Dpm_disk.Specs.ultrastar_36z15 ]
-
 let config_to_json (c : Sim.Config.t) =
   Json.Obj
-    [
-      ("specs", Json.Str c.Sim.Config.specs.Dpm_disk.Specs.model_name);
+    ([ ("specs", Json.Str c.Sim.Config.specs.Dpm_disk.Specs.model_name) ]
+    (* Fleet and scheduler are emitted only away from their defaults, so
+       pre-fleet specs serialize byte-identically. *)
+    @ (match Array.to_list c.Sim.Config.fleet with
+      | [] -> []
+      | fleet ->
+          [
+            ( "fleet",
+              Json.Arr
+                (List.map
+                   (fun m -> Json.Str (Dpm_disk.Specs.name_of m))
+                   fleet) );
+          ])
+    @ (match c.Sim.Config.sched with
+      | Sim.Config.Fcfs -> []
+      | s -> [ ("sched", Json.Str (Sim.Config.sched_name s)) ])
+    @ [
       ( "tpm_threshold",
         match c.Sim.Config.tpm_threshold with
         | None -> Json.Null
@@ -209,23 +222,46 @@ let config_to_json (c : Sim.Config.t) =
       ("pm_call_overhead", Json.Float c.Sim.Config.pm_call_overhead);
       ("pre_activation_lead", Json.Float c.Sim.Config.pre_activation_lead);
       ("retain_busy", Json.Bool c.Sim.Config.retain_busy);
-    ]
+    ])
 
 let config_of_json j =
   let ( let* ) = Result.bind in
   let field name conv = Option.bind (Json.member name j) conv in
+  let resolve name =
+    (* Registry lookup by slug or model name ({!Dpm_disk.Specs.of_name_opt}). *)
+    match Dpm_disk.Specs.of_name_opt name with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "unknown disk model %S" name)
+  in
   let* specs =
     match Option.bind (Json.member "specs" j) Json.to_str with
     | None -> Ok Sim.Config.default.Sim.Config.specs
-    | Some name -> (
-        match
-          List.find_opt
-            (fun (s : Dpm_disk.Specs.t) ->
-              String.equal s.Dpm_disk.Specs.model_name name)
-            known_specs
-        with
-        | Some s -> Ok s
-        | None -> Error (Printf.sprintf "unknown disk model %S" name))
+    | Some name -> resolve name
+  in
+  let* fleet =
+    match Option.bind (Json.member "fleet" j) Json.to_list with
+    | None -> Ok [||]
+    | Some l ->
+        let* models =
+          List.fold_left
+            (fun acc v ->
+              let* acc = acc in
+              match Json.to_str v with
+              | None -> Error "fleet: expected model-name strings"
+              | Some name ->
+                  let* m = resolve name in
+                  Ok (m :: acc))
+            (Ok []) l
+        in
+        Ok (Array.of_list (List.rev models))
+  in
+  let* sched =
+    match Option.bind (Json.member "sched" j) Json.to_str with
+    | None -> Ok Sim.Config.Fcfs
+    | Some s -> (
+        match Sim.Config.sched_of_name_opt s with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "unknown scheduler %S" s))
   in
   let tpm_threshold =
     match Json.member "tpm_threshold" j with
@@ -233,7 +269,7 @@ let config_of_json j =
     | Some v -> Json.to_float v
   in
   Ok
-    (Sim.Config.make ~specs ?tpm_threshold
+    (Sim.Config.make ~specs ~fleet ~sched ?tpm_threshold
        ?drpm_lower:(field "drpm_lower" Json.to_float)
        ?drpm_upper:(field "drpm_upper" Json.to_float)
        ?drpm_window:(field "drpm_window" Json.to_int)

@@ -26,6 +26,7 @@ type axis =
   | Queue_depth of int list
   | Pm_call_overhead of float list
   | Pre_activation_lead of float list
+  | Sched of Sim.Config.sched list
 
 let axis_name = function
   | Tpm_threshold _ -> "tpm-threshold"
@@ -37,6 +38,22 @@ let axis_name = function
   | Queue_depth _ -> "queue-depth"
   | Pm_call_overhead _ -> "pm-call-overhead"
   | Pre_activation_lead _ -> "pre-activation-lead"
+  | Sched _ -> "sched"
+
+(* The scheduler axis rides the float-valued grid as an index into
+   [Config.sched_names] (stable order); rendering turns it back into
+   the canonical name. *)
+let sched_index s =
+  let rec go i = function
+    | [] -> invalid_arg "Sweep: unregistered scheduler"
+    | (_, v) :: tl -> if v = s then i else go (i + 1) tl
+  in
+  go 0 Sim.Config.sched_names
+
+let sched_of_index i =
+  match List.nth_opt Sim.Config.sched_names i with
+  | Some (_, s) -> s
+  | None -> invalid_arg "Sweep: scheduler index out of range"
 
 let axis_values = function
   | Tpm_threshold vs
@@ -48,6 +65,7 @@ let axis_values = function
       vs
   | Drpm_window vs | Drpm_floor_depth vs | Queue_depth vs ->
       List.map float_of_int vs
+  | Sched vs -> List.map (fun s -> float_of_int (sched_index s)) vs
 
 (* One grid coordinate: (canonical axis name, value) in axis order.
    Integer-valued axes carry their value as a float for uniformity; the
@@ -66,6 +84,7 @@ let apply_setting config (name, v) =
   | "queue-depth" -> Sim.Config.with_queue_depth (int_of_float v) config
   | "pm-call-overhead" -> Sim.Config.with_pm_call_overhead v config
   | "pre-activation-lead" -> Sim.Config.with_pre_activation_lead v config
+  | "sched" -> Sim.Config.with_sched (sched_of_index (int_of_float v)) config
   | _ -> invalid_arg ("Sweep.apply: unknown axis " ^ name)
 
 let apply config (p : point) = List.fold_left apply_setting config p
@@ -91,6 +110,25 @@ let axes_of_string s =
         let rest =
           String.sub clause (i + 1) (String.length clause - i - 1)
         in
+        if String.equal name "sched" then
+          let* scheds =
+            List.fold_left
+              (fun acc tok ->
+                let* acc = acc in
+                let tok = String.trim tok in
+                match Sim.Config.sched_of_name_opt tok with
+                | Some s -> Ok (s :: acc)
+                | None ->
+                    Error (Printf.sprintf "sched: unknown scheduler %S" tok))
+              (Ok [])
+              (String.split_on_char ',' rest)
+            |> Result.map List.rev
+          in
+          let* () =
+            if scheds = [] then Error "sched: empty value list" else Ok ()
+          in
+          Ok (Sched scheds)
+        else
         let* values =
           List.fold_left
             (fun acc tok ->
@@ -125,7 +163,7 @@ let axes_of_string s =
                  "unknown axis %S (expected one of: tpm-threshold, \
                   drpm-lower, drpm-upper, drpm-window, drpm-idle-interval, \
                   drpm-floor-depth, queue-depth, pm-call-overhead, \
-                  pre-activation-lead)"
+                  pre-activation-lead, sched)"
                  name))
   in
   List.fold_left
@@ -140,9 +178,16 @@ let axes_of_string s =
     (String.split_on_char ';' s)
   |> Result.map List.rev
 
+let value_to_string n v =
+  if String.equal n "sched" then
+    Sim.Config.sched_name (sched_of_index (int_of_float v))
+  else Printf.sprintf "%g" v
+
+let setting_to_string (n, v) =
+  Printf.sprintf "%s=%s" n (value_to_string n v)
+
 let point_to_string (p : point) =
-  String.concat ", "
-    (List.map (fun (n, v) -> Printf.sprintf "%s=%g" n v) p)
+  String.concat ", " (List.map setting_to_string p)
 
 (* --- Running the grid --- *)
 
@@ -291,7 +336,15 @@ let sensitivity outcome =
 (* --- Reports --- *)
 
 let point_json (p : point) =
-  Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) p)
+  Json.Obj
+    (List.map
+       (fun (n, v) ->
+         if String.equal n "sched" then
+           ( n,
+             Json.Str
+               (Sim.Config.sched_name (sched_of_index (int_of_float v))) )
+         else (n, Json.Float v))
+       p)
 
 let to_json outcome =
   let scheme_row cell (scheme, (r : Sim.Result.t)) =
@@ -319,9 +372,17 @@ let to_json outcome =
                  [
                    ("axis", Json.Str (axis_name axis));
                    ( "values",
-                     Json.Arr
-                       (List.map (fun v -> Json.Float v) (axis_values axis))
-                   );
+                     match axis with
+                     | Sched vs ->
+                         Json.Arr
+                           (List.map
+                              (fun s -> Json.Str (Sim.Config.sched_name s))
+                              vs)
+                     | _ ->
+                         Json.Arr
+                           (List.map
+                              (fun v -> Json.Float v)
+                              (axis_values axis)) );
                  ])
              outcome.axes) );
       ( "schemes",
@@ -446,7 +507,9 @@ let render outcome =
       Buffer.add_string b
         (Printf.sprintf "  axis %-19s %s\n" (axis_name axis)
            (String.concat ", "
-              (List.map (Printf.sprintf "%g") (axis_values axis)))))
+              (List.map
+                 (value_to_string (axis_name axis))
+                 (axis_values axis)))))
     outcome.axes;
   Buffer.add_string b "\nBest configuration per workload x scheme:\n";
   Buffer.add_string b
@@ -480,7 +543,8 @@ let render outcome =
   Buffer.add_char b '\n';
   List.iter
     (fun (axis, v, means) ->
-      Buffer.add_string b (Printf.sprintf "%-19s %9g" axis v);
+      Buffer.add_string b
+        (Printf.sprintf "%-19s %9s" axis (value_to_string axis v));
       List.iter
         (fun (_, m) -> Buffer.add_string b (Printf.sprintf " %9.3f" m))
         means;
@@ -500,7 +564,9 @@ let markdown outcome =
       Buffer.add_string b
         (Printf.sprintf "- axis `%s`: %s\n" (axis_name axis)
            (String.concat ", "
-              (List.map (Printf.sprintf "%g") (axis_values axis)))))
+              (List.map
+                 (value_to_string (axis_name axis))
+                 (axis_values axis)))))
     outcome.axes;
   Buffer.add_string b "\n## Best configuration\n\n";
   Buffer.add_string b
@@ -535,7 +601,7 @@ let markdown outcome =
   List.iter
     (fun (axis, v, means) ->
       Buffer.add_string b
-        (Printf.sprintf "| %s | %g | %s |\n" axis v
+        (Printf.sprintf "| %s | %s | %s |\n" axis (value_to_string axis v)
            (String.concat " | "
               (List.map (fun (_, m) -> Printf.sprintf "%.3f" m) means))))
     (sensitivity outcome);

@@ -32,15 +32,19 @@ type axis =
       (** Per-directive overhead, seconds (compiler-managed schemes). *)
   | Pre_activation_lead of float list
       (** Extra pre-activation guard band, seconds. *)
+  | Sched of Dpm_sim.Config.sched list
+      (** Per-disk request-scheduling discipline. *)
 
 val axis_name : axis -> string
 (** Canonical kebab-case name (the CLI/JSON vocabulary):
     ["tpm-threshold"], ["drpm-lower"], ["drpm-upper"], ["drpm-window"],
     ["drpm-idle-interval"], ["drpm-floor-depth"], ["queue-depth"],
-    ["pm-call-overhead"], ["pre-activation-lead"]. *)
+    ["pm-call-overhead"], ["pre-activation-lead"], ["sched"]. *)
 
 val axis_values : axis -> float list
-(** The grid values, integer axes widened to floats. *)
+(** The grid values, integer axes widened to floats.  The categorical
+    [Sched] axis is encoded as the float index of each discipline in
+    [Dpm_sim.Config.sched_names]; reports render it back by name. *)
 
 type point = (string * float) list
 (** One grid coordinate: [(axis_name, value)] pairs in axis order. *)
@@ -56,7 +60,8 @@ val expand : axis list -> point list
 val axes_of_string : string -> (axis list, string) result
 (** Parse the CLI grammar: [";"]-separated ["axis=v1,v2,..."] clauses,
     e.g. ["tpm-threshold=4,15.2;drpm-lower=0.02,0.08"].  Integer axes
-    round their values.  Unknown axes, empty value lists and malformed
+    round their values; the [sched] axis takes scheduler names
+    (["sched=fcfs,sstf,scan"]).  Unknown axes, empty value lists and malformed
     numbers produce a readable error. *)
 
 val point_to_string : point -> string

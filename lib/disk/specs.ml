@@ -41,11 +41,89 @@ let ultrastar_36z15 =
     drpm_window = 30;
   }
 
+(* Previous-generation 10,000-RPM server disk (IBM Ultrastar 36LZX
+   class): slower seek/rotation/transfer, longer spin-up, and a coarser
+   DRPM ladder (3,000..10,000 in 1,400-RPM steps — six levels). *)
+let ultrastar_36lzx =
+  {
+    model_name = "IBM Ultrastar 36LZX";
+    capacity_bytes = 36 * 1024 * 1024 * 1024;
+    rpm_max = 10_000;
+    avg_seek = 4.9e-3;
+    avg_rotation = 3.0e-3;
+    transfer_rate = 29.0 *. 1024.0 *. 1024.0;
+    p_active = 12.6;
+    p_idle = 9.5;
+    p_standby = 2.3;
+    e_spin_down = 11.0;
+    t_spin_down = 1.9;
+    e_spin_up = 142.0;
+    t_spin_up = 13.0;
+    rpm_min = 3_000;
+    rpm_step = 1_400;
+    rpm_transition_per_rpm = 0.14e-3;
+    spindle_exponent = 2.8;
+    drpm_window = 30;
+  }
+
+(* SSD-like tier: no rotating spindle, so a single "RPM" level, flat
+   service time (no rotational latency, near-zero positioning cost) and
+   zero-cost, zero-time spin transitions.  Spin times of exactly 0 are
+   safe: every energy integration guards dt > 0, and the RPM ladder
+   degenerates to one level (rpm_min = rpm_max, any positive step). *)
+let flash =
+  {
+    model_name = "Flash SSD";
+    capacity_bytes = 32 * 1024 * 1024 * 1024;
+    rpm_max = 15_000;
+    avg_seek = 0.1e-3;
+    avg_rotation = 0.0;
+    transfer_rate = 200.0 *. 1024.0 *. 1024.0;
+    p_active = 4.5;
+    p_idle = 1.2;
+    p_standby = 0.3;
+    e_spin_down = 0.0;
+    t_spin_down = 0.0;
+    e_spin_up = 0.0;
+    t_spin_up = 0.0;
+    rpm_min = 15_000;
+    rpm_step = 1_200;
+    rpm_transition_per_rpm = 0.0;
+    spindle_exponent = 1.0;
+    drpm_window = 30;
+  }
+
+(* Value-level model registry: short slug -> specs, in a stable order.
+   [of_name_opt] also accepts the datasheet [model_name], both
+   case-insensitively; [name_of] is the inverse used when persisting a
+   fleet (unknown ad-hoc records fall back to their model_name). *)
+let all =
+  [
+    ("ultrastar_36z15", ultrastar_36z15);
+    ("ultrastar_36lzx", ultrastar_36lzx);
+    ("flash", flash);
+  ]
+
+let of_name_opt name =
+  let k = String.lowercase_ascii (String.trim name) in
+  List.find_map
+    (fun (slug, t) ->
+      if
+        String.equal k slug
+        || String.equal k (String.lowercase_ascii t.model_name)
+      then Some t
+      else None)
+    all
+
+let name_of t =
+  match List.find_opt (fun (_, t') -> t' = t) all with
+  | Some (slug, _) -> slug
+  | None -> t.model_name
+
 let pp ppf t =
   let line fmt = Format.fprintf ppf fmt in
   line "Disk Model              %s@," t.model_name;
   line "Storage Capacity        %d GB@," (t.capacity_bytes / (1024 * 1024 * 1024));
-  line "RPM                     %d@," t.rpm_max;
   line "Average seek time       %.1f msec@," (t.avg_seek *. 1e3);
   line "Average rotation time   %.1f msec@," (t.avg_rotation *. 1e3);
   line "Internal transfer rate  %.0f MB/sec@," (t.transfer_rate /. (1024. *. 1024.));
@@ -59,4 +137,6 @@ let pp ppf t =
   line "Maximum RPM level       %d RPM@," t.rpm_max;
   line "Minimum RPM level       %d RPM@," t.rpm_min;
   line "RPM Step-Size           %d RPM@," t.rpm_step;
+  line "RPM transition time     %.2f msec/RPM@," (t.rpm_transition_per_rpm *. 1e3);
+  line "Spindle power exponent  %.1f@," t.spindle_exponent;
   line "Window size             %d" t.drpm_window

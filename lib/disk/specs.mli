@@ -36,5 +36,24 @@ type t = {
 val ultrastar_36z15 : t
 (** The paper's default disk. *)
 
+val ultrastar_36lzx : t
+(** Previous-generation 10,000-RPM disk: slower seek/rotation/transfer,
+    longer spin-up, six-level DRPM ladder. *)
+
+val flash : t
+(** SSD-like tier: flat service time (no rotational latency), a single
+    RPM level, and zero-cost instantaneous spin transitions. *)
+
+val all : (string * t) list
+(** Model registry in a stable order: short slug -> specs. *)
+
+val of_name_opt : string -> t option
+(** Look a model up by registry slug or datasheet [model_name],
+    case-insensitively. *)
+
+val name_of : t -> string
+(** Registry slug of a known model ([of_name_opt (name_of t) = Some t]);
+    falls back to [t.model_name] for ad-hoc records. *)
+
 val pp : Format.formatter -> t -> unit
-(** Renders the Table 1 parameter block. *)
+(** Renders the full Table 1 parameter block (every field). *)

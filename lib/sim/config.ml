@@ -1,5 +1,30 @@
+(* Per-disk request-queue service order.  Defined here (not in Sched)
+   so Config stays dependency-free; Sched owns the names and the
+   dispatch machinery. *)
+type sched = Fcfs | Sstf | Scan | Clook | Sstf_remap
+
+(* Canonical scheduler names, shared by the CLI, the run-spec JSON and
+   the timeline export. *)
+let sched_names =
+  [
+    ("fcfs", Fcfs);
+    ("sstf", Sstf);
+    ("scan", Scan);
+    ("c-look", Clook);
+    ("sstf-remap", Sstf_remap);
+  ]
+
+let sched_name s = fst (List.find (fun (_, v) -> v = s) sched_names)
+
+let sched_of_name_opt name =
+  match String.lowercase_ascii (String.trim name) with
+  | "clook" -> Some Clook (* spelling alias; canonical name is "c-look" *)
+  | n -> List.assoc_opt n sched_names
+
 type t = {
   specs : Dpm_disk.Specs.t;
+  fleet : Dpm_disk.Specs.t array;
+  sched : sched;
   tpm_threshold : float option;
   drpm_lower : float;
   drpm_upper : float;
@@ -15,6 +40,8 @@ type t = {
 let default =
   {
     specs = Dpm_disk.Specs.ultrastar_36z15;
+    fleet = [||];
+    sched = Fcfs;
     tpm_threshold = None;
     drpm_lower = 0.05;
     drpm_upper = 0.15;
@@ -27,7 +54,8 @@ let default =
     retain_busy = true;
   }
 
-let make ?(specs = default.specs) ?tpm_threshold
+let make ?(specs = default.specs) ?(fleet = default.fleet)
+    ?(sched = default.sched) ?tpm_threshold
     ?(drpm_lower = default.drpm_lower) ?(drpm_upper = default.drpm_upper)
     ?(drpm_window = default.drpm_window)
     ?(drpm_idle_interval = default.drpm_idle_interval)
@@ -38,6 +66,8 @@ let make ?(specs = default.specs) ?tpm_threshold
     ?(retain_busy = default.retain_busy) () =
   {
     specs;
+    fleet;
+    sched;
     tpm_threshold;
     drpm_lower;
     drpm_upper;
@@ -51,6 +81,18 @@ let make ?(specs = default.specs) ?tpm_threshold
   }
 
 let with_specs specs t = { t with specs }
+let with_fleet fleet t = { t with fleet }
+let with_sched sched t = { t with sched }
+
+(* The model serving disk [disk]: fleet entries round-robin over the
+   disk ids; an empty fleet means every disk is [t.specs] (the legacy
+   homogeneous configuration). *)
+let model t ~disk =
+  let n = Array.length t.fleet in
+  if n = 0 then t.specs else t.fleet.(disk mod n)
+
+let homogeneous t =
+  Array.for_all (fun m -> m = t.specs) t.fleet
 let with_tpm_threshold tpm_threshold t = { t with tpm_threshold }
 let with_drpm_lower drpm_lower t = { t with drpm_lower }
 let with_drpm_upper drpm_upper t = { t with drpm_upper }

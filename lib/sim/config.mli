@@ -6,8 +6,31 @@
     sweep harness builds configurations programmatically from axis
     values this way. *)
 
+(** Per-disk request-queue service order (see {!Dpm_sim.Sched}): FCFS is
+    the legacy implicit-FIFO order; SSTF/SCAN/C-LOOK reorder by block
+    position; [Sstf_remap] is SSTF pricing remapped bad sectors at their
+    post-remap position (spare region beyond the data blocks). *)
+type sched = Fcfs | Sstf | Scan | Clook | Sstf_remap
+
+val sched_names : (string * sched) list
+(** Canonical names in a stable order: ["fcfs"], ["sstf"], ["scan"],
+    ["c-look"], ["sstf-remap"] — shared by the CLI, the run-spec JSON
+    and the timeline export. *)
+
+val sched_name : sched -> string
+val sched_of_name_opt : string -> sched option
+(** Case-insensitive, whitespace-trimmed lookup. *)
+
 type t = {
   specs : Dpm_disk.Specs.t;
+  fleet : Dpm_disk.Specs.t array;
+      (** Heterogeneous disk models, assigned round-robin by disk id
+          (disk [d] is [fleet.(d mod length)]).  [[||]] (default) means
+          every disk is [specs] — the legacy homogeneous fleet. *)
+  sched : sched;
+      (** Per-disk queue service order (default [Fcfs], the legacy
+          order; anything else routes the replay through
+          {!Dpm_sim.Sched}). *)
   tpm_threshold : float option;
       (** Reactive TPM idleness threshold in seconds; [None] uses the
           break-even time computed from the specs (the standard
@@ -60,6 +83,8 @@ val default : t
 
 val make :
   ?specs:Dpm_disk.Specs.t ->
+  ?fleet:Dpm_disk.Specs.t array ->
+  ?sched:sched ->
   ?tpm_threshold:float ->
   ?drpm_lower:float ->
   ?drpm_upper:float ->
@@ -79,7 +104,19 @@ val make :
     [Config.default |> Config.with_queue_depth 4]. *)
 
 val with_specs : Dpm_disk.Specs.t -> t -> t
+val with_fleet : Dpm_disk.Specs.t array -> t -> t
+val with_sched : sched -> t -> t
 val with_tpm_threshold : float option -> t -> t
+
+val model : t -> disk:int -> Dpm_disk.Specs.t
+(** The model serving [disk]: [fleet.(disk mod length)], or [specs] when
+    the fleet is empty. *)
+
+val homogeneous : t -> bool
+(** [true] iff every disk is served by [specs] (empty fleet, or every
+    fleet entry structurally equal to it) — the configurations whose
+    replays must stay byte-identical with the pre-fleet engine. *)
+
 val with_drpm_lower : float -> t -> t
 val with_drpm_upper : float -> t -> t
 val with_drpm_window : int -> t -> t

@@ -134,15 +134,30 @@ let state_of_phase = function
 let emit t ev =
   match t.recorder with Some s -> Timeline.emit s ev | None -> ()
 
+(* Zero-width Ready/Standby residencies stay elided, but a zero-width
+   transition span is still emitted: it witnesses the automaton edge for
+   models whose spin transitions take no time (the flash tier), keeping
+   the recorded log a legal walk.  Positive-duration transitions never
+   produce zero-width spans, so logs of the classic models are
+   unchanged. *)
 let emit_span t ph t0 t1 =
-  if t1 > t0 then
+  let keep =
+    t1 > t0
+    ||
+    match ph with
+    | Changing _ | Spinning_down _ | Spinning_up _ -> t1 = t0
+    | Ready _ | Standby -> false
+  in
+  if keep then
     emit t
       (Timeline.Span { disk = t.disk_id; state = state_of_phase ph; t0; t1 })
 
 let record t ~at mark = emit t (Timeline.Mark { disk = t.disk_id; t = at; mark })
 
 let rec advance t now =
-  if (not t.failed) && now > t.hot.(ix_last_update) then
+  if t.failed then ()
+  else if now <= t.hot.(ix_last_update) then resolve_instant t
+  else
     match t.phase with
     | Ready _ | Standby ->
         let dt = now -. t.hot.(ix_last_update) in
@@ -181,6 +196,25 @@ let rec advance t now =
         note_residency t t.phase dt;
         emit_span t t.phase t.hot.(ix_last_update) now;
         t.hot.(ix_last_update) <- now
+
+(* A zero-time transition (the flash tier's instantaneous spin and
+   modulation) can be pending with [finish = last_update]; no time needs
+   integrating, but the phase must still resolve or chained operations
+   ([ready_at]) would spin forever.  Positive-duration transitions never
+   reach here unresolved, so classic models take the old path exactly. *)
+and resolve_instant t =
+  let lu = t.hot.(ix_last_update) in
+  match t.phase with
+  | Changing { to_level; finish; _ } when finish <= lu ->
+      emit_span t t.phase finish finish;
+      t.phase <- Ready to_level
+  | Spinning_down { finish } when finish <= lu ->
+      emit_span t t.phase finish finish;
+      t.phase <- Standby
+  | Spinning_up { finish } when finish <= lu ->
+      emit_span t t.phase finish finish;
+      t.phase <- Ready (Rpm.max_level t.specs)
+  | Ready _ | Standby | Changing _ | Spinning_down _ | Spinning_up _ -> ()
 
 (* Time at which the disk will next be [Ready] with no further
    intervention (standby never resolves by itself). *)

@@ -4,20 +4,6 @@ module Stream = Dpm_trace.Trace.Stream
 
 type mode = [ `Open | `Closed ]
 
-(* [None] takes the exact fault-free code path (no extra draws, no float
-   perturbation), keeping zero-fault replays byte-identical.  [nblocks]
-   (the stripe-unit address space bad regions are drawn over) is lazy so
-   streaming replays never pay the whole-trace scan unless a fault spec
-   is actually active. *)
-let fault_state faults ~ndisks ~nblocks =
-  if Fault.is_zero faults then None
-  else begin
-    (match Fault.validate faults with
-    | Ok _ -> ()
-    | Error m -> invalid_arg ("Engine: invalid fault spec: " ^ m));
-    Some (Fault.start (Fault.plan faults ~ndisks ~nblocks:(Lazy.force nblocks)))
-  end
-
 (* Replay observation lives in {!Observe} (shared with the specialized
    core, so both accumulate histograms through identical code). *)
 let make_obs = Observe.make
@@ -26,147 +12,10 @@ let observe_service = Observe.observe_service
 let flush_obs = Observe.flush
 let retries_before = Observe.retries_before
 
-let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
-    (stream : Stream.t) =
-  let specs = config.Config.specs in
-  let top = Dpm_disk.Rpm.max_level specs in
-  let ndisks = Stream.ndisks stream in
-  let disks =
-    Array.init ndisks (fun id ->
-        Disk_state.create ?recorder:timeline
-          ~retain_busy:config.Config.retain_busy specs ~id)
-  in
-  let gap_choices = ref [] in
-  (* Application clock: in open mode it advances along the traced (base)
-     timeline; in closed mode it advances to each actual completion. *)
-  let clock = ref 0.0 in
-  (* Completion time of the last request queued at each disk. *)
-  let backlog = Array.make ndisks 0.0 in
-  (* Ring of the last [queue_depth] completions per disk: the traced
-     application stalls rather than queue more than that. *)
-  let depth = max 1 config.Config.queue_depth in
-  let recent = Array.init ndisks (fun _ -> Array.make depth 0.0) in
-  let recent_pos = Array.make ndisks 0 in
-  let makespan = ref 0.0 in
-  let sweep_failures now =
-    match fault with
-    | None -> ()
-    | Some fs ->
-        Fault.sweep fs ~now ~kill:(fun d at -> Disk_state.fail disks.(d) ~at)
-  in
-  let apply_directive directive =
-    clock := !clock +. config.Config.pm_call_overhead;
-    match directive with
-    | Request.Spin_down d ->
-        Disk_state.record disks.(d) ~at:!clock Timeline.Directive_spin_down;
-        Disk_state.spin_down disks.(d) ~now:!clock
-    | Request.Spin_up d -> (
-        Disk_state.record disks.(d) ~at:!clock Timeline.Directive_spin_up;
-        match fault with
-        | None -> Disk_state.spin_up disks.(d) ~now:!clock
-        | Some fs -> Fault.spin_up fs disks.(d) ~now:!clock)
-    | Request.Set_rpm { level; disk } ->
-        if level < top then gap_choices := (disk, !clock, level) :: !gap_choices;
-        Disk_state.record disks.(disk) ~at:!clock
-          (Timeline.Directive_set_rpm level);
-        Disk_state.set_level disks.(disk) ~now:!clock level
-  in
-  (* Per-event body: identical whatever chunking the stream delivers, so
-     replays are byte-identical to the materialized path at any batch
-     size. *)
-  Stream.iter
-    (fun event ->
-      clock := !clock +. Request.think event;
-      sweep_failures !clock;
-      match event with
-      | Request.Pm { directive; _ } ->
-          if policy.Policy.accepts_directives then apply_directive directive
-      | Request.Io io ->
-          (* A failed disk sheds its load onto the next survivor. *)
-          let d =
-            match fault with
-            | None -> io.disk
-            | Some fs -> Fault.serving_disk fs ~disk:io.disk ~now:!clock
-          in
-          if d <> io.disk then
-            Disk_state.record disks.(d) ~at:!clock (Timeline.Redirect io.disk);
-          let st = disks.(d) in
-          (* Bounded queue: wait until the oldest of the last [depth]
-             requests on this disk has completed. *)
-          let oldest = recent.(d).(recent_pos.(d)) in
-          if oldest > !clock then clock := oldest;
-          let arrival = !clock in
-          observe_arrival obs ~ring:recent.(d) ~arrival;
-          let issue = max arrival backlog.(d) in
-          policy.Policy.catch_up st ~now:issue;
-          let before = retries_before obs fault in
-          let completion =
-            match fault with
-            | None -> Disk_state.serve st ~now:issue ~bytes:io.bytes
-            | Some fs ->
-                Fault.serve fs st ~now:issue ~bytes:io.bytes ~block:io.block
-          in
-          backlog.(d) <- completion;
-          recent.(d).(recent_pos.(d)) <- completion;
-          recent_pos.(d) <- (recent_pos.(d) + 1) mod depth;
-          if completion > !makespan then makespan := completion;
-          let response = completion -. arrival in
-          observe_service obs ~fault ~retries_before:before ~response;
-          let nominal =
-            Dpm_disk.Service.request_time specs ~level:top ~bytes:io.bytes
-          in
-          policy.Policy.on_complete st ~now:completion ~response ~nominal;
-          (match mode with
-          | `Open ->
-              (* The traced application proceeds on its own clock: the
-                 base-run service time elapses before the next think. *)
-              clock := arrival +. nominal
-          | `Closed -> clock := completion))
-    stream;
-  clock := !clock +. Stream.tail_think stream;
-  let exec_time = max !clock !makespan in
-  sweep_failures exec_time;
-  Array.iter
-    (fun st ->
-      policy.Policy.catch_up st ~now:exec_time;
-      Disk_state.finalize st ~at:exec_time)
-    disks;
-  (match timeline with
-  | None -> ()
-  | Some sink ->
-      Timeline.set_label sink ~scheme:policy.Policy.name
-        ~program:(Stream.program stream);
-      Timeline.emit sink (Timeline.Sim_end exec_time));
-  let disk_stats =
-    Array.map
-      (fun st ->
-        {
-          Result.energy = Disk_state.energy st;
-          busy = Disk_state.busy_intervals st;
-          requests = Disk_state.requests_served st;
-          transitions = Disk_state.transition_count st;
-          spin_downs = Disk_state.spin_down_count st;
-          level_residency = Disk_state.level_residency st;
-          standby_time = Disk_state.standby_residency st;
-          transition_time = Disk_state.transition_residency st;
-        })
-      disks
-  in
-  {
-    Result.scheme = policy.Policy.name;
-    program = Stream.program stream;
-    exec_time;
-    energy =
-      Array.fold_left
-        (fun acc (d : Result.disk_stats) -> acc +. d.Result.energy)
-        0.0 disk_stats;
-    disks = disk_stats;
-    gap_choices = List.rev !gap_choices;
-    faults =
-      (match fault with
-      | None -> Result.no_faults
-      | Some fs -> Fault.stats fs ~exec_time);
-  }
+(* The reference replay body lives in {!Sched}: FCFS is the eager
+   legacy loop, everything else defers requests into per-disk bounded
+   queues and dispatches by discipline. *)
+let replay = Sched.replay
 
 let record_replay metrics (result : Result.t) =
   Dpm_util.Metrics.add metrics "sim.requests" (Result.requests result);
@@ -188,7 +37,7 @@ let run_stream ?(config = Config.default) ?(mode = `Open)
     ?(metrics = Dpm_util.Metrics.global) ?(faults = Fault.none) ?timeline
     ?(core = `Fast) policy stream =
   let fault =
-    fault_state faults ~ndisks:(Stream.ndisks stream)
+    Fault.init faults ~ndisks:(Stream.ndisks stream)
       ~nblocks:(lazy (Stream.nblocks stream))
   in
   let obs = make_obs () in
@@ -201,7 +50,7 @@ let run_stream ?(config = Config.default) ?(mode = `Open)
       Dpm_util.Telemetry.global "sim.replay"
       (fun () ->
         match core with
-        | `Fast when Fastpath.supported policy ->
+        | `Fast when Fastpath.supported ~config policy ->
             Fastpath.replay ~config ~mode ~fault ~timeline ~obs policy stream
         | `Fast | `Reference ->
             replay ~config ~mode ~fault ~timeline ~obs policy stream)
@@ -226,6 +75,11 @@ type app = {
 
 let replay_many ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
     streams =
+  (* Deferred-dispatch disciplines interleave with the per-app clocks in
+     ways the merge below does not model; multiprogrammed replay is
+     FCFS-only. *)
+  if config.Config.sched <> Config.Fcfs then
+    invalid_arg "Engine.run_many: only the FCFS scheduler is supported";
   match streams with
   | [] -> invalid_arg "Engine.run_many: no traces"
   | first :: rest ->
@@ -235,12 +89,12 @@ let replay_many ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
           if Stream.ndisks s <> ndisks then
             invalid_arg "Engine.run_many: disk counts differ")
         rest;
-      let specs = config.Config.specs in
-      let top = Dpm_disk.Rpm.max_level specs in
+      let models = Array.init ndisks (fun d -> Config.model config ~disk:d) in
+      let tops = Array.map Dpm_disk.Rpm.max_level models in
       let disks =
         Array.init ndisks (fun id ->
             Disk_state.create ?recorder:timeline
-              ~retain_busy:config.Config.retain_busy specs ~id)
+              ~retain_busy:config.Config.retain_busy models.(id) ~id)
       in
       let gap_choices = ref [] in
       let backlog = Array.make ndisks 0.0 in
@@ -303,7 +157,12 @@ let replay_many ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
                   | None -> Disk_state.spin_up disks.(d) ~now:app.clock
                   | Some fs -> Fault.spin_up fs disks.(d) ~now:app.clock)
               | Request.Set_rpm { level; disk } ->
-                  if level < top then
+                  (* Directives planned against a taller ladder clamp to
+                     this disk's own top level. *)
+                  let level =
+                    if level > tops.(disk) then tops.(disk) else level
+                  in
+                  if level < tops.(disk) then
                     gap_choices := (disk, app.clock, level) :: !gap_choices;
                   Disk_state.record disks.(disk) ~at:app.clock
                     (Timeline.Directive_set_rpm level);
@@ -339,7 +198,8 @@ let replay_many ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
             let response = completion -. arrival in
             observe_service obs ~fault ~retries_before:before ~response;
             let nominal =
-              Dpm_disk.Service.request_time specs ~level:top ~bytes:io.bytes
+              Dpm_disk.Service.request_time models.(d) ~level:tops.(d)
+                ~bytes:io.bytes
             in
             policy.Policy.on_complete disks.(d) ~now:completion ~response
               ~nominal;
@@ -388,6 +248,10 @@ let replay_many ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
       | None -> ()
       | Some sink ->
           Timeline.set_label sink ~scheme:policy.Policy.name ~program;
+          if Array.length config.Config.fleet > 0 then
+            Timeline.set_fleet sink
+              (List.map Dpm_disk.Specs.name_of
+                 (Array.to_list config.Config.fleet));
           Timeline.emit sink (Timeline.Sim_end exec_time));
       let disk_stats =
         Array.map
@@ -431,7 +295,7 @@ let run_many_stream ?(config = Config.default) ?(mode = `Open)
   let nblocks =
     lazy (List.fold_left (fun acc s -> max acc (Stream.nblocks s)) 0 streams)
   in
-  let fault = fault_state faults ~ndisks ~nblocks in
+  let fault = Fault.init faults ~ndisks ~nblocks in
   let obs = make_obs () in
   let result =
     Dpm_util.Telemetry.span ~metrics

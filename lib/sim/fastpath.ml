@@ -30,7 +30,12 @@ module Chunk = Stream.Chunk
 module Service = Dpm_disk.Service
 module A1 = Bigarray.Array1
 
-let supported (policy : Policy.t) =
+let supported ~config (policy : Policy.t) =
+  (* Deferred queue disciplines reorder dispatches; only the eager FCFS
+     order has a specialized loop, everything else takes the reference
+     body in {!Sched}. *)
+  config.Config.sched = Config.Fcfs
+  &&
   match policy.Policy.kind with
   | Policy.Passive | Policy.Directive_only | Policy.Timer _ -> true
   (* A hooked policy that also accepted directives would need a fifth
@@ -105,15 +110,19 @@ let serve_fast (st : Disk_state.t) ~fbuf ~bytes =
 
 let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
     (stream : Stream.t) =
-  if not (supported policy) then
+  if not (supported ~config policy) then
     invalid_arg "Fastpath.replay: unsupported policy shape";
-  let specs = config.Config.specs in
-  let top = Dpm_disk.Rpm.max_level specs in
   let ndisks = Stream.ndisks stream in
+  (* Per-disk models (round-robin fleet, or the homogeneous specs): the
+     specialized loops index every model-derived constant by disk, so a
+     homogeneous fleet reads the same values the scalar constants held
+     and stays bit-identical. *)
+  let models = Array.init ndisks (fun d -> Config.model config ~disk:d) in
+  let tops = Array.map Dpm_disk.Rpm.max_level models in
   let disks =
     Array.init ndisks (fun id ->
         Disk_state.create ?recorder:timeline
-          ~retain_busy:config.Config.retain_busy specs ~id)
+          ~retain_busy:config.Config.retain_busy models.(id) ~id)
   in
   let gap_choices = ref [] in
   let backlog = Array.make ndisks 0.0 in
@@ -124,15 +133,22 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
   let makespan = [| 0.0 |] in
   let open_mode = match mode with `Open -> true | `Closed -> false in
   let pm_overhead = config.Config.pm_call_overhead in
-  (* Full-speed service-time constants: [nom_base +. bytes /. nom_denom]
-     is float-identical to [Service.request_time specs ~level:top]. *)
+  (* Full-speed service-time constants, per disk:
+     [nom_base.(d) +. bytes /. nom_denom.(d)] is float-identical to
+     [Service.request_time models.(d) ~level:tops.(d)]. *)
   let nom_base =
-    Service.seek_time specs +. Service.rotation_time specs ~level:top
+    Array.init ndisks (fun d ->
+        Service.seek_time models.(d)
+        +. Service.rotation_time models.(d) ~level:tops.(d))
   in
-  let nom_denom = Service.transfer_denom specs ~level:top in
+  let nom_denom =
+    Array.init ndisks (fun d ->
+        Service.transfer_denom models.(d) ~level:tops.(d))
+  in
   let kill d at = Disk_state.fail disks.(d) ~at in
   (* Directive application (Directive_only loop), cold relative to IOs:
-     mirrors [Engine.apply_directive]. *)
+     mirrors [Sched]'s apply_directive, including the per-disk ladder
+     clamp. *)
   let pm_apply tag d lvl clock =
     let clock = clock +. pm_overhead in
     if tag = Chunk.tag_spin_down then begin
@@ -146,6 +162,8 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
       | Some fs -> Fault.spin_up fs disks.(d) ~now:clock
     end
     else begin
+      let top = Array.unsafe_get tops d in
+      let lvl = if lvl > top then top else lvl in
       if lvl < top then gap_choices := (d, clock, lvl) :: !gap_choices;
       Disk_state.record disks.(d) ~at:clock (Timeline.Directive_set_rpm lvl);
       Disk_state.set_level disks.(d) ~now:clock lvl
@@ -166,11 +184,11 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
      [Engine.replay]. *)
   let run_passive () =
     let clockc = [| 0.0 |] and fbuf = [| 0.0 |] in
-    (* One-entry cache of the full-speed transfer quotient
-       [bytes /. nom_denom] (see Disk_state.ix_svc_bytes): a hit is
+    (* Per-disk one-entry cache of the full-speed transfer quotient
+       [bytes /. nom_denom.(d)] (see Disk_state.ix_svc_bytes): a hit is
        bit-identical to dividing and skips the second serial divide
        per event. *)
-    let nomk = [| -1.0 |] and nomv = [| 0.0 |] in
+    let nomk = Array.make ndisks (-1.0) and nomv = Array.make ndisks 0.0 in
     let running = ref true in
     while !running do
       match Stream.next_soa stream with
@@ -243,16 +261,16 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
                 (if open_mode then
                    let fbytes = float_of_int bytes in
                    let quot =
-                     if fbytes = Array.unsafe_get nomk 0 then
-                       Array.unsafe_get nomv 0
+                     if fbytes = Array.unsafe_get nomk d then
+                       Array.unsafe_get nomv d
                      else begin
-                       let q = fbytes /. nom_denom in
-                       Array.unsafe_set nomk 0 fbytes;
-                       Array.unsafe_set nomv 0 q;
+                       let q = fbytes /. Array.unsafe_get nom_denom d in
+                       Array.unsafe_set nomk d fbytes;
+                       Array.unsafe_set nomv d q;
                        q
                      end
                    in
-                   arrival +. (nom_base +. quot)
+                   arrival +. (Array.unsafe_get nom_base d +. quot)
                  else completion)
             end
           done
@@ -262,11 +280,11 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
 
   let run_directive () =
     let clockc = [| 0.0 |] and fbuf = [| 0.0 |] in
-    (* One-entry cache of the full-speed transfer quotient
-       [bytes /. nom_denom] (see Disk_state.ix_svc_bytes): a hit is
+    (* Per-disk one-entry cache of the full-speed transfer quotient
+       [bytes /. nom_denom.(d)] (see Disk_state.ix_svc_bytes): a hit is
        bit-identical to dividing and skips the second serial divide
        per event. *)
-    let nomk = [| -1.0 |] and nomv = [| 0.0 |] in
+    let nomk = Array.make ndisks (-1.0) and nomv = Array.make ndisks 0.0 in
     let running = ref true in
     while !running do
       match Stream.next_soa stream with
@@ -344,16 +362,16 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
                 (if open_mode then
                    let fbytes = float_of_int bytes in
                    let quot =
-                     if fbytes = Array.unsafe_get nomk 0 then
-                       Array.unsafe_get nomv 0
+                     if fbytes = Array.unsafe_get nomk d then
+                       Array.unsafe_get nomv d
                      else begin
-                       let q = fbytes /. nom_denom in
-                       Array.unsafe_set nomk 0 fbytes;
-                       Array.unsafe_set nomv 0 q;
+                       let q = fbytes /. Array.unsafe_get nom_denom d in
+                       Array.unsafe_set nomk d fbytes;
+                       Array.unsafe_set nomv d q;
                        q
                      end
                    in
-                   arrival +. (nom_base +. quot)
+                   arrival +. (Array.unsafe_get nom_base d +. quot)
                  else completion)
             end
           done
@@ -363,11 +381,11 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
 
   let run_timer threshold =
     let clockc = [| 0.0 |] and fbuf = [| 0.0 |] in
-    (* One-entry cache of the full-speed transfer quotient
-       [bytes /. nom_denom] (see Disk_state.ix_svc_bytes): a hit is
+    (* Per-disk one-entry cache of the full-speed transfer quotient
+       [bytes /. nom_denom.(d)] (see Disk_state.ix_svc_bytes): a hit is
        bit-identical to dividing and skips the second serial divide
        per event. *)
-    let nomk = [| -1.0 |] and nomv = [| 0.0 |] in
+    let nomk = Array.make ndisks (-1.0) and nomv = Array.make ndisks 0.0 in
     let running = ref true in
     while !running do
       match Stream.next_soa stream with
@@ -454,16 +472,16 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
                 (if open_mode then
                    let fbytes = float_of_int bytes in
                    let quot =
-                     if fbytes = Array.unsafe_get nomk 0 then
-                       Array.unsafe_get nomv 0
+                     if fbytes = Array.unsafe_get nomk d then
+                       Array.unsafe_get nomv d
                      else begin
-                       let q = fbytes /. nom_denom in
-                       Array.unsafe_set nomk 0 fbytes;
-                       Array.unsafe_set nomv 0 q;
+                       let q = fbytes /. Array.unsafe_get nom_denom d in
+                       Array.unsafe_set nomk d fbytes;
+                       Array.unsafe_set nomv d q;
                        q
                      end
                    in
-                   arrival +. (nom_base +. quot)
+                   arrival +. (Array.unsafe_get nom_base d +. quot)
                  else completion)
             end
           done
@@ -475,11 +493,11 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
     let catch_up = policy.Policy.catch_up in
     let on_complete = policy.Policy.on_complete in
     let clockc = [| 0.0 |] and fbuf = [| 0.0 |] in
-    (* One-entry cache of the full-speed transfer quotient
-       [bytes /. nom_denom] (see Disk_state.ix_svc_bytes): a hit is
+    (* Per-disk one-entry cache of the full-speed transfer quotient
+       [bytes /. nom_denom.(d)] (see Disk_state.ix_svc_bytes): a hit is
        bit-identical to dividing and skips the second serial divide
        per event. *)
-    let nomk = [| -1.0 |] and nomv = [| 0.0 |] in
+    let nomk = Array.make ndisks (-1.0) and nomv = Array.make ndisks 0.0 in
     let running = ref true in
     while !running do
       match Stream.next_soa stream with
@@ -551,16 +569,16 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
                   Observe.service o ~fault ~retries_before:before ~response);
               let fbytes = float_of_int bytes in
               let quot =
-                if fbytes = Array.unsafe_get nomk 0 then
-                  Array.unsafe_get nomv 0
+                if fbytes = Array.unsafe_get nomk d then
+                  Array.unsafe_get nomv d
                 else begin
-                  let q = fbytes /. nom_denom in
-                  Array.unsafe_set nomk 0 fbytes;
-                  Array.unsafe_set nomv 0 q;
+                  let q = fbytes /. Array.unsafe_get nom_denom d in
+                  Array.unsafe_set nomk d fbytes;
+                  Array.unsafe_set nomv d q;
                   q
                 end
               in
-              let nominal = nom_base +. quot in
+              let nominal = Array.unsafe_get nom_base d +. quot in
               on_complete st ~now:completion ~response ~nominal;
               Array.unsafe_set clockc 0
                 (if open_mode then arrival +. nominal else completion)
@@ -594,6 +612,10 @@ let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
   | Some sink ->
       Timeline.set_label sink ~scheme:policy.Policy.name
         ~program:(Stream.program stream);
+      if Array.length config.Config.fleet > 0 then
+        Timeline.set_fleet sink
+          (List.map Dpm_disk.Specs.name_of
+             (Array.to_list config.Config.fleet));
       Timeline.emit sink (Timeline.Sim_end exec_time));
   let disk_stats =
     Array.map

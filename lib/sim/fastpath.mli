@@ -10,11 +10,13 @@
     by the differential suite (test/test_fastpath.ml).  Reach it
     through [Engine.run_stream ?core] rather than calling it directly. *)
 
-val supported : Policy.t -> bool
-(** Whether this core can replay the policy.  True for every policy the
-    simulator currently defines; false only for the unoccupied shape
-    [Hooked] + [accepts_directives] (the engine then falls back to the
-    reference body). *)
+val supported : config:Config.t -> Policy.t -> bool
+(** Whether this core can replay the configuration/policy pair.  True
+    for every policy the simulator currently defines under the eager
+    FCFS order (heterogeneous fleets included); false for the
+    unoccupied shape [Hooked] + [accepts_directives] and for every
+    deferred queue discipline ([config.sched <> Fcfs]) — the engine
+    then falls back to the reference body in {!Sched}. *)
 
 val replay :
   config:Config.t ->

@@ -303,6 +303,22 @@ let start plan =
     redirects = 0;
   }
 
+let plan_of state = state.plan
+
+(* Validate-and-expand in one step: the glue every replay entry point
+   needs before touching the trace.  [None] takes the exact fault-free
+   code path (no extra draws, no float perturbation); [nblocks] is lazy
+   so streaming replays never pay the whole-trace scan unless a fault
+   spec is actually active. *)
+let init spec ~ndisks ~nblocks =
+  if is_zero spec then None
+  else begin
+    (match validate spec with
+    | Ok _ -> ()
+    | Error m -> invalid_arg ("invalid fault spec: " ^ m));
+    Some (start (plan spec ~ndisks ~nblocks:(Lazy.force nblocks)))
+  end
+
 let sweep state ~now ~kill =
   match state.pending_failures with
   | (t, _) :: _ when t <= now ->

@@ -134,6 +134,18 @@ type state
 
 val start : plan -> state
 
+val init : spec -> ndisks:int -> nblocks:int Lazy.t -> state option
+(** Validate-and-expand glue shared by every replay entry point:
+    [None] when the spec can never fire (the engine then takes the
+    exact fault-free path), otherwise a fresh state over the expanded
+    plan.  [nblocks] stays unforced on zero specs, so streaming replays
+    never pay a whole-trace scan without an active fault spec.  Raises
+    [Invalid_argument] on an invalid spec. *)
+
+val plan_of : state -> plan
+(** The expanded plan this state draws from (e.g. to ask {!bad_block}
+    which requests will pay a remap). *)
+
 val sweep : state -> now:float -> kill:(int -> float -> unit) -> unit
 (** Marks every disk whose failure time has passed and calls [kill disk
     time] exactly once for each, in failure-time order. *)

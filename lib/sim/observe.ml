@@ -12,6 +12,8 @@ type t = {
   latency : Dpm_util.Histo.t;  (* per-request service latency, s *)
   qdepth : Dpm_util.Histo.t;  (* outstanding requests at arrival *)
   retries : Dpm_util.Histo.t;  (* transient read retries per request *)
+  wait : Dpm_util.Histo.t;  (* queue wait: dispatch - arrival, s *)
+  seek : Dpm_util.Histo.t;  (* head travel per dispatch, stripe units *)
 }
 
 let make () =
@@ -21,6 +23,8 @@ let make () =
         latency = Dpm_util.Histo.create ();
         qdepth = Dpm_util.Histo.create ();
         retries = Dpm_util.Histo.create ();
+        wait = Dpm_util.Histo.create ();
+        seek = Dpm_util.Histo.create ();
       }
   else None
 
@@ -47,6 +51,16 @@ let observe_service obs ~fault ~retries_before ~response =
   | None -> ()
   | Some o -> service o ~fault ~retries_before ~response
 
+(* Scheduler dispatch: queue wait and absolute head travel.  Only the
+   Sched replay calls this, so legacy runs keep these histograms empty
+   and [flush] never registers them. *)
+let observe_dispatch obs ~wait ~seek_blocks =
+  match obs with
+  | None -> ()
+  | Some o ->
+      Dpm_util.Histo.add o.wait wait;
+      Dpm_util.Histo.add o.seek (float_of_int (abs seek_blocks))
+
 let retries_before obs fault =
   match (obs, fault) with
   | Some _, Some fs -> Fault.retries_so_far fs
@@ -62,6 +76,10 @@ let flush obs (result : Result.t) =
       if Dpm_util.Histo.count o.retries > 0 then
         Dpm_util.Telemetry.merge_histogram t "sim.fault.retries_per_req"
           o.retries;
+      if Dpm_util.Histo.count o.wait > 0 then
+        Dpm_util.Telemetry.merge_histogram t "sim.sched.wait_s" o.wait;
+      if Dpm_util.Histo.count o.seek > 0 then
+        Dpm_util.Telemetry.merge_histogram t "sim.sched.seek_blocks" o.seek;
       (* Actual idle-gap lengths, read off the finished result — the
          empirical side of the compiler's predicted-gap histogram. *)
       let gaps = Dpm_util.Histo.create () in

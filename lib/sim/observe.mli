@@ -34,6 +34,12 @@ val observe_service :
   response:float ->
   unit
 
+val observe_dispatch : t option -> wait:float -> seek_blocks:int -> unit
+(** Record one scheduler dispatch: the queue wait (dispatch − arrival,
+    seconds) and the absolute head travel in stripe units.  Only the
+    {!Sched} replay calls this, so legacy FCFS runs keep these
+    histograms empty and {!flush} never registers them. *)
+
 val retries_before : t option -> Fault.state option -> int
 (** Retry counter sample before a serve, or 0 when either is off. *)
 

@@ -58,7 +58,7 @@ let burst_energy (specs : Specs.t) requests ~level ~span =
    whose modulations fit.  The all-top path is always feasible, so the
    oracle never loses to Base. *)
 let phases ?(config = Config.default) (base : Result.t) ~disk =
-  let specs = config.Config.specs in
+  let specs = Config.model config ~disk in
   let top = Rpm.max_level specs in
   let nlevels = Rpm.num_levels specs in
   let busy = base.Result.disks.(disk).Result.busy in
@@ -190,13 +190,13 @@ let emit_span timeline ~disk state t0 t1 =
   if t1 > t0 then emit_opt timeline (Timeline.Span { disk; state; t0; t1 })
 
 let idrpm ?(config = Config.default) ?timeline (base : Result.t) =
-  let specs = config.Config.specs in
-  let top = Rpm.max_level specs in
-  let nlevels = Rpm.num_levels specs in
   let gap_choices = ref [] in
   let disks =
     Array.mapi
       (fun disk_id (d : Result.disk_stats) ->
+        let specs = Config.model config ~disk:disk_id in
+        let top = Rpm.max_level specs in
+        let nlevels = Rpm.num_levels specs in
         let residency = Array.make nlevels 0.0 in
         let energy = ref 0.0 in
         let transitions = ref 0 in
@@ -296,6 +296,9 @@ let idrpm ?(config = Config.default) ?timeline (base : Result.t) =
   | Some sink ->
       Timeline.set_analytic sink;
       Timeline.set_label sink ~scheme:"IDRPM" ~program:base.Result.program;
+      if Array.length config.Config.fleet > 0 then
+        Timeline.set_fleet sink
+          (List.map Specs.name_of (Array.to_list config.Config.fleet));
       Timeline.emit sink (Timeline.Sim_end base.Result.exec_time));
   {
     Result.scheme = "IDRPM";
@@ -315,11 +318,11 @@ let idrpm ?(config = Config.default) ?timeline (base : Result.t) =
 
 (* ITPM: full-speed service, oracle spin-down decisions per gap. *)
 let itpm ?(config = Config.default) ?timeline (base : Result.t) =
-  let specs = config.Config.specs in
-  let top = Rpm.max_level specs in
   let disks =
     Array.mapi
       (fun disk_id (d : Result.disk_stats) ->
+        let specs = Config.model config ~disk:disk_id in
+        let top = Rpm.max_level specs in
         let busy_time =
           List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 d.Result.busy
         in
@@ -420,6 +423,9 @@ let itpm ?(config = Config.default) ?timeline (base : Result.t) =
   | Some sink ->
       Timeline.set_analytic sink;
       Timeline.set_label sink ~scheme:"ITPM" ~program:base.Result.program;
+      if Array.length config.Config.fleet > 0 then
+        Timeline.set_fleet sink
+          (List.map Specs.name_of (Array.to_list config.Config.fleet));
       Timeline.emit sink (Timeline.Sim_end base.Result.exec_time));
   {
     Result.scheme = "ITPM";

@@ -21,32 +21,54 @@ let base =
     on_complete = no_on_complete;
   }
 
+let tpm_catch_up threshold st ~now =
+  match Disk_state.phase st with
+  | Disk_state.Ready _ ->
+      let fire_at = Disk_state.idle_since st +. threshold in
+      if now >= fire_at then Disk_state.spin_down st ~now:fire_at
+  | Disk_state.Changing _ | Disk_state.Spinning_down _ | Disk_state.Standby
+  | Disk_state.Spinning_up _ ->
+      ()
+
 let tpm (config : Config.t) =
-  let threshold =
-    match config.tpm_threshold with
-    | Some t -> t
-    | None -> Dpm_disk.Power.tpm_break_even config.specs
+  let timer threshold =
+    {
+      name = "TPM";
+      accepts_directives = false;
+      kind = Timer threshold;
+      catch_up = tpm_catch_up threshold;
+      on_complete = no_on_complete;
+    }
   in
-  let catch_up st ~now =
-    match Disk_state.phase st with
-    | Disk_state.Ready _ ->
-        let fire_at = Disk_state.idle_since st +. threshold in
-        if now >= fire_at then Disk_state.spin_down st ~now:fire_at
-    | Disk_state.Changing _ | Disk_state.Spinning_down _ | Disk_state.Standby
-    | Disk_state.Spinning_up _ ->
-        ()
-  in
-  {
-    name = "TPM";
-    accepts_directives = false;
-    kind = Timer threshold;
-    catch_up;
-    on_complete = no_on_complete;
-  }
+  match config.tpm_threshold with
+  | Some t -> timer t
+  | None ->
+      if Config.homogeneous config then
+        timer (Dpm_disk.Power.tpm_break_even config.specs)
+      else begin
+        (* Heterogeneous fleet: each disk idles out at its own model's
+           break-even time, so the single-threshold [Timer] shape does
+           not apply and the policy runs as a per-disk hook. *)
+        let per = Array.map Dpm_disk.Power.tpm_break_even config.fleet in
+        let n = Array.length per in
+        let catch_up st ~now =
+          tpm_catch_up per.(Disk_state.id st mod n) st ~now
+        in
+        {
+          name = "TPM";
+          accepts_directives = false;
+          kind = Hooked;
+          catch_up;
+          on_complete = no_on_complete;
+        }
+      end
 
 let tpm_adaptive (config : Config.t) ~ndisks =
-  let break_even = Dpm_disk.Power.tpm_break_even config.specs in
-  let thresholds = Array.make ndisks break_even in
+  let break_evens =
+    Array.init ndisks (fun d ->
+        Dpm_disk.Power.tpm_break_even (Config.model config ~disk:d))
+  in
+  let thresholds = Array.copy break_evens in
   let catch_up st ~now =
     let id = Disk_state.id st in
     match Disk_state.phase st with
@@ -59,6 +81,7 @@ let tpm_adaptive (config : Config.t) ~ndisks =
              premature wake doubles the threshold, a long sleep decays
              it. *)
           Disk_state.spin_down st ~now:fire_at;
+          let break_even = break_evens.(id) in
           let gap = now -. Disk_state.idle_since st in
           let t =
             if gap < break_even then thresholds.(id) *. 2.0
@@ -94,7 +117,10 @@ let drpm (config : Config.t) ~ndisks =
     Array.init ndisks (fun _ ->
         { count = 0; sums = Array.make 3 0.0 })
   in
-  let top = Dpm_disk.Rpm.max_level config.specs in
+  let tops =
+    Array.init ndisks (fun d ->
+        Dpm_disk.Rpm.max_level (Config.model config ~disk:d))
+  in
   (* Restores are deferred to the next idle moment: firmware cannot
      modulate the spindle mid-stream, so a burst that caught the disk at
      a drifted level is served at that level and the speed-up happens
@@ -109,6 +135,7 @@ let drpm (config : Config.t) ~ndisks =
   let catch_up st ~now =
     match Disk_state.phase st with
     | Disk_state.Ready _ ->
+        let top = tops.(Disk_state.id st) in
         let interval = config.drpm_idle_interval in
         let start = Disk_state.idle_since st in
         if pending_restore.(Disk_state.id st) && now -. start > 0.05 then begin
@@ -145,7 +172,8 @@ let drpm (config : Config.t) ~ndisks =
     (* A grossly degraded response (a request that caught the disk at a
        drifted-down level) triggers an immediate restore — the
        controller "compensating for the previous slowdown". *)
-    if response > nominal *. 1.3 && Disk_state.level st < top then begin
+    if response > nominal *. 1.3 && Disk_state.level st < tops.(Disk_state.id st)
+    then begin
       pending_restore.(Disk_state.id st) <- true;
       w.count <- 0;
       sums.(w_response) <- 0.0;
@@ -189,9 +217,9 @@ let adaptive_gap_floor = 1.0 (* gaps shorter than this teach nothing *)
 let adaptive_alpha = 0.25 (* EWMA smoothing for gap observations *)
 
 let adaptive_with_state (config : Config.t) ~ndisks =
-  let break_even = Dpm_disk.Power.tpm_break_even config.specs in
-  let top = Dpm_disk.Rpm.max_level config.specs in
-  let floor_level = max 0 (top - config.drpm_floor_depth) in
+  let models = Array.init ndisks (fun d -> Config.model config ~disk:d) in
+  let break_evens = Array.map Dpm_disk.Power.tpm_break_even models in
+  let tops = Array.map Dpm_disk.Rpm.max_level models in
   (* Start eager, like reactive DRPM's idle controller: scientific
      workloads concentrate their idleness in a handful of long gaps per
      disk, so a controller that begins at break-even and shrinks has
@@ -199,14 +227,17 @@ let adaptive_with_state (config : Config.t) ~ndisks =
      firings cost only a cheap modulation round trip and double the
      threshold. *)
   let thresholds = Array.make ndisks adaptive_min_threshold in
-  let ewma = Array.make ndisks break_even in
-  let clamp t =
-    Float.min (4.0 *. break_even) (Float.max adaptive_min_threshold t)
+  let ewma = Array.copy break_evens in
+  let clamp id t =
+    Float.min (4.0 *. break_evens.(id)) (Float.max adaptive_min_threshold t)
   in
   let catch_up st ~now =
     match Disk_state.phase st with
     | Disk_state.Ready _ ->
         let id = Disk_state.id st in
+        let break_even = break_evens.(id) in
+        let top = tops.(id) in
+        let floor_level = max 0 (top - config.drpm_floor_depth) in
         let start = Disk_state.idle_since st in
         let tau = thresholds.(id) in
         let fire_at = start +. tau in
@@ -227,7 +258,7 @@ let adaptive_with_state (config : Config.t) ~ndisks =
         let spun = ref false in
         if fired then begin
           let predicted = Float.max 0.0 (ewma.(id) -. tau) in
-          let plan = Dpm_disk.Power.best_drpm_plan config.specs predicted in
+          let plan = Dpm_disk.Power.best_drpm_plan models.(id) predicted in
           if plan.Dpm_disk.Power.spin_down then begin
             spun := true;
             Disk_state.spin_down st ~now:fire_at
@@ -263,7 +294,7 @@ let adaptive_with_state (config : Config.t) ~ndisks =
                  gaps of this size become exploitable. *)
               tau *. 0.7
           in
-          thresholds.(id) <- clamp t
+          thresholds.(id) <- clamp id t
         end
     | Disk_state.Standby | Disk_state.Spinning_down _
     | Disk_state.Spinning_up _ | Disk_state.Changing _ ->

@@ -1,0 +1,387 @@
+(* Per-disk bounded request queues with pluggable service order.
+
+   This module owns the reference replay body.  Under FCFS (the
+   default) requests are served eagerly in trace order — the exact
+   pre-fleet engine loop, kept byte-identical for homogeneous
+   configurations — while the other disciplines defer each request into
+   its disk's bounded queue and dispatch by policy: SSTF (shortest seek
+   first), SCAN (elevator), C-LOOK (circular), and a bad-sector-aware
+   SSTF that prices remapped blocks at their post-remap position in the
+   spare pool past the data blocks.
+
+   The deferred machinery is exact, not approximate: a dispatch fires
+   at max(disk free, earliest queued arrival), requests that have not
+   arrived by then are not candidates, and a full queue stalls the
+   traced application until the next dispatch frees a slot (the same
+   bounded-queue role the FCFS completion ring plays).  Every dispatch
+   decision is recorded as a {!Timeline.Dispatch} mark so the timeline
+   checker can replay the discipline's pick independently. *)
+
+module Request = Dpm_trace.Request
+module Stream = Dpm_trace.Trace.Stream
+module Rpm = Dpm_disk.Rpm
+module Service = Dpm_disk.Service
+module Specs = Dpm_disk.Specs
+
+type t = Config.sched = Fcfs | Sstf | Scan | Clook | Sstf_remap
+
+let all = List.map snd Config.sched_names
+let name = Config.sched_name
+let of_name_opt = Config.sched_of_name_opt
+
+(* One queued request.  [pos] is the scheduling position: the block
+   itself, except under [Sstf_remap] where a bad block is priced at its
+   post-remap position.  [seq] breaks every tie deterministically (and
+   is the FCFS order). *)
+type req = { arrival : float; pos : int; block : int; bytes : int; seq : int }
+
+let no_req = { arrival = 0.0; pos = 0; block = 0; bytes = 0; seq = -1 }
+
+let replay ~config ~mode ~fault ~timeline ~obs (policy : Policy.t)
+    (stream : Stream.t) =
+  let sched = config.Config.sched in
+  let ndisks = Stream.ndisks stream in
+  (* Per-disk models: the round-robin fleet, or the homogeneous specs.
+     Every per-request float below comes from the serving disk's own
+     model, so an all-[specs] fleet computes the identical bits the
+     homogeneous engine always has. *)
+  let models = Array.init ndisks (fun d -> Config.model config ~disk:d) in
+  let tops = Array.map Rpm.max_level models in
+  let disks =
+    Array.init ndisks (fun id ->
+        Disk_state.create ?recorder:timeline
+          ~retain_busy:config.Config.retain_busy models.(id) ~id)
+  in
+  let gap_choices = ref [] in
+  (* Application clock: in open mode it advances along the traced (base)
+     timeline; in closed mode it advances to each actual completion. *)
+  let clock = ref 0.0 in
+  (* Completion time of the last request issued to each disk. *)
+  let backlog = Array.make ndisks 0.0 in
+  (* Ring of the last [queue_depth] completions per disk: the traced
+     application stalls rather than queue more than that. *)
+  let depth = max 1 config.Config.queue_depth in
+  let recent = Array.init ndisks (fun _ -> Array.make depth 0.0) in
+  let recent_pos = Array.make ndisks 0 in
+  let makespan = ref 0.0 in
+  let sweep_failures now =
+    match fault with
+    | None -> ()
+    | Some fs ->
+        Fault.sweep fs ~now ~kill:(fun d at -> Disk_state.fail disks.(d) ~at)
+  in
+  let apply_directive directive =
+    clock := !clock +. config.Config.pm_call_overhead;
+    match directive with
+    | Request.Spin_down d ->
+        Disk_state.record disks.(d) ~at:!clock Timeline.Directive_spin_down;
+        Disk_state.spin_down disks.(d) ~now:!clock
+    | Request.Spin_up d -> (
+        Disk_state.record disks.(d) ~at:!clock Timeline.Directive_spin_up;
+        match fault with
+        | None -> Disk_state.spin_up disks.(d) ~now:!clock
+        | Some fs -> Fault.spin_up fs disks.(d) ~now:!clock)
+    | Request.Set_rpm { level; disk } ->
+        (* A directive planned against a taller ladder (the compiler
+           plans with the primary specs) clamps to this disk's top. *)
+        let level = if level > tops.(disk) then tops.(disk) else level in
+        if level < tops.(disk) then
+          gap_choices := (disk, !clock, level) :: !gap_choices;
+        Disk_state.record disks.(disk) ~at:!clock
+          (Timeline.Directive_set_rpm level);
+        Disk_state.set_level disks.(disk) ~now:!clock level
+  in
+  let finish exec_time =
+    sweep_failures exec_time;
+    Array.iter
+      (fun st ->
+        policy.Policy.catch_up st ~now:exec_time;
+        Disk_state.finalize st ~at:exec_time)
+      disks;
+    (match timeline with
+    | None -> ()
+    | Some sink ->
+        Timeline.set_label sink ~scheme:policy.Policy.name
+          ~program:(Stream.program stream);
+        if Array.length config.Config.fleet > 0 then
+          Timeline.set_fleet sink
+            (List.map Specs.name_of (Array.to_list config.Config.fleet));
+        Timeline.emit sink (Timeline.Sim_end exec_time));
+    let disk_stats =
+      Array.map
+        (fun st ->
+          {
+            Result.energy = Disk_state.energy st;
+            busy = Disk_state.busy_intervals st;
+            requests = Disk_state.requests_served st;
+            transitions = Disk_state.transition_count st;
+            spin_downs = Disk_state.spin_down_count st;
+            level_residency = Disk_state.level_residency st;
+            standby_time = Disk_state.standby_residency st;
+            transition_time = Disk_state.transition_residency st;
+          })
+        disks
+    in
+    {
+      Result.scheme = policy.Policy.name;
+      program = Stream.program stream;
+      exec_time;
+      energy =
+        Array.fold_left
+          (fun acc (d : Result.disk_stats) -> acc +. d.Result.energy)
+          0.0 disk_stats;
+      disks = disk_stats;
+      gap_choices = List.rev !gap_choices;
+      faults =
+        (match fault with
+        | None -> Result.no_faults
+        | Some fs -> Fault.stats fs ~exec_time);
+    }
+  in
+  match sched with
+  | Fcfs ->
+      (* The eager reference body: requests issue in trace order the
+         moment they arrive.  Identical whatever chunking the stream
+         delivers, so replays are byte-identical to the materialized
+         path at any batch size. *)
+      Stream.iter
+        (fun event ->
+          clock := !clock +. Request.think event;
+          sweep_failures !clock;
+          match event with
+          | Request.Pm { directive; _ } ->
+              if policy.Policy.accepts_directives then apply_directive directive
+          | Request.Io io ->
+              (* A failed disk sheds its load onto the next survivor. *)
+              let d =
+                match fault with
+                | None -> io.disk
+                | Some fs -> Fault.serving_disk fs ~disk:io.disk ~now:!clock
+              in
+              if d <> io.disk then
+                Disk_state.record disks.(d) ~at:!clock
+                  (Timeline.Redirect io.disk);
+              let st = disks.(d) in
+              (* Bounded queue: wait until the oldest of the last [depth]
+                 requests on this disk has completed. *)
+              let oldest = recent.(d).(recent_pos.(d)) in
+              if oldest > !clock then clock := oldest;
+              let arrival = !clock in
+              Observe.observe_arrival obs ~ring:recent.(d) ~arrival;
+              let issue = max arrival backlog.(d) in
+              policy.Policy.catch_up st ~now:issue;
+              let before = Observe.retries_before obs fault in
+              let completion =
+                match fault with
+                | None -> Disk_state.serve st ~now:issue ~bytes:io.bytes
+                | Some fs ->
+                    Fault.serve fs st ~now:issue ~bytes:io.bytes
+                      ~block:io.block
+              in
+              backlog.(d) <- completion;
+              recent.(d).(recent_pos.(d)) <- completion;
+              recent_pos.(d) <- (recent_pos.(d) + 1) mod depth;
+              if completion > !makespan then makespan := completion;
+              let response = completion -. arrival in
+              Observe.observe_service obs ~fault ~retries_before:before
+                ~response;
+              let nominal =
+                Service.request_time models.(d) ~level:tops.(d) ~bytes:io.bytes
+              in
+              policy.Policy.on_complete st ~now:completion ~response ~nominal;
+              (match mode with
+              | `Open ->
+                  (* The traced application proceeds on its own clock:
+                     the base-run service time elapses before the next
+                     think. *)
+                  clock := arrival +. nominal
+              | `Closed -> clock := completion))
+        stream;
+      clock := !clock +. Stream.tail_think stream;
+      finish (max !clock !makespan)
+  | Sstf | Scan | Clook | Sstf_remap ->
+      (* Deferred dispatch: requests park in their disk's bounded queue
+         and issue by discipline at max(disk free, earliest arrival). *)
+      let pend = Array.init ndisks (fun _ -> Array.make depth no_req) in
+      let pend_n = Array.make ndisks 0 in
+      let head = Array.make ndisks 0 in
+      let dirup = Array.make ndisks true in
+      (* Dispatches issued per disk — the completion-ring cursor. *)
+      let issued = Array.make ndisks 0 in
+      let seq = ref 0 in
+      let price =
+        match (sched, fault) with
+        | Sstf_remap, Some fs
+          when Fault.bad_regions (Fault.plan_of fs) <> [] ->
+            (* Remapped sectors live in the spare pool past the data
+               blocks, so a seek-aware scheduler prices them at the far
+               end of the address space.  [nblocks] was already forced
+               when the bad regions were drawn. *)
+            let plan = Fault.plan_of fs in
+            let spare = Stream.nblocks stream in
+            fun block -> if Fault.bad_block plan ~block then spare else block
+        | _ -> fun block -> block
+      in
+      (* Earliest instant disk [d] can issue its next request. *)
+      let next_t d =
+        let n = pend_n.(d) in
+        if n = 0 then infinity
+        else begin
+          let q = pend.(d) in
+          let m = ref q.(0).arrival in
+          for i = 1 to n - 1 do
+            if q.(i).arrival < !m then m := q.(i).arrival
+          done;
+          Float.max backlog.(d) !m
+        end
+      in
+      (* Pick the queue index to serve at time [at] (at least one queued
+         request has arrived by construction of [next_t]).  Ties on
+         position break by sequence number, deterministically. *)
+      let pick d ~at =
+        let q = pend.(d) and n = pend_n.(d) in
+        let h = head.(d) in
+        let choose keep better =
+          let best = ref (-1) in
+          for i = 0 to n - 1 do
+            if q.(i).arrival <= at && keep q.(i).pos then
+              match !best with
+              | -1 -> best := i
+              | b -> if better q.(i) q.(b) then best := i
+          done;
+          !best
+        in
+        let by_seq a b = a.seq < b.seq in
+        let nearer a b =
+          let da = abs (a.pos - h) and db = abs (b.pos - h) in
+          da < db || (da = db && a.seq < b.seq)
+        in
+        let lowest a b = a.pos < b.pos || (a.pos = b.pos && a.seq < b.seq) in
+        let highest a b = a.pos > b.pos || (a.pos = b.pos && a.seq < b.seq) in
+        match sched with
+        | Fcfs -> choose (fun _ -> true) by_seq
+        | Sstf | Sstf_remap -> choose (fun _ -> true) nearer
+        | Scan ->
+            if dirup.(d) then begin
+              let i = choose (fun p -> p >= h) lowest in
+              if i >= 0 then i
+              else begin
+                dirup.(d) <- false;
+                choose (fun p -> p <= h) highest
+              end
+            end
+            else begin
+              let i = choose (fun p -> p <= h) highest in
+              if i >= 0 then i
+              else begin
+                dirup.(d) <- true;
+                choose (fun p -> p >= h) lowest
+              end
+            end
+        | Clook ->
+            let i = choose (fun p -> p >= h) lowest in
+            if i >= 0 then i else choose (fun _ -> true) lowest
+      in
+      let dispatch d =
+        let t_disp = next_t d in
+        sweep_failures t_disp;
+        let i = pick d ~at:t_disp in
+        let q = pend.(d) in
+        let r = q.(i) in
+        pend_n.(d) <- pend_n.(d) - 1;
+        q.(i) <- q.(pend_n.(d));
+        q.(pend_n.(d)) <- no_req;
+        let st = disks.(d) in
+        let seek = r.pos - head.(d) in
+        head.(d) <- r.pos;
+        Disk_state.record st ~at:t_disp
+          (Timeline.Dispatch { disc = sched; pos = r.pos; arrival = r.arrival });
+        policy.Policy.catch_up st ~now:t_disp;
+        let before = Observe.retries_before obs fault in
+        let completion =
+          match fault with
+          | None -> Disk_state.serve st ~now:t_disp ~bytes:r.bytes
+          | Some fs ->
+              Fault.serve fs st ~now:t_disp ~bytes:r.bytes ~block:r.block
+        in
+        backlog.(d) <- completion;
+        recent.(d).(issued.(d) mod depth) <- completion;
+        issued.(d) <- issued.(d) + 1;
+        if completion > !makespan then makespan := completion;
+        let response = completion -. r.arrival in
+        Observe.observe_service obs ~fault ~retries_before:before ~response;
+        Observe.observe_dispatch obs ~wait:(t_disp -. r.arrival)
+          ~seek_blocks:seek;
+        let nominal =
+          Service.request_time models.(d) ~level:tops.(d) ~bytes:r.bytes
+        in
+        policy.Policy.on_complete st ~now:completion ~response ~nominal
+      in
+      (* Issue, in global time order, every dispatch scheduled strictly
+         before [limit] — keeps each disk's operations time-monotone
+         against directives applied at the application clock. *)
+      let rec drain_until limit =
+        let bd = ref (-1) and bt = ref infinity in
+        for d = 0 to ndisks - 1 do
+          let t = next_t d in
+          if t < !bt then begin
+            bd := d;
+            bt := t
+          end
+        done;
+        if !bd >= 0 && !bt < limit then begin
+          dispatch !bd;
+          drain_until limit
+        end
+      in
+      let enqueue d ~arrival ~block ~bytes =
+        pend.(d).(pend_n.(d)) <-
+          { arrival; pos = price block; block; bytes; seq = !seq };
+        incr seq;
+        pend_n.(d) <- pend_n.(d) + 1
+      in
+      Stream.iter
+        (fun event ->
+          clock := !clock +. Request.think event;
+          drain_until !clock;
+          sweep_failures !clock;
+          match event with
+          | Request.Pm { directive; _ } ->
+              if policy.Policy.accepts_directives then apply_directive directive
+          | Request.Io io ->
+              let d =
+                match fault with
+                | None -> io.disk
+                | Some fs -> Fault.serving_disk fs ~disk:io.disk ~now:!clock
+              in
+              if d <> io.disk then
+                Disk_state.record disks.(d) ~at:!clock
+                  (Timeline.Redirect io.disk);
+              (* Bounded queue: a full queue stalls the application
+                 until the next dispatch frees a slot. *)
+              while pend_n.(d) >= depth do
+                let t = next_t d in
+                dispatch d;
+                if t > !clock then clock := t
+              done;
+              let arrival = !clock in
+              Observe.observe_arrival obs ~ring:recent.(d) ~arrival;
+              enqueue d ~arrival ~block:io.block ~bytes:io.bytes;
+              let nominal =
+                Service.request_time models.(d) ~level:tops.(d) ~bytes:io.bytes
+              in
+              (match mode with
+              | `Open -> clock := arrival +. nominal
+              | `Closed ->
+                  (* One request in flight at a time: serve it now and
+                     block on its completion. *)
+                  while pend_n.(d) > 0 do
+                    dispatch d
+                  done;
+                  clock := backlog.(d)))
+        stream;
+      (* End of trace: the queues flush — every request completes, so
+         the disciplines cannot starve anything. *)
+      drain_until infinity;
+      clock := !clock +. Stream.tail_think stream;
+      finish (max !clock !makespan)

@@ -1,0 +1,47 @@
+(** Per-disk bounded request queues with pluggable service order.
+
+    This module owns the reference replay body that {!Engine.run_stream}
+    dispatches to.  The discipline comes from {!Config.t.sched}:
+
+    - [Fcfs] (default) — requests issue eagerly in trace order, the
+      exact legacy engine loop.  Homogeneous configurations replay
+      byte-identically to the pre-fleet engine.
+    - [Sstf] — shortest seek time first over the queued requests that
+      have arrived by dispatch time.
+    - [Scan] — the elevator: serve positions monotonically in the
+      current direction, reversing only when that side empties.
+    - [Clook] — circular LOOK: serve upward, wrap to the lowest queued
+      position when nothing remains above the head.
+    - [Sstf_remap] — SSTF, but a block the fault plan has remapped is
+      priced at its post-remap position (the spare region one past the
+      data blocks), modelling the real seek to the spare pool.
+
+    Queues are bounded by {!Config.t.queue_depth}; a full queue stalls
+    the traced application until the next dispatch frees a slot, the
+    same back-pressure the FCFS completion ring applies.  Every deferred
+    dispatch emits a {!Timeline.Dispatch} mark, so {!Timeline.check} can
+    independently replay the discipline's choices, and feeds the
+    [sim.sched.wait_s]/[sim.sched.seek_blocks] histograms via
+    {!Observe.observe_dispatch}. *)
+
+type t = Config.sched = Fcfs | Sstf | Scan | Clook | Sstf_remap
+
+val all : t list
+(** Every discipline, in {!Config.sched_names} order. *)
+
+val name : t -> string
+val of_name_opt : string -> t option
+
+val replay :
+  config:Config.t ->
+  mode:[ `Open | `Closed ] ->
+  fault:Fault.state option ->
+  timeline:Timeline.sink option ->
+  obs:Observe.t option ->
+  Policy.t ->
+  Dpm_trace.Trace.Stream.t ->
+  Result.t
+(** The reference replay under [config.sched], heterogeneous-fleet
+    aware (per-disk models via {!Config.model}).  Engine-internal:
+    callers should go through {!Engine.run_stream}, which adds fault
+    setup, observation flushing and telemetry around this. *)

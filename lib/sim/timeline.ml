@@ -18,6 +18,12 @@ type mark =
   | Directive_spin_up
   | Directive_set_rpm of int
   | Gap_decision of { predicted : float; level : int; spin_down : bool }
+  | Dispatch of { disc : Config.sched; pos : int; arrival : float }
+      (** One scheduler dispatch decision ({!Dpm_sim.Sched}): the queue
+          discipline, the chosen head position (stripe units, post-remap
+          for [Sstf_remap]) and the request's enqueue time.  The mark's
+          own [t] is the dispatch time, so [t - arrival] is the queue
+          wait and {!check} can replay the discipline's pick. *)
 
 type event =
   | Span of { disk : int; state : state; t0 : float; t1 : float }
@@ -41,9 +47,12 @@ type sink = {
   mutable s_scheme : string;
   mutable s_program : string;
   mutable s_analytic : bool;
+  mutable s_fleet : string list;
 }
 
-let sink () = { rev = []; s_scheme = ""; s_program = ""; s_analytic = false }
+let sink () =
+  { rev = []; s_scheme = ""; s_program = ""; s_analytic = false; s_fleet = [] }
+
 let emit s ev = s.rev <- ev :: s.rev
 
 let set_label s ~scheme ~program =
@@ -51,11 +60,14 @@ let set_label s ~scheme ~program =
   s.s_program <- program
 
 let set_analytic s = s.s_analytic <- true
+let set_fleet s fleet = s.s_fleet <- fleet
 
 type t = {
   t_scheme : string;
   t_program : string;
   t_analytic : bool;
+  t_fleet : string list;
+      (* model registry slugs, round-robin by disk id; [] = homogeneous *)
   t_events : event list; (* emission order *)
 }
 
@@ -64,6 +76,7 @@ let contents s =
     t_scheme = s.s_scheme;
     t_program = s.s_program;
     t_analytic = s.s_analytic;
+    t_fleet = s.s_fleet;
     t_events = List.rev s.rev;
   }
 
@@ -71,6 +84,7 @@ let events t = t.t_events
 let scheme t = t.t_scheme
 let program t = t.t_program
 let is_analytic t = t.t_analytic
+let fleet t = t.t_fleet
 
 let event_disk = function
   | Span { disk; _ }
@@ -120,7 +134,26 @@ let span_power specs = function
   | Standby -> Power.standby specs
   | Spinning_up -> Power.spin_up_power specs
 
-let reintegrate ?(specs = Config.default.Config.specs) t =
+(* Per-disk model resolution, shared by re-integration and checking: an
+   explicit [?fleet] wins; otherwise the log's own fleet label (model
+   registry slugs) is resolved, falling back to the homogeneous [specs]
+   when the label is absent or names an unknown model (a partially
+   resolved fleet would misalign the round-robin). *)
+let fleet_models ~specs ~fleet t =
+  let models =
+    match fleet with
+    | Some fl -> fl
+    | None ->
+        let resolved = List.map Specs.of_name_opt t.t_fleet in
+        if t.t_fleet <> [] && List.for_all Option.is_some resolved then
+          Array.of_list (List.map Option.get resolved)
+        else [||]
+  in
+  let n = Array.length models in
+  fun disk -> if n = 0 then specs else models.(disk mod n)
+
+let reintegrate ?(specs = Config.default.Config.specs) ?fleet t =
+  let model = fleet_models ~specs ~fleet t in
   let nd = ndisks t in
   let per_disk = Array.make nd 0.0 in
   let add d e = per_disk.(d) <- per_disk.(d) +. e in
@@ -128,11 +161,14 @@ let reintegrate ?(specs = Config.default.Config.specs) t =
     (fun ev ->
       match ev with
       | Span { disk; state; t0; t1 } ->
-          add disk (span_power specs state *. (t1 -. t0))
+          (* Zero-width spans carry no energy; skipping them also keeps a
+             zero-time spin transition (the flash tier) from multiplying
+             an infinite transition power by a zero duration. *)
+          if t1 > t0 then add disk (span_power (model disk) state *. (t1 -. t0))
       | Service { disk; level; t0; t1; _ } | Occupy { disk; level; t0; t1 } ->
-          add disk (Power.active specs ~level *. (t1 -. t0))
+          add disk (Power.active (model disk) ~level *. (t1 -. t0))
       | Aborted { disk; fraction; _ } ->
-          add disk (Power.aborted_spin_up_energy specs ~fraction)
+          add disk (Power.aborted_spin_up_energy (model disk) ~fraction)
       | Mark _ | Sim_end _ -> ())
     t.t_events;
   { per_disk; total = Array.fold_left ( +. ) 0.0 per_disk }
@@ -201,8 +237,142 @@ let item_levels_ok ~top = function
   | I_state Spinning_down | I_state Standby | I_state Spinning_up | I_abort ->
       true
 
-let check ?(specs = Config.default.Config.specs) t =
-  let top = Rpm.max_level specs in
+(* One dispatch decision as logged: emission-order position doubles as
+   the FCFS sequence number. *)
+type disp = { d_t : float; d_disc : Config.sched; d_pos : int; d_arr : float }
+
+(* Replay a disk's dispatch decisions against its queue discipline.
+
+   At decision [i] the requests certainly still queued are the later
+   dispatches already enqueued: [candidates = {j > i : arr_j < t_i} ∪
+   {i}] (strict [<]: a request enqueued exactly at the dispatch instant
+   may or may not have been visible).  The scheduler optimized over a
+   superset of the candidates, so its pick must be at least as good as
+   the best candidate — testing against the subset is sound (never
+   rejects a legal log) while still catching reordered or fabricated
+   logs.  SCAN direction state threads across decisions, which is
+   exactly the "monotone between reversals" invariant. *)
+let check_dispatches ~report ~tol disk (services : (float * float) list)
+    (clean : bool) (disps : disp list) =
+  (* [report] consumes rendered strings; rebinding a ksprintf wrapper
+     here keeps the format calls below polymorphic in arity. *)
+  let err disk fmt = Printf.ksprintf (report disk) fmt in
+  let ds = Array.of_list disps in
+  let n = Array.length ds in
+  let head = ref 0 in
+  let dirup = ref true in
+  (* Completion of the k-th service, for the work-conservation bound on
+     fault-free lanes where services pair 1:1 with dispatches. *)
+  let svc_end = Array.of_list (List.map snd services) in
+  let conserving = clean && Array.length svc_end = n in
+  for i = 0 to n - 1 do
+    let d = ds.(i) in
+    if i > 0 && d.d_t < ds.(i - 1).d_t -. tol then
+      err disk "dispatch times not monotone at %g" d.d_t;
+    if d.d_arr > d.d_t +. tol then
+      err disk "dispatch at %g precedes its request's arrival %g" d.d_t d.d_arr;
+    let cands = ref [ d ] in
+    for j = i + 1 to n - 1 do
+      if ds.(j).d_arr < d.d_t -. tol then cands := ds.(j) :: !cands
+    done;
+    let cands = !cands in
+    let dist p = abs (p - !head) in
+    let best f ok =
+      List.fold_left
+        (fun acc c -> if ok c.d_pos then f acc c.d_pos else acc)
+        max_int cands
+    in
+    (match d.d_disc with
+    | Config.Fcfs ->
+        List.iter
+          (fun c ->
+            if c.d_arr < d.d_arr -. tol then
+              err disk
+                "fcfs dispatch at %g serves arrival %g before queued arrival %g"
+                d.d_t d.d_arr c.d_arr)
+          cands
+    | Config.Sstf | Config.Sstf_remap ->
+        let nearest =
+          List.fold_left (fun acc c -> min acc (dist c.d_pos)) max_int cands
+        in
+        if dist d.d_pos > nearest then
+          err disk
+            "sstf dispatch at %g seeks %d units from %d but a request %d \
+             units away was queued"
+            d.d_t (dist d.d_pos) !head nearest
+    | Config.Scan ->
+        let up_best = best min (fun p -> p >= !head) in
+        let down_best =
+          let m =
+            List.fold_left
+              (fun acc c -> if c.d_pos <= !head then max acc c.d_pos else acc)
+              min_int cands
+          in
+          m
+        in
+        if !dirup then begin
+          if up_best < max_int then begin
+            if d.d_pos < !head then
+              err disk
+                "scan dispatch at %g reverses below head %d with an upward \
+                 request at %d queued"
+                d.d_t !head up_best
+            else if d.d_pos > up_best then
+              err disk "scan dispatch at %g skips nearer upward pos %d" d.d_t
+                up_best
+          end
+          else if d.d_pos < !head then begin
+            dirup := false;
+            if down_best > min_int && d.d_pos < down_best then
+              err disk "scan dispatch at %g skips nearer downward pos %d"
+                d.d_t down_best
+          end
+        end
+        else begin
+          if down_best > min_int then begin
+            if d.d_pos > !head then
+              err disk
+                "scan dispatch at %g reverses above head %d with a downward \
+                 request at %d queued"
+                d.d_t !head down_best
+            else if d.d_pos < down_best then
+              err disk "scan dispatch at %g skips nearer downward pos %d"
+                d.d_t down_best
+          end
+          else if d.d_pos > !head then begin
+            dirup := true;
+            if up_best < max_int && d.d_pos > up_best then
+              err disk "scan dispatch at %g skips nearer upward pos %d" d.d_t
+                up_best
+          end
+        end
+    | Config.Clook ->
+        let up_best = best min (fun p -> p >= !head) in
+        let any_best = best min (fun _ -> true) in
+        if d.d_pos >= !head then begin
+          if up_best < d.d_pos then
+            err disk "c-look dispatch at %g skips nearer forward pos %d" d.d_t
+              up_best
+        end
+        else if d.d_pos > any_best then
+          err disk "c-look wrap at %g lands on %d, not the lowest queued %d"
+            d.d_t d.d_pos any_best);
+    head := d.d_pos;
+    if conserving then begin
+      let prev_end = if i = 0 then 0.0 else svc_end.(i - 1) in
+      let earliest =
+        List.fold_left (fun acc c -> Float.min acc c.d_arr) d.d_arr cands
+      in
+      if d.d_t > Float.max prev_end earliest +. tol then
+        err disk
+          "dispatch at %g idles: previous service ended %g, earliest queued \
+           arrival %g"
+          d.d_t prev_end earliest
+    end
+  done
+
+let check ?(specs = Config.default.Config.specs) ?fleet t =
+  let model = fleet_models ~specs ~fleet t in
   let nd = ndisks t in
   let s_end = sim_end t in
   let tol = 1e-9 *. Float.max 1.0 s_end in
@@ -221,6 +391,7 @@ let check ?(specs = Config.default.Config.specs) t =
       | _ -> ())
     t.t_events;
   for disk = 0 to nd - 1 do
+    let top = Rpm.max_level (model disk) in
     let items =
       List.filter_map
         (fun ev ->
@@ -306,7 +477,56 @@ let check ?(specs = Config.default.Config.specs) t =
       | None ->
           if last_end < s_end -. tol then
             err disk "residency ends at %g, before sim end %g" last_end s_end
-    end
+    end;
+    (* Per-queue legality: on any one disk, Service intervals never
+       overlap (the head serves one request at a time), and logged
+       dispatch decisions must replay under their queue discipline. *)
+    let services =
+      List.stable_sort
+        (fun (a, _) (b, _) -> compare a b)
+        (List.filter_map
+           (fun ev ->
+             match ev with
+             | Service { disk = d; t0; t1; _ } when d = disk -> Some (t0, t1)
+             | _ -> None)
+           t.t_events)
+    in
+    ignore
+      (List.fold_left
+         (fun prev_end (t0, t1) ->
+           if t0 < prev_end -. tol then
+             err disk "service intervals overlap: [%g, %g] starts before %g"
+               t0 t1 prev_end;
+           Float.max prev_end t1)
+         0.0 services);
+    let clean =
+      not
+        (List.exists
+           (fun ev ->
+             match ev with
+             | Mark { disk = d; mark; _ } when d = disk -> (
+                 match mark with
+                 | Retry _ | Remap _ | Redirect _ | Killed -> true
+                 | Directive_spin_down | Directive_spin_up
+                 | Directive_set_rpm _ | Gap_decision _ | Dispatch _ ->
+                     false)
+             | _ -> false)
+           t.t_events)
+    in
+    let disps =
+      List.filter_map
+        (fun ev ->
+          match ev with
+          | Mark { disk = d; t; mark = Dispatch { disc; pos; arrival } }
+            when d = disk ->
+              Some { d_t = t; d_disc = disc; d_pos = pos; d_arr = arrival }
+          | _ -> None)
+        t.t_events
+    in
+    if disps <> [] then
+      check_dispatches
+        ~report:(fun d m -> err d "%s" m)
+        ~tol disk services clean disps
   done;
   match List.rev !errors with [] -> Ok () | es -> Error es
 
@@ -504,7 +724,7 @@ let disk_summaries t =
           | Redirect _ -> sc.sum <- { s with redirects = s.redirects + 1 }
           | Killed -> sc.sum <- { s with killed_at = Some t }
           | Directive_spin_down | Directive_spin_up | Directive_set_rpm _
-          | Gap_decision _ ->
+          | Gap_decision _ | Dispatch _ ->
               ())
       | Sim_end _ -> ())
     t.t_events;
@@ -607,10 +827,10 @@ let gantt ?(width = 64) t =
     Buffer.contents buf
   end
 
-let summary ?(specs = Config.default.Config.specs) t =
+let summary ?(specs = Config.default.Config.specs) ?fleet t =
   let buf = Buffer.create 1024 in
   let sums = disk_summaries t in
-  let e = reintegrate ~specs t in
+  let e = reintegrate ~specs ?fleet t in
   let table =
     Dpm_util.Table.create
       ~title:
@@ -671,7 +891,7 @@ let summary ?(specs = Config.default.Config.specs) t =
   Buffer.add_string buf
     (Printf.sprintf "reintegrated energy: %.2f J over %d event(s)\n" e.total
        (List.length t.t_events));
-  (match check ~specs t with
+  (match check ~specs ?fleet t with
   | Ok () -> Buffer.add_string buf "invariants: ok\n"
   | Error es ->
       Buffer.add_string buf
@@ -705,6 +925,9 @@ let mark_fields = function
   | Gap_decision { predicted; level; spin_down } ->
       Printf.sprintf {|"mark":"gap","predicted":%s,"level":%d,"spin_down":%b|}
         (fstr predicted) level spin_down
+  | Dispatch { disc; pos; arrival } ->
+      Printf.sprintf {|"mark":"dispatch","sched":"%s","arg":%d,"arrival":%s|}
+        (Config.sched_name disc) pos (fstr arrival)
 
 let event_json = function
   | Span { disk; state; t0; t1 } ->
@@ -727,9 +950,15 @@ let event_json = function
   | Sim_end t -> Printf.sprintf {|{"ev":"end","t":%s}|} (fstr t)
 
 let write_jsonl t oc =
+  (* The fleet rides in the meta line only when heterogeneous, so
+     legacy logs round-trip byte-identically. *)
+  let fleet_field =
+    if t.t_fleet = [] then ""
+    else Printf.sprintf {|,"fleet":"%s"|} (String.concat ";" t.t_fleet)
+  in
   Printf.fprintf oc
-    {|{"ev":"meta","scheme":"%s","program":"%s","analytic":%b}|} t.t_scheme
-    t.t_program t.t_analytic;
+    {|{"ev":"meta","scheme":"%s","program":"%s","analytic":%b%s}|} t.t_scheme
+    t.t_program t.t_analytic fleet_field;
   output_char oc '\n';
   List.iter
     (fun ev ->
@@ -787,7 +1016,12 @@ let write_csv t oc =
           | Gap_decision { predicted; level; spin_down } ->
               base ~mark:"gap" ~predicted:(fstr predicted)
                 ~level:(string_of_int level)
-                ~spin_down:(string_of_bool spin_down) ())
+                ~spin_down:(string_of_bool spin_down) ()
+          | Dispatch { disc; pos; arrival } ->
+              (* The discipline rides in the state column — the CSV
+                 header is fixed. *)
+              base ~mark:"dispatch" ~state:(Config.sched_name disc)
+                ~arg:(string_of_int pos) ~arrival:(fstr arrival) ())
       | Sim_end t -> row ~ev:"end" ~t:(fstr t) ())
     t.t_events
 
@@ -913,6 +1147,20 @@ let event_of_fields fields =
                 level = geti fields "level";
                 spin_down = bool_of_string (get fields "spin_down");
               }
+        | "dispatch" ->
+            let name = get fields "sched" in
+            let disc =
+              match Config.sched_of_name_opt name with
+              | Some d -> d
+              | None ->
+                  failwith ("Timeline.read_jsonl: unknown scheduler " ^ name)
+            in
+            Dispatch
+              {
+                disc;
+                pos = geti fields "arg";
+                arrival = getf fields "arrival";
+              }
         | m -> failwith ("Timeline.read_jsonl: unknown mark " ^ m)
       in
       Mark { disk = geti fields "disk"; t = getf fields "t"; mark }
@@ -925,12 +1173,13 @@ let read_jsonl ic =
   let flush () =
     match !current with
     | None -> ()
-    | Some (scheme, program, analytic, rev) ->
+    | Some (scheme, program, analytic, fleet, rev) ->
         sections :=
           {
             t_scheme = scheme;
             t_program = program;
             t_analytic = analytic;
+            t_fleet = fleet;
             t_events = List.rev rev;
           }
           :: !sections;
@@ -944,17 +1193,24 @@ let read_jsonl ic =
          match get fields "ev" with
          | "meta" ->
              flush ();
+             let fleet =
+               match List.assoc_opt "fleet" fields with
+               | None | Some "" -> []
+               | Some names -> String.split_on_char ';' names
+             in
              current :=
                Some
                  ( get fields "scheme",
                    get fields "program",
                    bool_of_string (get fields "analytic"),
+                   fleet,
                    [] )
          | _ ->
              let ev = event_of_fields fields in
              (match !current with
-             | Some (s, p, a, rev) -> current := Some (s, p, a, ev :: rev)
-             | None -> current := Some ("", "", false, [ ev ]))
+             | Some (s, p, a, fl, rev) ->
+                 current := Some (s, p, a, fl, ev :: rev)
+             | None -> current := Some ("", "", false, [], [ ev ]))
        end
      done
    with End_of_file -> ());

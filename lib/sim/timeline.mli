@@ -45,6 +45,12 @@ type mark =
   | Gap_decision of { predicted : float; level : int; spin_down : bool }
       (** An oracle per-gap plan: the predicted idle-gap length and the
           level/spin-down choice made for it. *)
+  | Dispatch of { disc : Config.sched; pos : int; arrival : float }
+      (** One {!Dpm_sim.Sched} dispatch decision: the queue discipline,
+          the head position chosen (stripe units, post-remap for
+          [Sstf_remap]) and the request's enqueue time.  The mark's [t]
+          is the dispatch time, so [t - arrival] is the queue wait and
+          {!check} can replay the discipline's pick. *)
 
 type event =
   | Span of { disk : int; state : state; t0 : float; t1 : float }
@@ -84,6 +90,14 @@ val set_analytic : sink -> unit
     analytic model lets a burst's service spill into its tail slack, so
     {!check} verifies coverage instead of strict contiguity. *)
 
+val set_fleet : sink -> string list -> unit
+(** Stamp the log with the heterogeneous fleet serving it, as model
+    registry slugs ({!Dpm_disk.Specs.name_of}) assigned round-robin by
+    disk id.  The engine sets this only for non-empty
+    {!Config.t.fleet}s, so legacy logs (and their JSONL form) are
+    unchanged; {!check}/{!reintegrate}/{!summary} resolve it to
+    per-disk specs when no explicit fleet is passed. *)
+
 type t
 (** A frozen event log. *)
 
@@ -97,6 +111,9 @@ val scheme : t -> string
 val program : t -> string
 val is_analytic : t -> bool
 
+val fleet : t -> string list
+(** The fleet label ([[]] for homogeneous/legacy logs). *)
+
 val ndisks : t -> int
 val sim_end : t -> float
 (** From the [Sim_end] event, falling back to the latest timestamp. *)
@@ -105,18 +122,26 @@ val sim_end : t -> float
 
 type energy = { per_disk : float array; total : float }
 
-val reintegrate : ?specs:Dpm_disk.Specs.t -> t -> energy
+val reintegrate :
+  ?specs:Dpm_disk.Specs.t -> ?fleet:Dpm_disk.Specs.t array -> t -> energy
 (** Recompute energy from the event log alone: each [Span] at its
     state's constant power, each [Service]/[Occupy] at active power,
     each [Aborted] via {!Dpm_disk.Power.aborted_spin_up_energy} — all
     straight from the {!Dpm_disk.Power} tables (default specs:
     {!Config.default}).  For an engine log this must match
     [Result.energy] per disk and in total (relative error ≤ 1e-9);
-    for an oracle log it must match the closed-form energies. *)
+    for an oracle log it must match the closed-form energies.
+    Heterogeneous fleets resolve per-disk models from [?fleet]
+    (round-robin by disk id) or, absent that, the log's own {!fleet}
+    label; unresolvable labels fall back to [specs]. *)
 
 (** {1 The invariant checker} *)
 
-val check : ?specs:Dpm_disk.Specs.t -> t -> (unit, string list) result
+val check :
+  ?specs:Dpm_disk.Specs.t ->
+  ?fleet:Dpm_disk.Specs.t array ->
+  t ->
+  (unit, string list) result
 (** Validates state-machine legality.  For engine logs: per disk, spans
     are exactly contiguous from time 0, never overlap, every adjacent
     pair is a transition the TPM/DRPM automaton permits (chained
@@ -125,8 +150,18 @@ val check : ?specs:Dpm_disk.Specs.t -> t -> (unit, string list) result
     unless a [Killed] mark froze it, and spin-up always completes at the
     top level.  For analytic (oracle) logs: monotone starts, well-formed
     spans, and full coverage of [0, sim_end] (service is allowed to
-    overlap the tail slack the oracle grants it).  Returns all
-    violations found, each as a human-readable message. *)
+    overlap the tail slack the oracle grants it).
+
+    Per-queue legality, both modes: on any one disk [Service] intervals
+    never overlap, and [Dispatch] marks must replay under their queue
+    discipline — monotone dispatch times, no dispatch before its
+    arrival, SSTF picks no farther than any certainly-queued request,
+    SCAN moves monotonically between reversals, C-LOOK wraps to the
+    lowest queued position — plus a work-conservation bound (a dispatch
+    never idles past the earliest queued arrival) on fault-free lanes.
+    Per-disk RPM ladders resolve like {!reintegrate} ([?fleet], then
+    the log's {!fleet} label, then [specs]).  Returns all violations
+    found, each as a human-readable message. *)
 
 (** {1 Derived statistics} *)
 
@@ -172,7 +207,8 @@ val gantt : ?width:int -> t -> string
     idle, [~] low-RPM idle, [-] modulating, [v] spinning down, [.]
     standby, [^] spinning up, [!] aborted spin-up, [X] dead). *)
 
-val summary : ?specs:Dpm_disk.Specs.t -> t -> string
+val summary :
+  ?specs:Dpm_disk.Specs.t -> ?fleet:Dpm_disk.Specs.t array -> t -> string
 (** Human-readable report: the per-disk table ({!Dpm_util.Table}), the
     Gantt lanes, the re-integrated energy and the {!check} verdict. *)
 

@@ -95,3 +95,37 @@ let gen_trace =
       (tup2
          (list_size (int_range 0 120) (gen_event ndisks))
          (float_bound_inclusive 2.0)))
+
+(* --- Heterogeneous fleets and scheduling disciplines --- *)
+
+(* A fleet drawn from the model registry: empty (the legacy homogeneous
+   configuration) or 1-4 models assigned round-robin over disk ids. *)
+let gen_fleet =
+  QCheck2.Gen.(
+    let model =
+      map
+        (fun i -> snd (List.nth Dpm_disk.Specs.all i))
+        (int_bound (List.length Dpm_disk.Specs.all - 1))
+    in
+    map Array.of_list (list_size (int_range 0 4) model))
+
+let gen_sched = QCheck2.Gen.oneofl Dpm_sim.Sched.all
+
+(* A full simulator configuration varying the axes the scheduler and
+   fleet layers care about; everything else stays at the default. *)
+let gen_config =
+  QCheck2.Gen.(
+    map
+      (fun (fleet, sched, depth) ->
+        Dpm_sim.Config.default
+        |> Dpm_sim.Config.with_fleet fleet
+        |> Dpm_sim.Config.with_sched sched
+        |> Dpm_sim.Config.with_queue_depth depth)
+      (tup3 gen_fleet gen_sched (int_range 1 48)))
+
+let config_print c =
+  Printf.sprintf "fleet=[%s] sched=%s depth=%d"
+    (String.concat ","
+       (Array.to_list (Array.map Dpm_disk.Specs.name_of c.Dpm_sim.Config.fleet)))
+    (Dpm_sim.Config.sched_name c.Dpm_sim.Config.sched)
+    c.Dpm_sim.Config.queue_depth

@@ -162,9 +162,77 @@ let test_service_monotone_in_bytes () =
   let t2 = Service.request_time specs ~level:top ~bytes:(Dpm_util.Units.kib 64) in
   Alcotest.(check bool) "more bytes, more time" true (t2 > t1)
 
+(* --- Specs: registry and the Table-1 pretty-printer --- *)
+
+let test_specs_pp_golden () =
+  (* Pin the full Table 1 block: every field must be printed.  A field
+     silently dropped from [Specs.pp] shows up here as a missing line. *)
+  let rendered = Format.asprintf "@[<v>%a@]" Specs.pp specs in
+  let expected =
+    String.concat "\n"
+      [
+        "Disk Model              IBM Ultrastar 36Z15";
+        "Storage Capacity        18 GB";
+        "Average seek time       3.4 msec";
+        "Average rotation time   2.0 msec";
+        "Internal transfer rate  55 MB/sec";
+        "Power (active)          13.5 W";
+        "Power (idle)            10.2 W";
+        "Power (standby)         2.5 W";
+        "Energy (spin down)      13 J";
+        "Time (spin down)        1.5 sec";
+        "Energy (spin up)        135 J";
+        "Time (spin up)          10.9 sec";
+        "Maximum RPM level       15000 RPM";
+        "Minimum RPM level       3000 RPM";
+        "RPM Step-Size           1200 RPM";
+        "RPM transition time     0.10 msec/RPM";
+        "Spindle power exponent  2.8";
+        "Window size             30";
+      ]
+  in
+  Alcotest.(check string) "table 1 block" expected rendered
+
+let test_specs_registry () =
+  Alcotest.(check int) "three models" 3 (List.length Specs.all);
+  List.iter
+    (fun (slug, m) ->
+      Alcotest.(check string) "name_of inverts registry" slug (Specs.name_of m);
+      Alcotest.(check bool) "lookup by slug" true (Specs.of_name_opt slug = Some m);
+      Alcotest.(check bool) "lookup by datasheet name" true
+        (Specs.of_name_opt m.Specs.model_name = Some m);
+      Alcotest.(check bool) "case-insensitive" true
+        (Specs.of_name_opt (String.uppercase_ascii slug) = Some m))
+    Specs.all;
+  Alcotest.(check bool) "unknown model rejected" true
+    (Specs.of_name_opt "quantum-bigfoot" = None)
+
+let test_specs_new_models () =
+  let lzx = Specs.ultrastar_36lzx in
+  Alcotest.(check int) "36lzx has 6 DRPM levels" 6 (Rpm.num_levels lzx);
+  Alcotest.(check int) "36lzx top rpm" 10_000 (Rpm.rpm_of_level lzx (Rpm.max_level lzx));
+  Alcotest.(check bool) "36lzx slower than 36z15" true
+    (lzx.Specs.avg_seek > specs.Specs.avg_seek);
+  let flash = Specs.flash in
+  Alcotest.(check int) "flash has a single level" 1 (Rpm.num_levels flash);
+  check_float "flash zero spin-down energy" 0.0 flash.Specs.e_spin_down;
+  check_float "flash zero spin-down time" 0.0 flash.Specs.t_spin_down;
+  check_float "flash zero spin-up energy" 0.0 flash.Specs.e_spin_up;
+  check_float "flash zero spin-up time" 0.0 flash.Specs.t_spin_up;
+  check_float "flash zero rotation" 0.0 flash.Specs.avg_rotation;
+  Alcotest.(check bool) "flash cheaper than disks" true
+    (flash.Specs.p_active < specs.Specs.p_active
+    && flash.Specs.p_active < Specs.ultrastar_36lzx.Specs.p_active)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
+    ( "disk.specs",
+      [
+        Alcotest.test_case "pp golden" `Quick test_specs_pp_golden;
+        Alcotest.test_case "registry round-trips" `Quick test_specs_registry;
+        Alcotest.test_case "new models sane" `Quick test_specs_new_models;
+      ] );
     ( "disk.rpm",
       [
         Alcotest.test_case "ladder" `Quick test_rpm_ladder;

@@ -53,11 +53,17 @@ let replay_pair ?(config = Config.default) ~faults ~batch mk trace =
 
 (* --- The core differential property --- *)
 
+(* The fleet varies too: the specialized loops carry per-disk service
+   tables and nominal-time caches, and heterogeneous fleets (FCFS, so
+   the fast path genuinely engages) must not break the differential. *)
 let qcheck_core_equiv =
   QCheck2.Test.make ~count:25
-    ~name:"fastpath: core:`Fast ≡ core:`Reference (policies × batches × faults)"
-    Gen.gen_trace
-    (fun trace ->
+    ~name:
+      "fastpath: core:`Fast ≡ core:`Reference (policies × batches × faults × \
+       fleets)"
+    QCheck2.Gen.(tup2 Gen.gen_trace Gen.gen_fleet)
+    (fun (trace, fleet) ->
+      let config = Config.with_fleet fleet Config.default in
       let ndisks = Trace.ndisks trace in
       List.for_all
         (fun (_, mk) ->
@@ -66,13 +72,13 @@ let qcheck_core_equiv =
               List.for_all
                 (fun faults ->
                   let (r_r, tl_r), (r_f, tl_f) =
-                    replay_pair ~faults ~batch mk trace
+                    replay_pair ~config ~faults ~batch mk trace
                   in
                   r_r = r_f && tl_r = tl_f
                   && r_r.Result.faults = r_f.Result.faults)
                 [ Fault.none; Gen.fault_spec ])
             [ 1; 7; 4096 ])
-        (policies Config.default ~ndisks))
+        (policies config ~ndisks))
 
 (* An artificial policy of the one unsupported shape (request-driven
    hooks AND trace directives): `Fast must detect it and fall back to
@@ -83,7 +89,7 @@ let test_unsupported_shape_falls_back () =
   in
   Alcotest.(check bool)
     "shape rejected by Fastpath.supported" false
-    (Fastpath.supported hooked_cm);
+    (Fastpath.supported ~config:Config.default hooked_cm);
   let trace = Gen.sample_trace () in
   let r_ref =
     Engine.run_stream ~core:`Reference hooked_cm (Stream.of_trace trace)
@@ -104,7 +110,7 @@ let test_unsupported_shape_falls_back () =
   in
   Alcotest.(check bool)
     "directive-accepting adaptive rejected by Fastpath.supported" false
-    (Fastpath.supported (directive_adaptive ()));
+    (Fastpath.supported ~config:Config.default (directive_adaptive ()));
   let r_ref =
     Engine.run_stream ~core:`Reference (directive_adaptive ())
       (Stream.of_trace trace)
@@ -120,7 +126,7 @@ let test_supported_shapes () =
   List.iter
     (fun (name, mk) ->
       Alcotest.(check bool) (name ^ " supported") true
-        (Fastpath.supported (mk ())))
+        (Fastpath.supported ~config:Config.default (mk ())))
     (policies Config.default ~ndisks:4)
 
 (* --- Experiment level: all seven schemes, both cores, 1 vs 4 domains --- *)

@@ -285,6 +285,34 @@ let test_domain_determinism () =
         (Result.fault_events r.Result.faults > 0)
   | [] -> Alcotest.fail "Pool.map dropped results"
 
+(* Degraded-mode replay stays deterministic — and its event log legal —
+   whatever fleet, scheduling discipline and queue depth serve it. *)
+let qcheck_degraded_any_config =
+  QCheck2.Test.make ~count:15
+    ~name:"fault: deterministic + legal log (fleets × disciplines × depths)"
+    Gen.gen_config ~print:Gen.config_print
+    (fun config ->
+      let trace = busy_trace ~n:150 ~ndisks:4 () in
+      let run () =
+        let sink = Dpm_sim.Timeline.sink () in
+        let r =
+          Engine.run ~config ~faults:Gen.fault_spec ~timeline:sink Policy.base
+            trace
+        in
+        (r, Dpm_sim.Timeline.contents sink)
+      in
+      let r1, tl = run () in
+      let r2, _ = run () in
+      if r1 <> r2 then QCheck2.Test.fail_report "replay not deterministic"
+      else if Result.fault_events r1.Result.faults = 0 then
+        QCheck2.Test.fail_report "faults never fired"
+      else
+        match Dpm_sim.Timeline.check tl with
+        | Ok () -> true
+        | Error msgs ->
+            QCheck2.Test.fail_reportf "illegal log: %s"
+              (String.concat "; " msgs))
+
 (* --- timeline signatures: each fault class leaves its events --- *)
 
 module Timeline = Dpm_sim.Timeline
@@ -460,6 +488,7 @@ let suite =
           test_disk_failure_redirect;
         Alcotest.test_case "run_many degraded" `Quick test_run_many_degraded;
         Alcotest.test_case "domain determinism" `Quick test_domain_determinism;
+        QCheck_alcotest.to_alcotest qcheck_degraded_any_config;
       ] );
     ( "fault.timeline",
       [

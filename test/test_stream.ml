@@ -209,11 +209,20 @@ let replay_pair ?(config = Config.default) ~faults ~batch mk trace =
 
 let gen_trace = Gen.gen_trace
 
+(* The configuration varies too (heterogeneous fleets, every scheduling
+   discipline, queue depths): chunk boundaries must stay invisible
+   whatever engine path the config selects. *)
 let qcheck_engine_equiv =
   QCheck2.Test.make ~count:25
-    ~name:"stream: Engine.run_stream ≡ Engine.run (policies × batches × faults)"
-    gen_trace
-    (fun trace ->
+    ~name:
+      "stream: Engine.run_stream ≡ Engine.run (policies × batches × faults × \
+       configs)"
+    QCheck2.Gen.(tup2 gen_trace Gen.gen_config)
+    ~print:(fun (trace, config) ->
+      Printf.sprintf "%d events, %s"
+        (Array.length (Trace.events trace))
+        (Gen.config_print config))
+    (fun (trace, config) ->
       let ndisks = Trace.ndisks trace in
       List.for_all
         (fun (_, mk) ->
@@ -222,13 +231,13 @@ let qcheck_engine_equiv =
               List.for_all
                 (fun faults ->
                   let (r_m, tl_m), (r_s, tl_s) =
-                    replay_pair ~faults ~batch mk trace
+                    replay_pair ~config ~faults ~batch mk trace
                   in
                   r_m = r_s && tl_m = tl_s
                   && r_m.Result.faults = r_s.Result.faults)
                 [ Fault.none; fault_spec ])
             [ 1; 7; 4096 ])
-        (policies Config.default ~ndisks))
+        (policies config ~ndisks))
 
 let qcheck_multiprogram_equiv =
   QCheck2.Test.make ~count:15

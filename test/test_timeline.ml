@@ -397,6 +397,103 @@ let test_check_rejects_illegal_logs () =
   Alcotest.(check bool) "negative span rejected" true
     (violations [ ready 1.0 0.5 ] > 0)
 
+(* Per-queue legality: the [Dispatch]-mark checker must replay each
+   discipline's pick and reject reordered or fabricated scheduler logs,
+   and [Service] intervals on one disk must never overlap. *)
+let test_check_rejects_illegal_queues () =
+  let module Config = Dpm_sim.Config in
+  let violations ?(analytic = false) evs =
+    let s = Timeline.sink () in
+    if analytic then Timeline.set_analytic s;
+    List.iter (Timeline.emit s) evs;
+    match Timeline.check (Timeline.contents s) with
+    | Ok () -> 0
+    | Error es -> List.length es
+  in
+  let top = Dpm_disk.Rpm.max_level Dpm_disk.Specs.ultrastar_36z15 in
+  let ready a b =
+    Timeline.Span { disk = 0; state = Timeline.Ready top; t0 = a; t1 = b }
+  in
+  let svc arrival a b =
+    Timeline.Service { disk = 0; level = top; arrival; t0 = a; t1 = b; bytes = 512 }
+  in
+  let disp ?(disc = Config.Sstf) t pos arrival =
+    Timeline.Mark { disk = 0; t; mark = Timeline.Dispatch { disc; pos; arrival } }
+  in
+  (* Spans and services tile the lane (the residency checker demands
+     contiguity); the idle rest of [0, 10] is one ready span. *)
+  let lane evs = (ready 0.0 10.0 :: evs) @ [ Timeline.Sim_end 10.0 ] in
+  (* A legal SSTF lane: nearest-first, work-conserving, 1:1 services. *)
+  Alcotest.(check int) "legal sstf lane" 0
+    (violations
+       [
+         disp 0.0 2 0.0;
+         svc 0.0 0.0 1.0;
+         disp 1.0 9 0.0;
+         svc 0.0 1.0 2.0;
+         ready 2.0 10.0;
+         Timeline.Sim_end 10.0;
+       ]);
+  (* SSTF must not seek past a strictly-nearer queued request. *)
+  Alcotest.(check bool) "sstf skip rejected" true
+    (violations (lane [ disp 0.5 9 0.0; disp 1.0 2 0.0 ]) > 0);
+  (* No dispatch before its request arrived. *)
+  Alcotest.(check bool) "dispatch before arrival rejected" true
+    (violations (lane [ disp 0.0 2 1.0 ]) > 0);
+  (* Dispatch times must be monotone per queue. *)
+  Alcotest.(check bool) "non-monotone dispatches rejected" true
+    (violations (lane [ disp 2.0 2 0.0; disp 1.0 3 0.0 ]) > 0);
+  (* FCFS serves strictly by arrival order. *)
+  Alcotest.(check bool) "fcfs reorder rejected" true
+    (violations
+       (lane
+          [
+            disp ~disc:Config.Fcfs 1.0 0 0.9;
+            disp ~disc:Config.Fcfs 2.0 1 0.1;
+          ])
+    > 0);
+  (* SCAN may not reverse below the head while an upward request is
+     queued. *)
+  Alcotest.(check bool) "scan reversal rejected" true
+    (violations
+       (lane
+          [
+            disp ~disc:Config.Scan 0.0 5 0.0;
+            disp ~disc:Config.Scan 1.0 2 0.0;
+            disp ~disc:Config.Scan 2.0 7 0.0;
+          ])
+    > 0);
+  (* A C-LOOK wrap must land on the lowest queued position. *)
+  Alcotest.(check bool) "c-look wrap rejected" true
+    (violations
+       (lane
+          [
+            disp ~disc:Config.Clook 0.0 5 0.0;
+            disp ~disc:Config.Clook 1.0 3 0.0;
+            disp ~disc:Config.Clook 2.0 1 0.0;
+          ])
+    > 0);
+  (* Work conservation: a clean 1:1 lane may not idle past the earliest
+     queued arrival. *)
+  Alcotest.(check bool) "idling dispatch rejected" true
+    (violations
+       [
+         disp 0.0 2 0.0;
+         svc 0.0 0.0 1.0;
+         ready 1.0 5.0;
+         disp 5.0 9 0.0;
+         svc 0.0 5.0 6.0;
+         ready 6.0 10.0;
+         Timeline.Sim_end 10.0;
+       ]
+    > 0);
+  (* Overlapping service intervals on one disk: the per-queue pass fires
+     even in analytic mode, where the residency tiling rules would not. *)
+  Alcotest.(check bool) "overlapping services rejected" true
+    (violations ~analytic:true
+       (lane [ svc 0.0 1.0 3.0; svc 0.0 2.0 4.0 ])
+    > 0)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
@@ -415,5 +512,7 @@ let suite =
         Alcotest.test_case "summary rendering" `Quick test_summary_rendering;
         Alcotest.test_case "checker rejects illegal logs" `Quick
           test_check_rejects_illegal_logs;
+        Alcotest.test_case "checker rejects illegal queues" `Quick
+          test_check_rejects_illegal_queues;
       ] );
   ]
