@@ -1,5 +1,5 @@
 .PHONY: all build test check bench fault-check timeline-check report-check \
-  stream-check perf-check sweep-check sched-check clean
+  stream-check perf-check sweep-check sched-check meter-check clean
 
 all: build
 
@@ -97,6 +97,42 @@ sched-check: build
 	    --faults "$(FAULT_SPEC)" >> _build/sched_smoke.out; \
 	done
 	cmp _build/sched_smoke.out test/golden/sched_smoke.expected
+
+# Power-meter smoke: the rendered per-disk power strip + summary of a
+# fixed run must reproduce the checked-in golden byte-for-byte; metering
+# must not change the results table (the observer-effect guarantee,
+# end-to-end through the CLI); and a small sweep's artifacts — two
+# replayed winning specs metered to dpm-meter/1 JSONL plus two run
+# reports (one under SSTF with fault injection) — must aggregate into a
+# valid dpm-agg/1 fleet dashboard (dpmsim aggregate validates its own
+# output and exits non-zero otherwise).
+meter-check: build
+	dune exec bin/dpmsim.exe -- simulate -b galgel -s Base,CMDRPM \
+	  --meter - --resolution 2 > _build/meter_smoke.out
+	cmp _build/meter_smoke.out test/golden/meter_smoke.expected
+	dune exec bin/dpmsim.exe -- simulate -b galgel -s CMDRPM \
+	  --meter _build/meter_on.jsonl > _build/meter_on.out
+	dune exec bin/dpmsim.exe -- simulate -b galgel -s CMDRPM \
+	  > _build/meter_off.out
+	cmp _build/meter_on.out _build/meter_off.out
+	rm -rf _build/meter_sweep
+	dune exec bin/dpmsim.exe -- sweep --axes "tpm-threshold=4,15.2" \
+	  -w swim,galgel -s Base,TPM,CMDRPM \
+	  --output-dir _build/meter_sweep > /dev/null
+	dune exec bin/dpmsim.exe -- simulate \
+	  --spec _build/meter_sweep/best-swim.spec.json \
+	  --meter _build/meter_sweep/best-swim.meter.jsonl > /dev/null
+	dune exec bin/dpmsim.exe -- simulate \
+	  --spec _build/meter_sweep/best-galgel.spec.json \
+	  --meter _build/meter_sweep/best-galgel.meter.jsonl > /dev/null
+	dune exec bin/dpmsim.exe -- report -b swim --sched sstf \
+	  --faults "$(FAULT_SPEC)" \
+	  -o _build/meter_sweep/report-swim.json > /dev/null
+	dune exec bin/dpmsim.exe -- report -b galgel \
+	  --fleet ultrastar_36z15,flash \
+	  -o _build/meter_sweep/report-galgel.json > /dev/null
+	dune exec bin/dpmsim.exe -- aggregate _build/meter_sweep \
+	  -o _build/meter_agg.json --md _build/meter_agg.md
 
 # Auto-tuning sweep smoke: a fixed 2x2 thresholds x tolerances grid over
 # swim and galgel must reproduce the checked-in golden byte-for-byte

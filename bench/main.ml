@@ -204,49 +204,78 @@ let throughput_mode ~baseline () =
      their speedup hovers around 1.0 — the floor guards the scheduler's
      absolute events/sec, not a fast-core ratio. *)
   let sched cfg s = Dpm_sim.Config.with_sched s cfg in
+  (* The Base+meter row replays Base with a timeline sink and a
+     streaming power meter attached — the gate on the meter's own
+     overhead.  Its floor in bench_baseline.json keeps the metered path
+     within the same order of magnitude as the bare fast core. *)
   let schemes =
     [
-      ("Base", config, fun () -> Dpm_sim.Policy.base);
-      ("TPM", config, fun () -> Dpm_sim.Policy.tpm config);
-      ("DRPM", config, fun () -> Dpm_sim.Policy.drpm config ~ndisks);
-      ("CMDRPM", config, fun () -> Dpm_sim.Policy.cm_drpm);
-      ("SSTF", sched config Dpm_sim.Config.Sstf, fun () -> Dpm_sim.Policy.base);
-      ("SCAN", sched config Dpm_sim.Config.Scan, fun () -> Dpm_sim.Policy.base);
+      ("Base", config, false, fun () -> Dpm_sim.Policy.base);
+      ("Base+meter", config, true, fun () -> Dpm_sim.Policy.base);
+      ("TPM", config, false, fun () -> Dpm_sim.Policy.tpm config);
+      ("DRPM", config, false, fun () -> Dpm_sim.Policy.drpm config ~ndisks);
+      ("CMDRPM", config, false, fun () -> Dpm_sim.Policy.cm_drpm);
+      ( "SSTF",
+        sched config Dpm_sim.Config.Sstf,
+        false,
+        fun () -> Dpm_sim.Policy.base );
+      ( "SCAN",
+        sched config Dpm_sim.Config.Scan,
+        false,
+        fun () -> Dpm_sim.Policy.base );
       ( "C-LOOK",
         sched config Dpm_sim.Config.Clook,
+        false,
         fun () -> Dpm_sim.Policy.base );
       ( "SSTF-R",
         sched config Dpm_sim.Config.Sstf_remap,
+        false,
         fun () -> Dpm_sim.Policy.base );
     ]
   in
-  let replay config core policy =
-    Dpm_sim.Engine.run_stream ~config ~core (policy ())
-      (Dpm_trace.Trace.Stream.of_trace trace)
+  let replay ?(meter = false) config core policy =
+    if meter then begin
+      let sink = Dpm_sim.Timeline.sink () in
+      let m =
+        Dpm_sim.Meter.create ~resolution:0.5
+          ~specs:config.Dpm_sim.Config.specs ~capacity:4096 ()
+      in
+      Dpm_sim.Meter.attach m sink;
+      let r =
+        Dpm_sim.Engine.run_stream ~config ~core ~timeline:sink (policy ())
+          (Dpm_trace.Trace.Stream.of_trace trace)
+      in
+      Dpm_sim.Meter.finish m;
+      ignore (Dpm_sim.Meter.integral m);
+      r
+    end
+    else
+      Dpm_sim.Engine.run_stream ~config ~core (policy ())
+        (Dpm_trace.Trace.Stream.of_trace trace)
   in
-  let time_runs n config core policy =
+  let time_runs n ?meter config core policy =
     let t0 = Metrics.now () in
-    let last = ref (replay config core policy) in
+    let last = ref (replay ?meter config core policy) in
     for _ = 2 to n do
-      last := replay config core policy
+      last := replay ?meter config core policy
     done;
     ((Metrics.now () -. t0) /. float_of_int n, !last)
   in
   let t_total0 = Metrics.now () in
   print_endline
     "== Replay core throughput (synthetic 262144-event workload) ==";
-  Printf.printf "  %-8s %12s %12s %9s %12s %10s\n" "scheme" "ref-ev/s"
+  Printf.printf "  %-10s %12s %12s %9s %12s %10s\n" "scheme" "ref-ev/s"
     "fast-ev/s" "speedup" "words/event" "identical";
   let all_identical = ref true in
   let rows =
     List.map
-      (fun (name, config, policy) ->
+      (fun (name, config, meter, policy) ->
         (* Warm both cores once (page in the trace, settle the GC). *)
-        ignore (replay config `Reference policy);
-        ignore (replay config `Fast policy);
-        let ref_s, r_ref = time_runs 2 config `Reference policy in
+        ignore (replay ~meter config `Reference policy);
+        ignore (replay ~meter config `Fast policy);
+        let ref_s, r_ref = time_runs 2 ~meter config `Reference policy in
         let minor0 = Gc.minor_words () in
-        let fast_s, r_fast = time_runs 10 config `Fast policy in
+        let fast_s, r_fast = time_runs 10 ~meter config `Fast policy in
         let minor1 = Gc.minor_words () in
         let identical = r_ref = r_fast in
         if not identical then all_identical := false;
@@ -255,7 +284,7 @@ let throughput_mode ~baseline () =
         let fast_eps = fev /. fast_s in
         let speedup = fast_eps /. ref_eps in
         let words_per_event = (minor1 -. minor0) /. (fev *. 10.0) in
-        Printf.printf "  %-8s %12.0f %12.0f %8.1fx %12.3f %10b\n" name ref_eps
+        Printf.printf "  %-10s %12.0f %12.0f %8.1fx %12.3f %10b\n" name ref_eps
           fast_eps speedup words_per_event identical;
         ( name,
           Obj

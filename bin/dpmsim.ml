@@ -234,6 +234,30 @@ let histograms_arg =
   in
   Arg.(value & flag & info [ "histograms" ] ~doc)
 
+let meter_arg =
+  let doc =
+    "Sample per-disk power at a fixed resolution while simulating (the \
+     software-defined power meter, streamed from the event sink; the \
+     sample integral reproduces the energy column to 1e-6 relative).  \
+     $(b,-) prints a per-scheme power strip and per-disk peak/mean \
+     table after the results; any other value is a file to write as \
+     $(b,dpm-meter/1) JSONL (one labelled section per scheme), or as \
+     CSV when the name ends in $(b,.csv).  Observational: the results \
+     table is byte-identical with or without this flag, and the fast \
+     replay core stays engaged."
+  in
+  Arg.(value & opt (some string) None & info [ "meter" ] ~doc ~docv:"FILE")
+
+let resolution_arg =
+  let doc =
+    "Power-meter sampling window in seconds (with $(b,--meter); default \
+     0.1)."
+  in
+  Arg.(
+    value
+    & opt float Dpm_sim.Meter.default_resolution
+    & info [ "resolution" ] ~doc ~docv:"SECONDS")
+
 let trace_file_workload_arg =
   let doc =
     "Replay a saved trace file (the format $(b,dpmsim trace -o) writes) \
@@ -359,9 +383,47 @@ let print_results_table results ~schemes =
   shown
 
 let simulate_cmd =
+  (* Emit each shown scheme's meter: a rendered summary on "-", or
+     dpm-meter/1 JSONL / CSV sections to a file. *)
+  let emit_meters ~dest sections =
+    if dest = "-" then
+      List.iter
+        (fun (scheme, _, m) ->
+          print_newline ();
+          Printf.printf "== %s ==\n" scheme;
+          print_string (Dpm_sim.Meter.summary m))
+        sections
+    else begin
+      let oc = open_out dest in
+      let write =
+        if Filename.check_suffix dest ".csv" then Dpm_sim.Meter.write_csv
+        else Dpm_sim.Meter.write_jsonl
+      in
+      List.iter
+        (fun (scheme, program, m) ->
+          write (Dpm_sim.Meter.to_section ~scheme ~program m) oc)
+        sections;
+      close_out oc;
+      Dpm_util.Log.info ~scope:"dpmsim"
+        ~kv:
+          [
+            ("sections", string_of_int (List.length sections)); ("file", dest);
+          ]
+        "wrote power-meter samples"
+    end
+  in
   let run inst name trace_file spec_file schemes version mode faults timeline
-      histograms stream batch core fleet sched =
+      histograms stream batch core fleet sched meter resolution =
     if histograms then Dpm_util.Telemetry.(set_histograms global true);
+    if
+      meter <> None
+      && not (Float.is_finite resolution && resolution > 0.0)
+    then begin
+      Dpm_util.Log.error ~scope:"dpmsim"
+        "--resolution must be positive and finite";
+      2
+    end
+    else
     match spec_file with
     | Some f when name <> None || trace_file <> None ->
         ignore f;
@@ -370,16 +432,62 @@ let simulate_cmd =
            -b/--benchmark or --trace-file";
         2
     | Some f -> (
-        match
-          Result.bind (Dpm_core.Run.of_file f) Dpm_core.Run.exec_all
-        with
+        match Dpm_core.Run.of_file f with
         | Error e ->
             Dpm_util.Log.error ~scope:"dpmsim" (Dpm_core.Run.error_message e);
             2
-        | Ok results ->
-            ignore (print_results_table results ~schemes:None);
-            report_metrics inst;
-            0)
+        | Ok rspec -> (
+            (* The spec is self-contained, but meters are live state a
+               file cannot carry: allocate one sink+meter per scheme the
+               run asks for, resolving power models from the spec's own
+               simulator config. *)
+            let metered = Hashtbl.create 8 in
+            let rspec =
+              match meter with
+              | None -> rspec
+              | Some _ ->
+                  let cfg = Dpm_core.Run.sim_config rspec in
+                  Dpm_core.Run.with_timeline
+                    (fun s ->
+                      match Hashtbl.find_opt metered s with
+                      | Some (sink, _) -> Some sink
+                      | None ->
+                          let sink = Dpm_sim.Timeline.sink () in
+                          let m =
+                            Dpm_sim.Meter.create ~resolution
+                              ~specs:cfg.Dpm_sim.Config.specs
+                              ~fleet:cfg.Dpm_sim.Config.fleet ()
+                          in
+                          Dpm_sim.Meter.attach m sink;
+                          Hashtbl.add metered s (sink, m);
+                          Some sink)
+                    rspec
+            in
+            match Dpm_core.Run.exec_all rspec with
+            | Error e ->
+                Dpm_util.Log.error ~scope:"dpmsim"
+                  (Dpm_core.Run.error_message e);
+                2
+            | Ok results ->
+                ignore (print_results_table results ~schemes:None);
+                Hashtbl.iter
+                  (fun _ (_, m) -> Dpm_sim.Meter.finish m)
+                  metered;
+                (match meter with
+                | None -> ()
+                | Some dest ->
+                    emit_meters ~dest
+                      (List.filter_map
+                         (fun (s, (r : Dpm_sim.Result.t)) ->
+                           Option.map
+                             (fun (_, m) ->
+                               ( Dpm_core.Scheme.name s,
+                                 r.Dpm_sim.Result.program,
+                                 m ))
+                             (Hashtbl.find_opt metered s))
+                         results));
+                report_metrics inst;
+                0))
     | None -> (
     let workload =
       match (name, trace_file) with
@@ -401,14 +509,28 @@ let simulate_cmd =
       else Dpm_core.Scheme.Base :: schemes
     in
     let sinks =
-      match timeline with
+      match (timeline, meter) with
+      | None, None -> []
+      | _ -> List.map (fun s -> (s, Dpm_sim.Timeline.sink ())) run_schemes
+    in
+    let cfg = sim_config_of ~fleet ~sched in
+    let meters =
+      match meter with
       | None -> []
       | Some _ ->
-          List.map (fun s -> (s, Dpm_sim.Timeline.sink ())) run_schemes
+          List.map
+            (fun (s, sink) ->
+              let m =
+                Dpm_sim.Meter.create ~resolution
+                  ~specs:cfg.Dpm_sim.Config.specs
+                  ~fleet:cfg.Dpm_sim.Config.fleet ()
+              in
+              Dpm_sim.Meter.attach m sink;
+              (s, m))
+            sinks
     in
     let rspec =
-      Dpm_core.Run.spec ~schemes:run_schemes
-        ~sim:(sim_config_of ~fleet ~sched) ~mode ~version ?faults
+      Dpm_core.Run.spec ~schemes:run_schemes ~sim:cfg ~mode ~version ?faults
         ?timeline:
           (match sinks with
           | [] -> None
@@ -466,6 +588,20 @@ let simulate_cmd =
                   ]
                 "wrote timeline"
             end);
+        List.iter (fun (_, m) -> Dpm_sim.Meter.finish m) meters;
+        (match meter with
+        | None -> ()
+        | Some dest ->
+            emit_meters ~dest
+              (List.filter_map
+                 (fun (s, (r : Dpm_sim.Result.t)) ->
+                   Option.map
+                     (fun m ->
+                       ( Dpm_core.Scheme.name s,
+                         r.Dpm_sim.Result.program,
+                         m ))
+                     (List.assoc_opt s meters))
+                 shown));
         (if histograms then
            let rendered =
              Dpm_util.Telemetry.(histogram_report global)
@@ -486,7 +622,7 @@ let simulate_cmd =
       const run $ instrument_term $ bench_opt_arg $ trace_file_workload_arg
       $ spec_file_arg $ schemes_arg $ version_arg $ mode_arg $ faults_arg
       $ timeline_arg $ histograms_arg $ stream_arg $ batch_arg $ core_arg
-      $ fleet_arg $ sched_arg)
+      $ fleet_arg $ sched_arg $ meter_arg $ resolution_arg)
 
 (* --- timeline: summarize a recorded event log --- *)
 
@@ -699,10 +835,10 @@ let report_cmd =
     let doc = "Also render the report as a markdown digest to this file." in
     Arg.(value & opt (some string) None & info [ "md" ] ~doc ~docv:"FILE")
   in
-  let run inst name schemes version mode faults out md =
+  let run inst name schemes version mode faults fleet sched out md =
     match
-      Dpm_core.Report.run ~schemes ~mode ~version
-        ?faults
+      Dpm_core.Report.run ~schemes ~mode ~version ?faults
+        ~sim:(sim_config_of ~fleet ~sched)
         name
     with
     | Error e ->
@@ -747,7 +883,7 @@ let report_cmd =
           verdicts, latency/queue/idle-gap histograms and stage timings.")
     Term.(
       const run $ instrument_term $ bench_arg $ schemes_arg $ version_arg
-      $ mode_arg $ faults_arg $ out_arg $ md_arg)
+      $ mode_arg $ faults_arg $ fleet_arg $ sched_arg $ out_arg $ md_arg)
 
 (* --- report-check: validate report and trace artifacts --- *)
 
@@ -812,6 +948,98 @@ let report_check_cmd =
           verdicts) and optionally a Chrome trace (parseable, non-empty, \
           balanced B/E events).  Exit 1 on any violation.")
     Term.(const run $ report_arg $ trace_file_arg $ schema_arg)
+
+(* --- aggregate: fleet dashboard over a sweep directory --- *)
+
+let aggregate_cmd =
+  let paths_arg =
+    let doc =
+      "Directories and/or files to aggregate: $(b,dpm-report/1) JSON \
+       documents ($(b,dpmsim report -o)) and $(b,dpm-meter/1) JSONL \
+       sample files ($(b,dpmsim simulate --meter)).  Directories are \
+       expanded to their files (sorted); anything that is neither \
+       schema is skipped with a reason, never fatally."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~doc ~docv:"PATH")
+  in
+  let out_arg =
+    let doc =
+      "File to write the $(b,dpm-agg/1) JSON document to ($(b,-) for \
+       stdout; omit to only print the text dashboard)."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc ~docv:"FILE")
+  in
+  let md_arg =
+    let doc = "Also render the dashboard as markdown to this file." in
+    Arg.(value & opt (some string) None & info [ "md" ] ~doc ~docv:"FILE")
+  in
+  let run paths out md =
+    let expand path =
+      if Sys.file_exists path && Sys.is_directory path then begin
+        let entries = Sys.readdir path in
+        Array.sort compare entries;
+        Ok (List.map (Filename.concat path) (Array.to_list entries))
+      end
+      else if Sys.file_exists path then Ok [ path ]
+      else Error (path ^ ": no such file or directory")
+    in
+    let files, errors =
+      List.fold_left
+        (fun (fs, es) p ->
+          match expand p with
+          | Ok l -> (fs @ l, es)
+          | Error m -> (fs, m :: es))
+        ([], []) paths
+    in
+    if errors <> [] then begin
+      List.iter
+        (fun m -> Dpm_util.Log.error ~scope:"aggregate" m)
+        (List.rev errors);
+      2
+    end
+    else begin
+      let agg = Dpm_core.Aggregate.of_files files in
+      let doc = Dpm_core.Aggregate.to_json agg in
+      match Dpm_core.Aggregate.validate doc with
+      | Error msgs ->
+          List.iter (fun m -> Dpm_util.Log.error ~scope:"aggregate" m) msgs;
+          1
+      | Ok () ->
+          print_string (Dpm_core.Aggregate.render agg);
+          (match out with
+          | None -> ()
+          | Some "-" ->
+              print_newline ();
+              print_string (Dpm_util.Json.to_string ~indent:1 doc ^ "\n")
+          | Some path ->
+              let oc = open_out path in
+              output_string oc (Dpm_util.Json.to_string ~indent:1 doc ^ "\n");
+              close_out oc;
+              Dpm_util.Log.info ~scope:"aggregate"
+                ~kv:[ ("file", path) ]
+                "wrote dpm-agg/1 document");
+          (match md with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              output_string oc (Dpm_core.Aggregate.markdown agg);
+              close_out oc;
+              Dpm_util.Log.info ~scope:"aggregate"
+                ~kv:[ ("file", path) ]
+                "wrote markdown dashboard");
+          0
+    end
+  in
+  Cmd.v
+    (Cmd.info "aggregate"
+       ~doc:
+         "Merge a sweep directory's run reports and power-meter sample \
+          files into one fleet dashboard: per-scheme totals and \
+          normalized-energy spread, exactly-merged telemetry histograms, \
+          fleet-wide peak/mean power and per-disk-model energy \
+          attribution (schema dpm-agg/1).  Exit 1 when the inputs \
+          contain nothing aggregatable.")
+    Term.(const run $ paths_arg $ out_arg $ md_arg)
 
 (* --- sweep: auto-tuning parameter-space exploration --- *)
 
@@ -992,5 +1220,6 @@ let () =
             figure_cmd;
             report_cmd;
             report_check_cmd;
+            aggregate_cmd;
             sweep_cmd;
           ]))

@@ -98,7 +98,7 @@ let mode_name = function `Open -> "open" | `Closed -> "closed"
 
 let run ?(schemes = Scheme.all) ?(mode = `Open)
     ?(version = Dpm_compiler.Pipeline.Orig) ?(faults = Sim.Fault.none)
-    benchmark =
+    ?(sim = Sim.Config.default) benchmark =
   let run_schemes =
     if List.mem Scheme.Base schemes then schemes else Scheme.Base :: schemes
   in
@@ -120,7 +120,7 @@ let run ?(schemes = Scheme.all) ?(mode = `Open)
   let result =
     Fun.protect ~finally:restore (fun () ->
         Run.exec_all
-          (Run.spec ~schemes:run_schemes ~mode ~version ~faults
+          (Run.spec ~schemes:run_schemes ~sim ~mode ~version ~faults
              ~timeline:(fun s -> List.assoc_opt s sinks)
              (Run.Benchmark benchmark)))
   in
@@ -141,6 +141,9 @@ let run ?(schemes = Scheme.all) ?(mode = `Open)
                 ("p90", Json.Float (Dpm_util.Histo.quantile h 90.0));
                 ("p99", Json.Float (Dpm_util.Histo.quantile h 99.0));
                 ("max", Json.Float (Dpm_util.Histo.max_value h));
+                (* The mergeable wire form: `dpmsim aggregate` combines a
+                   sweep's per-run histograms from these. *)
+                ("buckets", Dpm_util.Histo.to_json h);
               ])
           (Telemetry.histograms tele)
       in
@@ -160,6 +163,15 @@ let run ?(schemes = Scheme.all) ?(mode = `Open)
              ( "transform",
                Json.Str (Dpm_compiler.Pipeline.version_name version) );
              ("faults", Json.Str (Sim.Fault.to_string faults));
+             ("sched", Json.Str (Sim.Config.sched_name sim.Sim.Config.sched));
+             (* Semicolon-joined model slugs (a Str, not an Arr: an
+                empty fleet must keep the same schema outline). *)
+             ( "fleet",
+               Json.Str
+                 (String.concat ";"
+                    (Array.to_list
+                       (Array.map Dpm_disk.Specs.name_of
+                          sim.Sim.Config.fleet))) );
              ("domains", Json.Int (Dpm_util.Pool.default_domains ()));
              ("schemes", Json.Arr scheme_rows);
              ("histograms", Json.Arr histo_rows);
@@ -198,10 +210,12 @@ let markdown doc =
     (Printf.sprintf "# dpm run report: %s\n\n" (get_str "benchmark" doc));
   Buffer.add_string buf
     (Printf.sprintf
-       "- schema: %s\n- mode: %s\n- transform: %s\n- faults: `%s`\n- domains: \
-        %s\n\n"
+       "- schema: %s\n- mode: %s\n- transform: %s\n- faults: `%s`\n- sched: \
+        %s\n- fleet: %s\n- domains: %s\n\n"
        (get_str "schema" doc) (get_str "mode" doc) (get_str "transform" doc)
-       (get_str "faults" doc) (get_int "domains" doc));
+       (get_str "faults" doc) (get_str "sched" doc)
+       (match get_str "fleet" doc with "" -> "(homogeneous)" | f -> f)
+       (get_int "domains" doc));
   Buffer.add_string buf "## Schemes\n\n";
   md_table buf
     [ "scheme"; "energy (J)"; "time (s)"; "E/base"; "T/base"; "requests" ]

@@ -28,6 +28,7 @@ val run :
   ?mode:Dpm_sim.Engine.mode ->
   ?version:Dpm_compiler.Pipeline.version ->
   ?faults:Dpm_sim.Fault.spec ->
+  ?sim:Dpm_sim.Config.t ->
   string ->
   (Dpm_util.Json.t, Run.error) result
 (** [run benchmark] simulates the benchmark under [schemes] (default:
@@ -35,7 +36,12 @@ val run :
     columns) and builds the report document.  Metrics and telemetry
     histograms are enabled for the duration and restored afterwards;
     recording is observational, so the simulated numbers are the ones
-    every other entry point produces. *)
+    every other entry point produces.  [sim] replaces the simulator
+    configuration (default {!Dpm_sim.Config.default}): a non-FCFS
+    scheduler populates the [sim.sched.wait_s]/[sim.sched.seek_blocks]
+    histogram rows, a heterogeneous fleet shows up in the [fleet]
+    field.  Every histogram row carries its mergeable
+    {!Dpm_util.Histo.to_json} buckets for [dpmsim aggregate]. *)
 
 val markdown : Dpm_util.Json.t -> string
 (** Renders a report document as a human-readable markdown digest

@@ -62,6 +62,16 @@ let spec ?(schemes = Scheme.all) ?(scheme_names = []) ?setup ?sim ?mode
     core;
   }
 
+let with_timeline timeline s = { s with timeline = Some timeline }
+
+let sim_config s =
+  match s.sim with
+  | Some c -> c
+  | None -> (
+      match s.setup with
+      | Some st -> st.Experiment.sim
+      | None -> Sim.Config.default)
+
 let ( let* ) = Result.bind
 
 let resolve_schemes s =

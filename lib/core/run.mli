@@ -74,6 +74,17 @@ val spec :
     {!Dpm_sim.Timeline.sink} (as in [Experiment.run_all]); the caller
     keeps the sinks and reads the logs back after {!exec_all}. *)
 
+val with_timeline :
+  (Scheme.t -> Dpm_sim.Timeline.sink option) -> spec -> spec
+(** Attach per-scheme sinks to an already-built spec — how the CLI wires
+    power meters onto a [dpm-spec/1] file it parsed ({!of_file} cannot
+    carry sinks: they are live mutable state, not data). *)
+
+val sim_config : spec -> Dpm_sim.Config.t
+(** The simulator configuration this spec will run under ([sim]
+    override, else the [setup]'s config, else the default) — what a
+    meter needs to resolve per-disk power models before the run. *)
+
 val exec_all : spec -> ((Scheme.t * Dpm_sim.Result.t) list, error) result
 (** Resolve names, validate the fault spec, build the workload and run
     every requested scheme (sharing trace generation and the Base replay

@@ -48,12 +48,29 @@ type sink = {
   mutable s_program : string;
   mutable s_analytic : bool;
   mutable s_fleet : string list;
+  mutable s_taps : (event -> unit) list;
+      (* online consumers, notified synchronously by [emit]; reversed
+         attachment order, which is irrelevant because taps must be
+         observational *)
 }
 
 let sink () =
-  { rev = []; s_scheme = ""; s_program = ""; s_analytic = false; s_fleet = [] }
+  {
+    rev = [];
+    s_scheme = "";
+    s_program = "";
+    s_analytic = false;
+    s_fleet = [];
+    s_taps = [];
+  }
 
-let emit s ev = s.rev <- ev :: s.rev
+let emit s ev =
+  s.rev <- ev :: s.rev;
+  match s.s_taps with
+  | [] -> ()
+  | taps -> List.iter (fun f -> f ev) taps
+
+let on_emit s f = s.s_taps <- f :: s.s_taps
 
 let set_label s ~scheme ~program =
   s.s_scheme <- scheme;
@@ -151,6 +168,9 @@ let fleet_models ~specs ~fleet t =
   in
   let n = Array.length models in
   fun disk -> if n = 0 then specs else models.(disk mod n)
+
+let resolve_models ?(specs = Config.default.Config.specs) ?fleet t =
+  fleet_models ~specs ~fleet t
 
 let reintegrate ?(specs = Config.default.Config.specs) ?fleet t =
   let model = fleet_models ~specs ~fleet t in

@@ -81,6 +81,13 @@ type sink
 val sink : unit -> sink
 val emit : sink -> event -> unit
 
+val on_emit : sink -> (event -> unit) -> unit
+(** Attach an online consumer: [f] is called synchronously with every
+    event {!emit} records, in emission order, {e after} the event is
+    appended to the sink.  The hook {!Dpm_sim.Meter} streams from.  Taps
+    must be observational — they see events, they must not perturb the
+    replay — and a sink with no taps pays one list match per emit. *)
+
 val set_label : sink -> scheme:string -> program:string -> unit
 (** Stamp the log with the scheme/program it records (the engine and the
     oracle do this themselves). *)
@@ -121,6 +128,24 @@ val sim_end : t -> float
 (** {1 The independent energy re-integrator} *)
 
 type energy = { per_disk : float array; total : float }
+
+val span_power : Dpm_disk.Specs.t -> state -> float
+(** The constant power a {!Span} in this state draws under the
+    {!Dpm_disk.Power} tables — the pricing {!reintegrate} uses, shared
+    with {!Dpm_sim.Meter} so samples and re-integration can never
+    disagree.  ([Changing] draws the idle power of its faster level.) *)
+
+val resolve_models :
+  ?specs:Dpm_disk.Specs.t ->
+  ?fleet:Dpm_disk.Specs.t array ->
+  t ->
+  int ->
+  Dpm_disk.Specs.t
+(** Per-disk model resolution, exactly as {!reintegrate}/{!check} do it:
+    an explicit [?fleet] wins (round-robin by disk id); otherwise the
+    log's own {!fleet} label is resolved through the model registry
+    (all-or-nothing — a partially resolvable label falls back whole);
+    otherwise every disk is [specs] (default: {!Config.default}). *)
 
 val reintegrate :
   ?specs:Dpm_disk.Specs.t -> ?fleet:Dpm_disk.Specs.t array -> t -> energy

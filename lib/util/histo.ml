@@ -103,3 +103,68 @@ let buckets t =
       acc := ((if i = 0 then 0.0 else upper (i - 1)), upper i, t.counts.(i)) :: !acc
   done;
   if t.zeros > 0 then (0.0, 0.0, t.zeros) :: !acc else !acc
+
+(* --- mergeable wire form ---
+
+   Sparse [index, count] pairs plus the scalar moments.  The bucket
+   geometry (gamma, lo, nbuckets) is a property of the code, so a
+   document merges exactly with a live histogram as long as both sides
+   run the same build; [of_json] rejects out-of-range indices, which is
+   what an incompatible geometry would produce. *)
+
+let to_json t =
+  let pairs = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if t.counts.(i) > 0 then
+      pairs := Json.Arr [ Json.Int i; Json.Int t.counts.(i) ] :: !pairs
+  done;
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("zeros", Json.Int t.zeros);
+      ("sum", Json.Float t.sum);
+      ("min", Json.Float (min_value t));
+      ("max", Json.Float (max_value t));
+      ("buckets", Json.Arr !pairs);
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let int k =
+    match Option.bind (Json.member k j) Json.to_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Histo.of_json: missing int %s" k)
+  in
+  let num k =
+    match Option.bind (Json.member k j) Json.to_float with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Histo.of_json: missing number %s" k)
+  in
+  let* count = int "count" in
+  let* zeros = int "zeros" in
+  let* sum = num "sum" in
+  let* mn = num "min" in
+  let* mx = num "max" in
+  let* pairs =
+    match Option.bind (Json.member "buckets" j) Json.to_list with
+    | Some l -> Ok l
+    | None -> Error "Histo.of_json: missing buckets array"
+  in
+  let t = create () in
+  t.count <- count;
+  t.zeros <- zeros;
+  t.sum <- sum;
+  if count > 0 then begin
+    t.mn <- mn;
+    t.mx <- mx
+  end;
+  List.fold_left
+    (fun acc pair ->
+      let* () = acc in
+      match Option.map (List.filter_map Json.to_int) (Json.to_list pair) with
+      | Some [ i; c ] when i >= 0 && i < nbuckets && c >= 0 ->
+          t.counts.(i) <- t.counts.(i) + c;
+          Ok ()
+      | _ -> Error "Histo.of_json: malformed bucket pair")
+    (Ok ()) pairs
+  |> Result.map (fun () -> t)

@@ -58,3 +58,14 @@ val buckets : t -> (float * float * int) list
 (** Non-empty buckets as [(lower, upper, count)], ascending; the zero
     bucket reports as [(0., 0., n)].  Exposed for property tests and
     renderers. *)
+
+val to_json : t -> Json.t
+(** Mergeable wire form: sparse [[index, count]] pairs plus the scalar
+    moments (count/zeros/sum/min/max).  Two serialized histograms merge
+    exactly — {!of_json} then {!merge} reproduces the pointwise bucket
+    sums — which is what lets [dpmsim aggregate] combine the per-run
+    [dpm-report/1] histograms of a whole sweep directory. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}.  Counts/quantiles/min/max round-trip exactly;
+    [sum] (and so [mean]) is a float and round-trips via ["%.17g"]. *)

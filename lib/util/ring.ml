@@ -1,0 +1,81 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int; (* index of the oldest retained element *)
+  mutable len : int;
+  mutable pushed : int;
+  bound : int option;
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Ring.create: capacity < 1"
+  | _ -> ());
+  let initial =
+    match capacity with Some c -> min c 16 | None -> 16
+  in
+  { buf = Array.make initial None; head = 0; len = 0; pushed = 0; bound = capacity }
+
+let length t = t.len
+let pushed t = t.pushed
+let dropped t = t.pushed - t.len
+let capacity t = t.bound
+
+(* Double the backing store, unrolling the wrap so the ring restarts at
+   index 0.  Only reached below the retention bound. *)
+let grow t =
+  let n = Array.length t.buf in
+  let size =
+    match t.bound with Some c -> min c (n * 2) | None -> n * 2
+  in
+  let buf = Array.make size None in
+  for i = 0 to t.len - 1 do
+    buf.(i) <- t.buf.((t.head + i) mod n)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push t v =
+  let n = Array.length t.buf in
+  if t.len = n then begin
+    match t.bound with
+    | Some c when n = c ->
+        (* Full at the bound: overwrite the oldest. *)
+        t.buf.(t.head) <- Some v;
+        t.head <- (t.head + 1) mod n;
+        t.pushed <- t.pushed + 1
+    | _ ->
+        grow t;
+        let n = Array.length t.buf in
+        t.buf.((t.head + t.len) mod n) <- Some v;
+        t.len <- t.len + 1;
+        t.pushed <- t.pushed + 1
+  end
+  else begin
+    t.buf.((t.head + t.len) mod n) <- Some v;
+    t.len <- t.len + 1;
+    t.pushed <- t.pushed + 1
+  end
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ring.get: index out of range";
+  match t.buf.((t.head + i) mod Array.length t.buf) with
+  | Some v -> v
+  | None -> assert false
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.pushed <- 0

@@ -1,0 +1,48 @@
+(** Growable circular sample buffer with an optional retention bound.
+
+    The power meter ({!Dpm_sim.Meter}) streams one sample per disk per
+    resolution window; a long simulation at a fine resolution produces
+    far more samples than anyone wants to keep.  A [Ring] appends in
+    amortized O(1) either unbounded (capacity doubles like a vector) or
+    bounded to the newest [capacity] elements, silently overwriting the
+    oldest and counting what it dropped — the meter's integral is kept
+    in separate accumulators precisely so eviction never loses energy.
+
+    Not thread-safe; one ring per recorder, like {!Histo}. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Empty ring.  With [capacity] (≥ 1) only the newest [capacity]
+    elements are retained; without it the ring grows without bound.
+    Raises [Invalid_argument] on [capacity < 1]. *)
+
+val push : 'a t -> 'a -> unit
+(** Append one element, evicting the oldest when at capacity. *)
+
+val length : 'a t -> int
+(** Elements currently retained. *)
+
+val pushed : 'a t -> int
+(** Elements ever pushed. *)
+
+val dropped : 'a t -> int
+(** [pushed - length]: elements evicted by the capacity bound. *)
+
+val capacity : 'a t -> int option
+(** The retention bound ([None] = unbounded). *)
+
+val get : 'a t -> int -> 'a
+(** [get r i] is the [i]-th retained element, oldest first.  Raises
+    [Invalid_argument] when [i] is outside [0, length - 1]. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest retained first. *)
+
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+val to_list : 'a t -> 'a list
+(** Oldest retained first. *)
+
+val clear : 'a t -> unit
+(** Drop every element (the [pushed]/[dropped] counters reset too). *)

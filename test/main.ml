@@ -7,4 +7,5 @@ let () =
    @ Test_workloads.suite @ Test_core.suite @ Test_parallel.suite
    @ Test_fault.suite @ Test_oracle.suite @ Test_timeline.suite
    @ Test_golden.suite @ Test_telemetry.suite @ Test_stream.suite
-   @ Test_fastpath.suite @ Test_sweep.suite @ Test_sched.suite)
+   @ Test_fastpath.suite @ Test_sweep.suite @ Test_sched.suite
+   @ Test_meter.suite)
