@@ -1,5 +1,6 @@
 .PHONY: all build test check bench fault-check timeline-check report-check \
-  stream-check perf-check sweep-check sched-check meter-check clean
+  stream-check perf-check sweep-check sched-check meter-check serve-check \
+  clean
 
 all: build
 
@@ -145,6 +146,37 @@ sweep-check: build
 	  --axes "tpm-threshold=4,15.2;drpm-lower=0.02,0.08" -w swim,galgel \
 	  --output-dir _build/sweep > _build/sweep_smoke.out
 	cmp _build/sweep_smoke.out test/golden/sweep_smoke.expected
+
+# Service smoke: a daemon on a Unix socket serves a mixed committed
+# spec batch — a benchmark run, an open-loop multi-tenant run, and one
+# metered job whose streamed samples the client integrates against the
+# report's energy column — and the client's deterministic stdout must
+# reproduce the checked-in golden byte-for-byte.  The shutdown op drains
+# the queue (the daemon exits 0 only after every admitted job finished),
+# and every results-table line of a direct `simulate --spec` of the same
+# spec must appear verbatim in the daemon output (daemon == direct
+# execution, end-to-end over the wire).
+serve-check: build
+	set -e; rm -f _build/serve.sock; rm -rf _build/serve_reports; \
+	_build/default/bin/dpmsim.exe serve --socket _build/serve.sock \
+	  --queue 2 --domains 2 > _build/serve_daemon.log 2>&1 & \
+	pid=$$!; \
+	_build/default/bin/dpmsim.exe submit --socket _build/serve.sock \
+	  -o _build/serve_reports \
+	  test/specs/serve-swim.spec.json test/specs/serve-openloop.spec.json \
+	  > _build/serve_smoke.out 2>/dev/null; \
+	_build/default/bin/dpmsim.exe submit --socket _build/serve.sock \
+	  --meter 2 -o _build/serve_reports --shutdown \
+	  test/specs/serve-metered.spec.json \
+	  >> _build/serve_smoke.out 2>/dev/null; \
+	wait $$pid
+	cmp _build/serve_smoke.out test/golden/serve_smoke.expected
+	_build/default/bin/dpmsim.exe simulate \
+	  --spec test/specs/serve-swim.spec.json > _build/serve_direct.out
+	while IFS= read -r line; do \
+	  grep -Fxq "$$line" _build/serve_smoke.out \
+	    || { echo "daemon output missing: $$line"; exit 1; }; \
+	done < _build/serve_direct.out
 
 clean:
 	dune clean

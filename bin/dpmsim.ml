@@ -360,6 +360,21 @@ let spec_file_arg =
   in
   Arg.(value & opt (some string) None & info [ "spec" ] ~doc ~docv:"FILE")
 
+let open_loop_arg =
+  let doc =
+    "Simulate an open-loop multi-tenant workload: comma-separated \
+     $(b,key=value) descriptor over $(b,rate) (jobs/s; required), \
+     $(b,burst) (jobs per burst; makes arrivals bursty), $(b,jobs), \
+     $(b,zipf) (popularity skew), $(b,seed) and $(b,sources) \
+     ($(b,:)-separated benchmark names or trace-file paths), e.g. \
+     $(b,\"rate=0.05,jobs=6,zipf=1,seed=3,sources=swim:mgrid\").  Each \
+     arriving job replays one source; all tenants multiplex onto the \
+     same disk array.  Mutually exclusive with \
+     $(b,-b)/$(b,--trace-file)/$(b,--spec)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "open-loop" ] ~doc ~docv:"SPEC")
+
 let print_results_table results ~schemes =
   let base =
     match List.assoc_opt Dpm_core.Scheme.Base results with
@@ -412,8 +427,8 @@ let simulate_cmd =
         "wrote power-meter samples"
     end
   in
-  let run inst name trace_file spec_file schemes version mode faults timeline
-      histograms stream batch core fleet sched meter resolution =
+  let run inst name trace_file open_loop spec_file schemes version mode faults
+      timeline histograms stream batch core fleet sched meter resolution =
     if histograms then Dpm_util.Telemetry.(set_histograms global true);
     if
       meter <> None
@@ -425,11 +440,11 @@ let simulate_cmd =
     end
     else
     match spec_file with
-    | Some f when name <> None || trace_file <> None ->
+    | Some f when name <> None || trace_file <> None || open_loop <> None ->
         ignore f;
         Dpm_util.Log.error ~scope:"dpmsim"
           "--spec is self-contained; don't combine it with \
-           -b/--benchmark or --trace-file";
+           -b/--benchmark, --trace-file or --open-loop";
         2
     | Some f -> (
         match Dpm_core.Run.of_file f with
@@ -490,13 +505,20 @@ let simulate_cmd =
                 0))
     | None -> (
     let workload =
-      match (name, trace_file) with
-      | Some n, None -> Ok (Dpm_core.Run.Benchmark n)
-      | None, Some f -> Ok (Dpm_core.Run.Trace_file f)
-      | Some _, Some _ ->
-          Error "pass either -b/--benchmark or --trace-file, not both"
-      | None, None ->
-          Error "one of -b/--benchmark, --trace-file or --spec is required"
+      match (name, trace_file, open_loop) with
+      | Some n, None, None -> Ok (Dpm_core.Run.Benchmark n)
+      | None, Some f, None -> Ok (Dpm_core.Run.Trace_file f)
+      | None, None, Some ol -> (
+          match Dpm_trace.Openloop.of_string ol with
+          | Ok (load, sources) -> Ok (Dpm_core.Run.Open_loop { load; sources })
+          | Error m -> Error ("bad --open-loop descriptor: " ^ m))
+      | None, None, None ->
+          Error
+            "one of -b/--benchmark, --trace-file, --open-loop or --spec is \
+             required"
+      | _ ->
+          Error
+            "pass exactly one of -b/--benchmark, --trace-file or --open-loop"
     in
     match workload with
     | Error m ->
@@ -620,9 +642,9 @@ let simulate_cmd =
           dpm-spec/1 run-spec) under one or more power-management schemes.")
     Term.(
       const run $ instrument_term $ bench_opt_arg $ trace_file_workload_arg
-      $ spec_file_arg $ schemes_arg $ version_arg $ mode_arg $ faults_arg
-      $ timeline_arg $ histograms_arg $ stream_arg $ batch_arg $ core_arg
-      $ fleet_arg $ sched_arg $ meter_arg $ resolution_arg)
+      $ open_loop_arg $ spec_file_arg $ schemes_arg $ version_arg $ mode_arg
+      $ faults_arg $ timeline_arg $ histograms_arg $ stream_arg $ batch_arg
+      $ core_arg $ fleet_arg $ sched_arg $ meter_arg $ resolution_arg)
 
 (* --- timeline: summarize a recorded event log --- *)
 
@@ -1200,6 +1222,271 @@ let sweep_cmd =
       const run $ instrument_term $ axes_arg $ workloads_arg
       $ sweep_schemes_arg $ output_dir_arg $ md_arg)
 
+(* --- serve / submit: the fleet simulation service --- *)
+
+let socket_arg =
+  let doc =
+    "Service address: a Unix socket path, or $(b,HOST:PORT) (numeric \
+     port) for TCP."
+  in
+  Arg.(
+    value & opt string "dpmsim.sock" & info [ "socket" ] ~doc ~docv:"ADDR")
+
+let port_arg =
+  let doc = "Shorthand for $(b,--socket 127.0.0.1:PORT)." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~doc ~docv:"PORT")
+
+let address_of ~socket ~port =
+  match port with
+  | Some p -> Dpm_core.Service.Net.Tcp { host = "127.0.0.1"; port = p }
+  | None -> Dpm_core.Service.Net.address_of_string socket
+
+let serve_cmd =
+  let queue_arg =
+    let doc =
+      "Admission-queue depth: how many jobs may wait for a worker; \
+       beyond it submissions are rejected with the typed \
+       $(b,queue-full) error and its $(b,retry_after) hint (running \
+       jobs don't count)."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~doc ~docv:"N")
+  in
+  let retry_after_arg =
+    let doc = "Retry hint (seconds) carried by queue-full rejections." in
+    Arg.(value & opt float 1.0 & info [ "retry-after" ] ~doc ~docv:"SECONDS")
+  in
+  let run inst socket port queue retry_after =
+    let address = address_of ~socket ~port in
+    match Dpm_core.Service.create ~queue ~retry_after () with
+    | exception Invalid_argument m ->
+        Dpm_util.Log.error ~scope:"serve" m;
+        2
+    | service -> (
+        Dpm_util.Log.info ~scope:"serve"
+          ~kv:
+            [
+              ( "address",
+                Dpm_core.Service.Net.address_to_string address );
+              ("queue", string_of_int queue);
+            ]
+          "serving";
+        match Dpm_core.Service.Net.serve service address with
+        | () ->
+            let st = Dpm_core.Service.stats service in
+            Dpm_util.Log.info ~scope:"serve"
+              ~kv:
+                [
+                  ("completed", string_of_int st.Dpm_core.Service.completed);
+                  ("rejected", string_of_int st.Dpm_core.Service.rejected);
+                ]
+              "drained and stopped";
+            report_metrics inst;
+            0
+        | exception Unix.Unix_error (e, fn, arg) ->
+            Dpm_util.Log.error ~scope:"serve"
+              ~kv:[ ("syscall", fn); ("arg", arg) ]
+              (Unix.error_message e);
+            2)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the fleet simulation daemon: accept dpm-spec/1 jobs over a \
+          Unix or TCP socket, schedule them across the domain pool behind \
+          a bounded admission queue (explicit queue-full backpressure), \
+          and stream each job's dpm-report/1 document — plus live \
+          dpm-meter/1 power samples for metered jobs — back over the \
+          connection.  Daemon runs are bit-identical to direct `dpmsim \
+          simulate` of the same spec.  Exits when a client sends the \
+          shutdown op, after draining every admitted job.")
+    Term.(
+      const run $ instrument_term $ socket_arg $ port_arg $ queue_arg
+      $ retry_after_arg)
+
+let submit_cmd =
+  let specs_arg =
+    let doc = "dpm-spec/1 run-spec file(s) to submit, in order." in
+    Arg.(value & pos_all file [] & info [] ~doc ~docv:"SPEC")
+  in
+  let meter_res_arg =
+    let doc =
+      "Meter every job at this resolution (seconds per window): the \
+       daemon streams live per-scheme power samples, and the client \
+       checks each scheme's sample integral against the report's energy \
+       column (1e-6 relative)."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "meter" ] ~doc ~docv:"SECONDS")
+  in
+  let out_dir_arg =
+    let doc = "Write each job's dpm-report/1 document into this directory." in
+    Arg.(
+      value & opt (some string) None & info [ "o"; "output-dir" ] ~doc ~docv:"DIR")
+  in
+  let shutdown_flag =
+    let doc = "After the last job, ask the daemon to drain and exit." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  (* One scheme row of the results table, straight from the report
+     document — same format string as [print_results_table], so a
+     daemon-run table diffs cleanly against `dpmsim simulate`'s. *)
+  let print_report_table report =
+    let num k j =
+      Option.value ~default:Float.nan
+        (Option.bind (Dpm_util.Json.member k j) Dpm_util.Json.to_float)
+    in
+    Printf.printf "%-8s %12s %10s %8s %8s\n" "scheme" "energy(J)" "time(s)"
+      "E/base" "T/base";
+    List.iter
+      (fun row ->
+        Printf.printf "%-8s %12.2f %10.2f %8.3f %8.3f\n"
+          (Option.value ~default:"?"
+             (Option.bind
+                (Dpm_util.Json.member "scheme" row)
+                Dpm_util.Json.to_str))
+          (num "energy_j" row) (num "exec_time_s" row) (num "energy_norm" row)
+          (num "time_norm" row))
+      (Option.value ~default:[]
+         (Option.bind
+            (Dpm_util.Json.member "schemes" report)
+            Dpm_util.Json.to_list))
+  in
+  (* Client-side integral of the streamed samples, per scheme, in
+     arrival order — the wire carries %.17g floats, so this reproduces
+     the daemon's own integral bit-for-bit. *)
+  let check_meters ~acc report =
+    List.iter
+      (fun row ->
+        let scheme =
+          Option.value ~default:"?"
+            (Option.bind
+               (Dpm_util.Json.member "scheme" row)
+               Dpm_util.Json.to_str)
+        in
+        let energy =
+          Option.value ~default:Float.nan
+            (Option.bind
+               (Dpm_util.Json.member "energy_j" row)
+               Dpm_util.Json.to_float)
+        in
+        let integral, samples =
+          Option.value ~default:(0.0, 0) (Hashtbl.find_opt acc scheme)
+        in
+        let rel =
+          if energy = 0.0 then abs_float integral
+          else abs_float (integral -. energy) /. energy
+        in
+        Printf.printf "meter %-8s samples=%d integral=%.2f J energy=%.2f J %s\n"
+          scheme samples integral energy
+          (if rel <= 1e-6 then "ok" else "MISMATCH"))
+      (Option.value ~default:[]
+         (Option.bind
+            (Dpm_util.Json.member "schemes" report)
+            Dpm_util.Json.to_list))
+  in
+  let run inst socket port specs meter out_dir shutdown_f =
+    let address = address_of ~socket ~port in
+    match Dpm_core.Service.Net.connect address with
+    | Error e ->
+        Dpm_util.Log.error ~scope:"submit" (Dpm_core.Run.error_message e);
+        2
+    | Ok client ->
+        Fun.protect
+          ~finally:(fun () -> Dpm_core.Service.Net.close client)
+          (fun () ->
+            let rc = ref 0 in
+            (match out_dir with
+            | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+            | _ -> ());
+            List.iter
+              (fun file ->
+                match Dpm_core.Run.of_file file with
+                | Error e ->
+                    Dpm_util.Log.error ~scope:"submit" ~kv:[ ("spec", file) ]
+                      (Dpm_core.Run.error_message e);
+                    rc := 2
+                | Ok spec ->
+                    let acc = Hashtbl.create 8 in
+                    let on_sample ~scheme (s : Dpm_sim.Meter.sample) =
+                      let integral, n =
+                        Option.value ~default:(0.0, 0)
+                          (Hashtbl.find_opt acc scheme)
+                      in
+                      Hashtbl.replace acc scheme
+                        ( integral
+                          +. (s.Dpm_sim.Meter.watts
+                             *. (s.Dpm_sim.Meter.t1 -. s.Dpm_sim.Meter.t0)),
+                          n + 1 )
+                    in
+                    (* The client owns the retry loop: queue-full
+                       rejections back off by the daemon's own hint. *)
+                    let rec go retries =
+                      match
+                        Dpm_core.Service.Net.submit ?meter ~on_sample client
+                          spec
+                      with
+                      | Error (Dpm_core.Run.Queue_full { retry_after })
+                        when retries > 0 ->
+                          Dpm_util.Log.info ~scope:"submit"
+                            ~kv:[ ("spec", file) ]
+                            (Printf.sprintf "queue full; retrying in %gs"
+                               retry_after);
+                          Thread.delay retry_after;
+                          go (retries - 1)
+                      | r -> r
+                    in
+                    (match go 600 with
+                    | Error e ->
+                        Dpm_util.Log.error ~scope:"submit"
+                          ~kv:[ ("spec", file) ]
+                          (Dpm_core.Run.error_message e);
+                        rc := 1
+                    | Ok (id, report) ->
+                        Printf.printf "== job %d: %s ==\n" id
+                          (Filename.basename file);
+                        print_report_table report;
+                        if meter <> None then check_meters ~acc report;
+                        (match out_dir with
+                        | None -> ()
+                        | Some dir ->
+                            let path =
+                              Filename.concat dir
+                                (Printf.sprintf "job-%d.report.json" id)
+                            in
+                            let oc = open_out path in
+                            Fun.protect
+                              ~finally:(fun () -> close_out_noerr oc)
+                              (fun () ->
+                                output_string oc
+                                  (Dpm_util.Json.to_string ~indent:1 report);
+                                output_char oc '\n'))))
+              specs;
+            (if shutdown_f then
+               match Dpm_core.Service.Net.shutdown client with
+               | Ok completed ->
+                   Printf.printf "shutdown: daemon drained, %d job%s completed\n"
+                     completed
+                     (if completed = 1 then "" else "s")
+               | Error e ->
+                   Dpm_util.Log.error ~scope:"submit"
+                     (Dpm_core.Run.error_message e);
+                   rc := 1);
+            report_metrics inst;
+            !rc)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit dpm-spec/1 run-spec files to a running `dpmsim serve` \
+          daemon, print each job's results table (and, with $(b,--meter), \
+          verify the streamed power samples integrate to the report's \
+          energy column), optionally saving the dpm-report/1 documents.  \
+          Queue-full rejections are retried after the daemon's \
+          retry_after hint.")
+    Term.(
+      const run $ instrument_term $ socket_arg $ port_arg $ specs_arg
+      $ meter_res_arg $ out_dir_arg $ shutdown_flag)
+
 let () =
   let doc =
     "Software-directed disk power management (IPDPS'05 reproduction)."
@@ -1222,4 +1509,6 @@ let () =
             report_check_cmd;
             aggregate_cmd;
             sweep_cmd;
+            serve_cmd;
+            submit_cmd;
           ]))

@@ -96,13 +96,83 @@ let counters_json metrics =
 
 let mode_name = function `Open -> "open" | `Closed -> "closed"
 
-let run ?(schemes = Scheme.all) ?(mode = `Open)
-    ?(version = Dpm_compiler.Pipeline.Orig) ?(faults = Sim.Fault.none)
-    ?(sim = Sim.Config.default) benchmark =
-  let run_schemes =
-    if List.mem Scheme.Base schemes then schemes else Scheme.Base :: schemes
+(* Assemble a dpm-report/1 document from already-executed results.  The
+   shape is identical however the run happened — CLI report command,
+   sweep cell, or service job — only the collector inputs differ: the
+   CLI passes the process-wide histogram/metrics collectors, the service
+   passes none (concurrent jobs share those collectors, and service
+   responses must be a deterministic function of the job alone). *)
+let document ~label ~mode ~version ~faults ~(sim : Sim.Config.t)
+    ?(histograms = []) ?metrics ~timeline_of results =
+  (* Base anchors the normalized columns when present; otherwise the
+     first result does (a service job need not include Base). *)
+  let base =
+    match List.assoc_opt Scheme.Base results with
+    | Some b -> Some b
+    | None -> ( match results with (_, r) :: _ -> Some r | [] -> None)
   in
-  let sinks = List.map (fun s -> (s, Sim.Timeline.sink ())) run_schemes in
+  let histo_rows =
+    List.map
+      (fun (name, h) ->
+        Json.Obj
+          [
+            ("name", Json.Str name);
+            ("count", Json.Int (Dpm_util.Histo.count h));
+            ("mean", Json.Float (Dpm_util.Histo.mean h));
+            ("min", Json.Float (Dpm_util.Histo.min_value h));
+            ("p50", Json.Float (Dpm_util.Histo.quantile h 50.0));
+            ("p90", Json.Float (Dpm_util.Histo.quantile h 90.0));
+            ("p99", Json.Float (Dpm_util.Histo.quantile h 99.0));
+            ("max", Json.Float (Dpm_util.Histo.max_value h));
+            (* The mergeable wire form: `dpmsim aggregate` combines a
+               sweep's per-run histograms from these. *)
+            ("buckets", Dpm_util.Histo.to_json h);
+          ])
+      histograms
+  in
+  let scheme_rows =
+    match base with
+    | None -> []
+    | Some base ->
+        List.map
+          (fun ((s, _) as pair) -> scheme_json ~base pair (timeline_of s))
+          results
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ("benchmark", Json.Str label);
+      ("mode", Json.Str (mode_name mode));
+      ("transform", Json.Str (Dpm_compiler.Pipeline.version_name version));
+      ("faults", Json.Str (Sim.Fault.to_string faults));
+      ("sched", Json.Str (Sim.Config.sched_name sim.Sim.Config.sched));
+      (* Semicolon-joined model slugs (a Str, not an Arr: an
+         empty fleet must keep the same schema outline). *)
+      ( "fleet",
+        Json.Str
+          (String.concat ";"
+             (Array.to_list
+                (Array.map Dpm_disk.Specs.name_of sim.Sim.Config.fleet))) );
+      ("domains", Json.Int (Dpm_util.Pool.default_domains ()));
+      ("schemes", Json.Arr scheme_rows);
+      ("histograms", Json.Arr histo_rows);
+      ( "stages",
+        match metrics with None -> Json.Arr [] | Some m -> stages_json m );
+      ( "counters",
+        match metrics with None -> Json.Arr [] | Some m -> counters_json m );
+    ]
+
+let of_spec ?(force_base = false) spec =
+  let ( let* ) = Result.bind in
+  let* schemes = Run.schemes_of spec in
+  let schemes =
+    if force_base && not (List.mem Scheme.Base schemes) then
+      Scheme.Base :: schemes
+    else schemes
+  in
+  let spec = Run.with_schemes schemes spec in
+  let sinks = List.map (fun s -> (s, Sim.Timeline.sink ())) schemes in
+  let spec = Run.with_timeline (fun s -> List.assoc_opt s sinks) spec in
   (* The stage table and the histograms both live on the process-wide
      collectors; switch them on for the duration and restore the flags
      afterwards (recording is observational, so leaving earlier contents
@@ -117,67 +187,26 @@ let run ?(schemes = Scheme.all) ?(mode = `Open)
     Telemetry.set_histograms tele had_histos;
     Metrics.set_enabled Metrics.global had_metrics
   in
-  let result =
-    Fun.protect ~finally:restore (fun () ->
-        Run.exec_all
-          (Run.spec ~schemes:run_schemes ~sim ~mode ~version ~faults
-             ~timeline:(fun s -> List.assoc_opt s sinks)
-             (Run.Benchmark benchmark)))
-  in
+  let result = Fun.protect ~finally:restore (fun () -> Run.exec_all spec) in
   match result with
   | Error e -> Error e
   | Ok results ->
-      let base = List.assoc Scheme.Base results in
-      let histo_rows =
-        List.map
-          (fun (name, h) ->
-            Json.Obj
-              [
-                ("name", Json.Str name);
-                ("count", Json.Int (Dpm_util.Histo.count h));
-                ("mean", Json.Float (Dpm_util.Histo.mean h));
-                ("min", Json.Float (Dpm_util.Histo.min_value h));
-                ("p50", Json.Float (Dpm_util.Histo.quantile h 50.0));
-                ("p90", Json.Float (Dpm_util.Histo.quantile h 90.0));
-                ("p99", Json.Float (Dpm_util.Histo.quantile h 99.0));
-                ("max", Json.Float (Dpm_util.Histo.max_value h));
-                (* The mergeable wire form: `dpmsim aggregate` combines a
-                   sweep's per-run histograms from these. *)
-                ("buckets", Dpm_util.Histo.to_json h);
-              ])
-          (Telemetry.histograms tele)
-      in
-      let scheme_rows =
-        List.map
-          (fun ((s, _) as pair) ->
-            let tl = Sim.Timeline.contents (List.assoc s sinks) in
-            scheme_json ~base pair tl)
-          results
-      in
+      let* label, setup = Run.describe spec in
       Ok
-        (Json.Obj
-           [
-             ("schema", Json.Str schema_version);
-             ("benchmark", Json.Str benchmark);
-             ("mode", Json.Str (mode_name mode));
-             ( "transform",
-               Json.Str (Dpm_compiler.Pipeline.version_name version) );
-             ("faults", Json.Str (Sim.Fault.to_string faults));
-             ("sched", Json.Str (Sim.Config.sched_name sim.Sim.Config.sched));
-             (* Semicolon-joined model slugs (a Str, not an Arr: an
-                empty fleet must keep the same schema outline). *)
-             ( "fleet",
-               Json.Str
-                 (String.concat ";"
-                    (Array.to_list
-                       (Array.map Dpm_disk.Specs.name_of
-                          sim.Sim.Config.fleet))) );
-             ("domains", Json.Int (Dpm_util.Pool.default_domains ()));
-             ("schemes", Json.Arr scheme_rows);
-             ("histograms", Json.Arr histo_rows);
-             ("stages", stages_json Metrics.global);
-             ("counters", counters_json Metrics.global);
-           ])
+        (document ~label ~mode:setup.Experiment.mode
+           ~version:setup.Experiment.version ~faults:setup.Experiment.faults
+           ~sim:setup.Experiment.sim
+           ~histograms:(Telemetry.histograms tele)
+           ~metrics:Metrics.global
+           ~timeline_of:(fun s ->
+             Sim.Timeline.contents (List.assoc s sinks))
+           results)
+
+let run ?(schemes = Scheme.all) ?(mode = `Open)
+    ?(version = Dpm_compiler.Pipeline.Orig) ?(faults = Sim.Fault.none)
+    ?(sim = Sim.Config.default) benchmark =
+  of_spec ~force_base:true
+    (Run.spec ~schemes ~sim ~mode ~version ~faults (Run.Benchmark benchmark))
 
 (* --- markdown digest --- *)
 
@@ -336,13 +365,14 @@ let validate doc =
           | Some false -> err "scheme %d: timeline invariants failed" i
           | None -> err "scheme %d: missing timeline verdict" i)
         schemes);
+  (* Histograms and stages may be empty — service-built documents carry
+     none (the process-wide collectors are shared across concurrent
+     jobs) — but the arrays must be present. *)
   (match Option.bind (Json.member "histograms" doc) Json.to_list with
-  | Some (_ :: _) -> ()
-  | Some [] -> err "histograms array is empty"
+  | Some _ -> ()
   | None -> err "missing histograms array");
   (match Option.bind (Json.member "stages" doc) Json.to_list with
-  | Some (_ :: _) -> ()
-  | Some [] -> err "stages array is empty"
+  | Some _ -> ()
   | None -> err "missing stages array");
   match !errors with [] -> Ok () | es -> Error (List.rev es)
 

@@ -23,6 +23,36 @@ val schema_version : string
 val bench_schema_version : string
 (** ["dpm-bench/1"]. *)
 
+val document :
+  label:string ->
+  mode:Dpm_sim.Engine.mode ->
+  version:Dpm_compiler.Pipeline.version ->
+  faults:Dpm_sim.Fault.spec ->
+  sim:Dpm_sim.Config.t ->
+  ?histograms:(string * Dpm_util.Histo.t) list ->
+  ?metrics:Dpm_util.Metrics.t ->
+  timeline_of:(Scheme.t -> Dpm_sim.Timeline.t) ->
+  (Scheme.t * Dpm_sim.Result.t) list ->
+  Dpm_util.Json.t
+(** Assemble a {!schema_version} document from already-executed results
+    plus their per-scheme timelines.  [Base] anchors the normalized
+    columns when present, otherwise the first result does.  [histograms]
+    (default none) and [metrics] (default none → empty [stages] /
+    [counters] arrays) supply the collector-backed sections — the
+    service omits them because the process-wide collectors are shared
+    across concurrent jobs, and a job's response must be a function of
+    the job alone.  The document shape is identical either way. *)
+
+val of_spec :
+  ?force_base:bool -> Run.spec -> (Dpm_util.Json.t, Run.error) result
+(** Execute an arbitrary {!Run.spec} with per-scheme timeline sinks and
+    the process-wide histogram/metrics collectors enabled (flags
+    restored afterwards), and build its report document.  [force_base]
+    (default false) adds [Base] to the scheme set first.  This is the
+    single report path: {!run} is [of_spec ~force_base:true] of a
+    benchmark spec, and a daemon job is the same value reported without
+    the shared collectors (see {!document}). *)
+
 val run :
   ?schemes:Scheme.t list ->
   ?mode:Dpm_sim.Engine.mode ->
@@ -50,8 +80,9 @@ val markdown : Dpm_util.Json.t -> string
 
 val validate : Dpm_util.Json.t -> (unit, string list) result
 (** Structural check: schema tag, non-empty scheme array, required
-    numeric fields per scheme, timeline invariant verdicts present.
-    Used by [dpmsim report-check]. *)
+    numeric fields per scheme, timeline invariant verdicts present,
+    histogram/stage arrays present (possibly empty — service documents
+    carry no collector sections).  Used by [dpmsim report-check]. *)
 
 val bench_snapshot :
   ?histograms:bool ->

@@ -6,6 +6,7 @@ type workload =
   | Benchmark of string
   | Program of Dpm_ir.Program.t * Dpm_layout.Plan.t
   | Trace_file of string
+  | Open_loop of { load : Dpm_trace.Openloop.t; sources : string list }
 
 type error =
   | Unknown_benchmark of string
@@ -14,6 +15,9 @@ type error =
   | Malformed_trace of string
   | Malformed_spec of string
   | Run_failure of string
+  | Queue_full of { retry_after : float }
+  | Shutting_down
+  | Protocol_error of string
 
 let suite_names =
   lazy (List.map (fun (s : Workloads.Suite.spec) -> s.name) Workloads.Suite.all)
@@ -29,6 +33,12 @@ let error_message = function
   | Malformed_trace m -> "malformed trace file: " ^ m
   | Malformed_spec m -> "malformed run spec: " ^ m
   | Run_failure m -> m
+  | Queue_full { retry_after } ->
+      Printf.sprintf "service queue full; retry after %gs" retry_after
+  | Shutting_down -> "service is shutting down"
+  | Protocol_error m -> "protocol error: " ^ m
+
+let pp_error fmt e = Format.pp_print_string fmt (error_message e)
 
 type spec = {
   schemes : Scheme.t list;
@@ -64,6 +74,8 @@ let spec ?(schemes = Scheme.all) ?(scheme_names = []) ?setup ?sim ?mode
 
 let with_timeline timeline s = { s with timeline = Some timeline }
 
+let with_schemes schemes s = { s with schemes; scheme_names = [] }
+
 let sim_config s =
   match s.sim with
   | Some c -> c
@@ -87,6 +99,8 @@ let resolve_schemes s =
         (Ok []) names
       |> Result.map List.rev
 
+let schemes_of s = resolve_schemes s
+
 let resolve_faults s =
   match s.faults with
   | None -> Ok None
@@ -100,7 +114,7 @@ let resolve_faults s =
    calibration replays the workload. *)
 let resolve_bench s =
   match s.workload with
-  | Program _ | Trace_file _ -> Ok None
+  | Program _ | Trace_file _ | Open_loop _ -> Ok None
   | Benchmark name -> (
       match
         List.find_opt
@@ -160,6 +174,88 @@ let exec_trace_file s (setup : Experiment.setup) schemes path =
   | exception Sys_error m -> Error (Run_failure m)
   | exception exn -> Error (Run_failure (Printexc.to_string exn))
 
+(* Open-loop sources resolve by name: a suite benchmark if the name
+   matches one, otherwise an existing trace file.  Resolution happens
+   before the trapped replay so a typo comes back as a typed error, not
+   a generic failure. *)
+let resolve_sources sources =
+  if sources = [] then
+    Error (Malformed_spec "open-loop workload: empty sources list")
+  else
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        match
+          List.find_opt
+            (fun (b : Workloads.Suite.spec) -> String.equal b.name name)
+            Workloads.Suite.all
+        with
+        | Some bench -> Ok (`Bench bench :: acc)
+        | None ->
+            if Sys.file_exists name then Ok (`File name :: acc)
+            else Error (Unknown_benchmark name))
+      (Ok []) sources
+    |> Result.map (fun l -> Array.of_list (List.rev l))
+
+(* Replay an open-loop multi-tenant workload: expand the load descriptor
+   into a (start, source) plan, build one fresh stream per tenant, and
+   merge them onto the shared clock ({!Dpm_trace.Openloop}).  Each
+   distinct source is built (and, in non-streaming setups, generated or
+   loaded) at most once per replay; tenants then cursor independently
+   over the shared trace.  Streaming setups instead regenerate/re-parse
+   per tenant in O(batch × tenants) peak memory. *)
+let exec_open_loop s (setup : Experiment.setup) schemes load sources =
+  let* resolved = resolve_sources sources in
+  match
+    let gen =
+      {
+        Dpm_trace.Generate.cost = Dpm_ir.Cost.default;
+        cache_blocks = setup.Experiment.cache_blocks;
+      }
+    in
+    let thunk_of = function
+      | `Bench bench ->
+          let built =
+            lazy
+              (let p, plan = Experiment.workload bench in
+               Dpm_compiler.Pipeline.transform setup.Experiment.version p plan)
+          in
+          if setup.Experiment.stream then fun () ->
+            let p, plan = Lazy.force built in
+            Dpm_trace.Generate.stream ~config:gen ~batch:setup.Experiment.batch
+              p plan
+          else
+            let trace =
+              lazy
+                (let p, plan = Lazy.force built in
+                 Dpm_trace.Generate.run ~config:gen p plan)
+            in
+            fun () ->
+              Trace.Stream.of_trace ~batch:setup.Experiment.batch
+                (Lazy.force trace)
+      | `File path ->
+          if setup.Experiment.stream then fun () ->
+            Trace.Stream.of_file ~batch:setup.Experiment.batch path
+          else
+            let trace = lazy (Trace.load path) in
+            fun () ->
+              Trace.Stream.of_trace ~batch:setup.Experiment.batch
+                (Lazy.force trace)
+    in
+    let thunks = Array.map thunk_of resolved in
+    let plan = Dpm_trace.Openloop.plan load ~nsources:(Array.length thunks) in
+    let source () =
+      Dpm_trace.Openloop.merge ~batch:setup.Experiment.batch
+        (Array.to_list plan
+        |> List.map (fun (start, k) -> (start, thunks.(k) ())))
+    in
+    Experiment.replay_all ~setup ?timeline:s.timeline ~schemes source
+  with
+  | results -> Ok results
+  | exception Trace.Parse_error m -> Error (Malformed_trace m)
+  | exception Sys_error m -> Error (Run_failure m)
+  | exception exn -> Error (Run_failure (Printexc.to_string exn))
+
 let exec_all s =
   let* schemes = resolve_schemes s in
   let* faults = resolve_faults s in
@@ -167,13 +263,14 @@ let exec_all s =
   let setup = resolve_setup s bench faults in
   match s.workload with
   | Trace_file path -> exec_trace_file s setup schemes path
+  | Open_loop { load; sources } -> exec_open_loop s setup schemes load sources
   | Program _ | Benchmark _ -> (
       match
         let p, plan =
           match (s.workload, bench) with
           | Program (p, plan), _ -> (p, plan)
           | Benchmark _, Some bench -> Experiment.workload bench
-          | (Benchmark _ | Trace_file _), _ -> assert false
+          | (Benchmark _ | Trace_file _ | Open_loop _), _ -> assert false
         in
         Experiment.run_all ~setup ?timeline:s.timeline ~schemes p plan
       with
@@ -185,6 +282,24 @@ let exec s =
   match results with
   | (_, r) :: _ -> Ok r
   | [] -> Error (Run_failure "no schemes requested")
+
+(* The Experiment→spec bridge: an [Experiment.setup] plus a workload is
+   a complete job description, so the sweep harness, the CLI and the
+   service all speak the same value.  The setup is carried verbatim (no
+   overrides), which is what makes the mapping faithful. *)
+let of_experiment ?schemes ~setup workload = spec ?schemes ~setup workload
+
+let workload_label = function
+  | Benchmark name -> name
+  | Program (p, _) -> p.Dpm_ir.Program.name
+  | Trace_file path -> path
+  | Open_loop { sources; _ } ->
+      Printf.sprintf "open-loop(%s)" (String.concat "+" sources)
+
+let describe s =
+  let* faults = resolve_faults s in
+  let* bench = resolve_bench s in
+  Ok (workload_label s.workload, resolve_setup s bench faults)
 
 (* --- dpm-spec/1: serializable run specs ---
 
@@ -377,6 +492,15 @@ let to_json s =
         Ok
           (Json.Obj
              [ ("kind", Json.Str "trace-file"); ("path", Json.Str path) ])
+    | Open_loop { load; sources } ->
+        Ok
+          (Json.Obj
+             [
+               ("kind", Json.Str "open-loop");
+               ("load", Json.Str (Dpm_trace.Openloop.to_string load));
+               ( "sources",
+                 Json.Arr (List.map (fun n -> Json.Str n) sources) );
+             ])
     | Program (p, _) ->
         Error
           (Malformed_spec
@@ -434,6 +558,33 @@ let of_json j =
             match str "path" with
             | Some p -> Ok (Trace_file p)
             | None -> malformed "workload: missing trace-file path")
+        | Some "open-loop" -> (
+            match str "load" with
+            | None -> malformed "workload: missing open-loop load"
+            | Some l -> (
+                match Dpm_trace.Openloop.of_string l with
+                | Error m -> malformed m
+                | Ok (load, inline_sources) ->
+                    (* An explicit sources array wins over sources
+                       embedded in the load string. *)
+                    let* sources =
+                      match
+                        Option.bind (Json.member "sources" w) Json.to_list
+                      with
+                      | None -> Ok inline_sources
+                      | Some l ->
+                          List.fold_left
+                            (fun acc v ->
+                              let* acc = acc in
+                              match Json.to_str v with
+                              | Some n -> Ok (n :: acc)
+                              | None ->
+                                  malformed
+                                    "workload: sources: expected strings")
+                            (Ok []) l
+                          |> Result.map List.rev
+                    in
+                    Ok (Open_loop { load; sources })))
         | Some k -> malformed (Printf.sprintf "workload: unknown kind %S" k)
         | None -> malformed "workload: missing kind")
   in
@@ -508,6 +659,58 @@ let of_file path =
       match Json.parse_string contents with
       | Error m -> Error (Malformed_spec (path ^ ": " ^ m))
       | Ok j -> of_json j)
+
+(* Typed errors on the wire: a stable machine-readable kind plus the
+   fields needed to reconstruct the constructor, and the human message
+   for clients that just print.  Round-trip is exact. *)
+let error_to_json e =
+  let obj kind rest =
+    Json.Obj
+      ((("error", Json.Str kind) :: rest)
+      @ [ ("message", Json.Str (error_message e)) ])
+  in
+  match e with
+  | Unknown_benchmark b -> obj "unknown-benchmark" [ ("name", Json.Str b) ]
+  | Unknown_scheme s -> obj "unknown-scheme" [ ("name", Json.Str s) ]
+  | Invalid_faults m -> obj "invalid-faults" [ ("detail", Json.Str m) ]
+  | Malformed_trace m -> obj "malformed-trace" [ ("detail", Json.Str m) ]
+  | Malformed_spec m -> obj "malformed-spec" [ ("detail", Json.Str m) ]
+  | Run_failure m -> obj "run-failure" [ ("detail", Json.Str m) ]
+  | Queue_full { retry_after } ->
+      obj "queue-full" [ ("retry_after", Json.Float retry_after) ]
+  | Shutting_down -> obj "shutting-down" []
+  | Protocol_error m -> obj "protocol" [ ("detail", Json.Str m) ]
+
+let error_of_json j =
+  let str name = Option.bind (Json.member name j) Json.to_str in
+  let detail of_detail =
+    match str "detail" with
+    | Some d -> Ok (of_detail d)
+    | None -> Error "error object: missing detail"
+  in
+  match str "error" with
+  | None -> Error "not an error object (missing \"error\" field)"
+  | Some kind -> (
+      match kind with
+      | "unknown-benchmark" -> (
+          match str "name" with
+          | Some n -> Ok (Unknown_benchmark n)
+          | None -> Error "unknown-benchmark: missing name")
+      | "unknown-scheme" -> (
+          match str "name" with
+          | Some n -> Ok (Unknown_scheme n)
+          | None -> Error "unknown-scheme: missing name")
+      | "invalid-faults" -> detail (fun m -> Invalid_faults m)
+      | "malformed-trace" -> detail (fun m -> Malformed_trace m)
+      | "malformed-spec" -> detail (fun m -> Malformed_spec m)
+      | "run-failure" -> detail (fun m -> Run_failure m)
+      | "queue-full" -> (
+          match Option.bind (Json.member "retry_after" j) Json.to_float with
+          | Some retry_after -> Ok (Queue_full { retry_after })
+          | None -> Error "queue-full: missing retry_after")
+      | "shutting-down" -> Ok Shutting_down
+      | "protocol" -> detail (fun m -> Protocol_error m)
+      | k -> Error (Printf.sprintf "unknown error kind %S" k))
 
 let to_file s path =
   let* j = to_json s in

@@ -24,6 +24,14 @@ type workload =
           under each scheme via [Experiment.replay_all] — no compilation
           or generation.  Parse failures come back as
           {!Malformed_trace}, never as an exception. *)
+  | Open_loop of { load : Dpm_trace.Openloop.t; sources : string list }
+      (** An open-loop multi-tenant workload: the load descriptor's
+          arrival plan launches independent tenants, each a copy of one
+          [sources] entry (a suite benchmark name, or a trace-file path
+          when no benchmark matches), merged onto one shared stream
+          ({!Dpm_trace.Openloop.merge}) and replayed under each scheme
+          via [Experiment.replay_all].  A name that is neither a
+          benchmark nor an existing file is {!Unknown_benchmark}. *)
 
 type error =
   | Unknown_benchmark of string
@@ -39,9 +47,30 @@ type error =
   | Run_failure of string
       (** An exception trapped while compiling/replaying (its printed
           form). *)
+  | Queue_full of { retry_after : float }
+      (** Service admission rejected: the bounded queue is at capacity.
+          The 429-style backpressure signal — clients should wait
+          [retry_after] seconds before resubmitting. *)
+  | Shutting_down
+      (** Service admission rejected: the daemon is draining and accepts
+          no new jobs. *)
+  | Protocol_error of string
+      (** A malformed or unexpected frame on the service wire (unknown
+          op, invalid JSON, unknown job id). *)
 
 val error_message : error -> string
 (** Human-readable message, listing the valid names where relevant. *)
+
+val pp_error : Format.formatter -> error -> unit
+(** Prints {!error_message}. *)
+
+val error_to_json : error -> Dpm_util.Json.t
+(** Machine-readable form: [{"error": <kind>, ...fields,
+    "message": <error_message>}].  Used verbatim as the service's error
+    frames. *)
+
+val error_of_json : Dpm_util.Json.t -> (error, string) result
+(** Inverse of {!error_to_json} (exact round-trip). *)
 
 type spec
 (** A fully described run: schemes × workload × setup. *)
@@ -74,11 +103,40 @@ val spec :
     {!Dpm_sim.Timeline.sink} (as in [Experiment.run_all]); the caller
     keeps the sinks and reads the logs back after {!exec_all}. *)
 
+val of_experiment :
+  ?schemes:Scheme.t list -> setup:Experiment.setup -> workload -> spec
+(** The [Experiment]→[spec] bridge: package a fully-resolved
+    {!Experiment.setup} and a workload as one job value, carrying the
+    setup verbatim (no overrides).  This is the canonical direction of
+    [Experiment.to_spec] — it lives here because [Run] sits above
+    [Experiment] in the library — and makes a CLI invocation, a sweep
+    cell and a daemon job the same value on the wire. *)
+
+val workload_label : workload -> string
+(** Stable display name: the benchmark or program name, the trace-file
+    path, or ["open-loop(src+...)"] — what reports use as their
+    [benchmark] field. *)
+
+val describe : spec -> (string * Experiment.setup, error) result
+(** The workload label and the fully-resolved setup this spec will run
+    under (defaults filled, overrides folded in, fault spec validated) —
+    what a report header or a service log needs without executing
+    anything. *)
+
 val with_timeline :
   (Scheme.t -> Dpm_sim.Timeline.sink option) -> spec -> spec
 (** Attach per-scheme sinks to an already-built spec — how the CLI wires
     power meters onto a [dpm-spec/1] file it parsed ({!of_file} cannot
     carry sinks: they are live mutable state, not data). *)
+
+val schemes_of : spec -> (Scheme.t list, error) result
+(** The schemes this spec will run, in order ([scheme_names] resolved —
+    the one place {!Unknown_scheme} can surface without executing). *)
+
+val with_schemes : Scheme.t list -> spec -> spec
+(** Replace the scheme list (clearing any pending [scheme_names]) — how
+    the report path forces [Base] into the set to anchor normalized
+    columns. *)
 
 val sim_config : spec -> Dpm_sim.Config.t
 (** The simulator configuration this spec will run under ([sim]

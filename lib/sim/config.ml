@@ -37,6 +37,34 @@ type t = {
   retain_busy : bool;
 }
 
+(* Single choke point for configuration invariants: every constructor
+   ([make] and each [with_*]) funnels through [check], so an invalid
+   knob combination is rejected at construction time no matter which
+   path built it (CLI, sweep axis, wire spec, literal in a test). *)
+let check t =
+  let fail fmt = Format.kasprintf invalid_arg ("Config: " ^^ fmt) in
+  if t.queue_depth < 1 then
+    fail "queue_depth must be >= 1 (got %d)" t.queue_depth;
+  if t.drpm_window < 1 then
+    fail "drpm_window must be >= 1 (got %d)" t.drpm_window;
+  if t.drpm_lower < 0.0 then
+    fail "drpm_lower must be >= 0 (got %g)" t.drpm_lower;
+  if t.drpm_upper <= t.drpm_lower then
+    fail "drpm_upper (%g) must exceed drpm_lower (%g)" t.drpm_upper
+      t.drpm_lower;
+  if t.drpm_idle_interval <= 0.0 then
+    fail "drpm_idle_interval must be > 0 (got %g)" t.drpm_idle_interval;
+  if t.drpm_floor_depth < 0 then
+    fail "drpm_floor_depth must be >= 0 (got %d)" t.drpm_floor_depth;
+  if t.pm_call_overhead < 0.0 then
+    fail "pm_call_overhead must be >= 0 (got %g)" t.pm_call_overhead;
+  if t.pre_activation_lead < 0.0 then
+    fail "pre_activation_lead must be >= 0 (got %g)" t.pre_activation_lead;
+  (match t.tpm_threshold with
+  | Some th when th <= 0.0 -> fail "tpm_threshold must be > 0 (got %g)" th
+  | _ -> ());
+  t
+
 let default =
   {
     specs = Dpm_disk.Specs.ultrastar_36z15;
@@ -64,25 +92,26 @@ let make ?(specs = default.specs) ?(fleet = default.fleet)
     ?(pm_call_overhead = default.pm_call_overhead)
     ?(pre_activation_lead = default.pre_activation_lead)
     ?(retain_busy = default.retain_busy) () =
-  {
-    specs;
-    fleet;
-    sched;
-    tpm_threshold;
-    drpm_lower;
-    drpm_upper;
-    drpm_window;
-    drpm_idle_interval;
-    drpm_floor_depth;
-    queue_depth;
-    pm_call_overhead;
-    pre_activation_lead;
-    retain_busy;
-  }
+  check
+    {
+      specs;
+      fleet;
+      sched;
+      tpm_threshold;
+      drpm_lower;
+      drpm_upper;
+      drpm_window;
+      drpm_idle_interval;
+      drpm_floor_depth;
+      queue_depth;
+      pm_call_overhead;
+      pre_activation_lead;
+      retain_busy;
+    }
 
-let with_specs specs t = { t with specs }
-let with_fleet fleet t = { t with fleet }
-let with_sched sched t = { t with sched }
+let with_specs specs t = check { t with specs }
+let with_fleet fleet t = check { t with fleet }
+let with_sched sched t = check { t with sched }
 
 (* The model serving disk [disk]: fleet entries round-robin over the
    disk ids; an empty fleet means every disk is [t.specs] (the legacy
@@ -93,19 +122,23 @@ let model t ~disk =
 
 let homogeneous t =
   Array.for_all (fun m -> m = t.specs) t.fleet
-let with_tpm_threshold tpm_threshold t = { t with tpm_threshold }
-let with_drpm_lower drpm_lower t = { t with drpm_lower }
-let with_drpm_upper drpm_upper t = { t with drpm_upper }
-let with_drpm_window drpm_window t = { t with drpm_window }
+let with_tpm_threshold tpm_threshold t = check { t with tpm_threshold }
+let with_drpm_lower drpm_lower t = check { t with drpm_lower }
+let with_drpm_upper drpm_upper t = check { t with drpm_upper }
+let with_drpm_window drpm_window t = check { t with drpm_window }
 
 let with_drpm_idle_interval drpm_idle_interval t =
-  { t with drpm_idle_interval }
+  check { t with drpm_idle_interval }
 
-let with_drpm_floor_depth drpm_floor_depth t = { t with drpm_floor_depth }
-let with_queue_depth queue_depth t = { t with queue_depth }
-let with_pm_call_overhead pm_call_overhead t = { t with pm_call_overhead }
+let with_drpm_floor_depth drpm_floor_depth t =
+  check { t with drpm_floor_depth }
+
+let with_queue_depth queue_depth t = check { t with queue_depth }
+
+let with_pm_call_overhead pm_call_overhead t =
+  check { t with pm_call_overhead }
 
 let with_pre_activation_lead pre_activation_lead t =
-  { t with pre_activation_lead }
+  check { t with pre_activation_lead }
 
-let with_retain_busy retain_busy t = { t with retain_busy }
+let with_retain_busy retain_busy t = check { t with retain_busy }

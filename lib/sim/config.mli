@@ -1,10 +1,15 @@
 (** Simulator configuration.
 
-    The record is public (every field is meaningful to read), but
-    construction should go through {!make} or the [with_*] updaters over
-    {!default} so that adding a knob never breaks a call site — the
-    sweep harness builds configurations programmatically from axis
-    values this way. *)
+    The record is {e private}: every field is meaningful to read (and
+    pattern-match), but construction must go through {!make} or the
+    [with_*] updaters over {!default}.  Bare record literals and
+    [{ c with ... }] functional update are deprecated and no longer
+    type-check outside this module — the builders are the single place
+    where configuration invariants (queue depth and window >= 1, DRPM
+    tolerances ordered, non-negative overheads) are enforced, so a
+    CLI flag, a sweep axis value, a wire [dpm-spec/1] job and a test
+    literal all pass the same checks.  Builders raise [Invalid_argument]
+    on violation. *)
 
 (** Per-disk request-queue service order (see {!Dpm_sim.Sched}): FCFS is
     the legacy implicit-FIFO order; SSTF/SCAN/C-LOOK reorder by block
@@ -21,7 +26,7 @@ val sched_name : sched -> string
 val sched_of_name_opt : string -> sched option
 (** Case-insensitive, whitespace-trimmed lookup. *)
 
-type t = {
+type t = private {
   specs : Dpm_disk.Specs.t;
   fleet : Dpm_disk.Specs.t array;
       (** Heterogeneous disk models, assigned round-robin by disk id
@@ -98,7 +103,8 @@ val make :
   unit ->
   t
 (** {!default} with fields overridden ([tpm_threshold] stays [None] —
-    break-even — unless given). *)
+    break-even — unless given).  Raises [Invalid_argument] when the
+    resulting configuration violates an invariant. *)
 
 (** Functional updaters, value first so they compose with [|>]:
     [Config.default |> Config.with_queue_depth 4]. *)
